@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks regenerate every table and figure of the paper.  The
+phase-1/phase-2 pipeline runs once per session (cached on disk under
+``.repro_cache/``), so only the analysis being benchmarked repeats.
+
+Scale is controlled by ``REPRO_BENCH_SCALE`` (``full`` by default;
+``smoke`` for quick runs).  Rendered reports are written to
+``bench_reports/`` so the regenerated tables are inspectable artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.pipeline import ExperimentConfig, load_experiment_data
+
+REPORT_DIR = Path(__file__).resolve().parent / "bench_reports"
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "full")
+
+
+@pytest.fixture(scope="session")
+def experiment_config():
+    return ExperimentConfig(scale=bench_scale())
+
+
+@pytest.fixture(scope="session")
+def experiment_data(experiment_config):
+    """Phase 1 + phase 2 for all five programs (cached)."""
+    return load_experiment_data(experiment_config)
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    """Write a named report file under bench_reports/ and echo it."""
+    REPORT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = REPORT_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n[report written to {path}]\n{text}\n")
+
+    return write

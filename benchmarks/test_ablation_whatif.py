@@ -1,0 +1,46 @@
+"""Ablation: timing-sensitivity what-ifs (quantifying section 9).
+
+How robust is "code patching is the most likely choice"?  Sweep the
+platform costs the models depend on and locate the break-even points.
+"""
+
+from repro.experiments.whatif import (
+    nh_win_fraction,
+    render_whatif_report,
+    trap_breakeven_factor,
+    trap_cost_sweep,
+    vm_fault_sweep,
+)
+
+
+def test_whatif_sensitivity(benchmark, experiment_data, report_writer):
+    sweep = benchmark(trap_cost_sweep, experiment_data)
+
+    # At real 1992 trap costs, TP is ~30-40x CP on every program; traps
+    # must get tens of times cheaper before TP is even within 2x.
+    for program, ratio in sweep[1.0].items():
+        assert ratio > 20, (program, ratio)
+    factor = trap_breakeven_factor()
+    assert 1 / factor > 20
+
+    # Ratios fall monotonically as traps get cheaper, but never below 1
+    # (TP is CP plus a trap, by construction).
+    factors = sorted(sweep, reverse=True)
+    for program in experiment_data:
+        ratios = [sweep[f][program] for f in factors]
+        assert ratios == sorted(ratios, reverse=True)
+        assert all(r >= 1.0 for r in ratios)
+
+    # VM needs its fault path scaled down dramatically before its mean
+    # matches CP on the fault-heavy programs.
+    vm = vm_fault_sweep(experiment_data)
+    assert vm[1.0]["qcd"] > 10
+    assert vm[1.0]["ctex"] > 10
+
+    # NH wins most sessions on pure speed -- the asymmetry with its
+    # register limit is the paper's conclusion.
+    wins = nh_win_fraction(experiment_data)
+    for program, fraction in wins.items():
+        assert fraction > 0.5, (program, fraction)
+
+    report_writer("ablation_whatif", render_whatif_report(experiment_data))

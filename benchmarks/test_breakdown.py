@@ -1,0 +1,21 @@
+"""Benchmark: regenerate the section-8 overhead breakdown."""
+
+import pytest
+
+from repro.experiments.breakdown import compute_breakdown, render_breakdown_report
+
+
+def test_breakdown(benchmark, experiment_data, report_writer):
+    breakdown = benchmark(compute_breakdown, experiment_data)
+
+    for program, per_approach in breakdown.items():
+        # NH: 100% NHFaultHandler, exactly as the model predicts.
+        assert per_approach["NH"]["NHFaultHandler"] == pytest.approx(100.0)
+        # VM: VMFaultHandler dominates (paper: 86%-97%).
+        assert per_approach["VM-4K"]["VMFaultHandler"] > 80.0, program
+        # TP: TPFaultHandler dominates (paper: ~97%).
+        assert per_approach["TP"]["TPFaultHandler"] > 90.0, program
+        # CP: SoftwareLookup dominates (paper: 98%-99%).
+        assert per_approach["CP"]["SoftwareLookup"] > 80.0, program
+
+    report_writer("breakdown", render_breakdown_report(experiment_data))

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 7 (max relative overhead)."""
+
+from repro.analysis.figures import render_bar_chart
+from repro.experiments.figures789 import compute_figures
+
+
+def test_figure7(benchmark, experiment_data, report_writer):
+    figures = benchmark(compute_figures, experiment_data)
+    series = figures["figure7"]
+
+    # The figure's visual story: VM towers over everything; CP's worst
+    # case beats NH's worst case on every program.
+    for program, values in series.values.items():
+        assert values["VM-4K"] == max(values.values()), program
+        assert values["CP"] < values["NH"], program
+
+    report_writer("figure7", render_bar_chart(series))

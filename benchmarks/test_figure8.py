@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 8 (90th-percentile relative overhead)."""
+
+from repro.analysis.figures import render_bar_chart
+from repro.experiments.figures789 import compute_figures
+
+
+def test_figure8(benchmark, experiment_data, report_writer):
+    figures = benchmark(compute_figures, experiment_data)
+    series = figures["figure8"]
+
+    # At the 90th percentile NH is cheap, CP modest, TP uniformly heavy.
+    for program, values in series.values.items():
+        assert values["NH"] < values["TP"], program
+        assert values["CP"] < values["TP"], program
+
+    report_writer("figure8", render_bar_chart(series))

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 9 (10-90% trimmed-mean relative overhead)."""
+
+from repro.analysis.figures import render_bar_chart
+from repro.experiments.figures789 import compute_figures
+
+
+def test_figure9(benchmark, experiment_data, report_writer):
+    figures = benchmark(compute_figures, experiment_data)
+    series = figures["figure9"]
+
+    # The typical-case ordering of section 9: NH <= CP << TP.
+    for program, values in series.values.items():
+        assert values["NH"] <= values["CP"] < values["TP"], program
+
+    report_writer("figure9", render_bar_chart(series))

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate the section-8 hot-spot analysis."""
+
+from repro.experiments.hotspots import (
+    compute_hotspots,
+    nh_hotspot_claim_holds,
+    render_hotspots_report,
+)
+
+
+def test_hotspots(benchmark, experiment_data, report_writer):
+    hotspots = benchmark(compute_hotspots, experiment_data)
+
+    # Paper: NH's expensive sessions monitor frequently-updated locals
+    # (induction variables) and heap-allocating functions.
+    assert nh_hotspot_claim_holds(experiment_data)
+
+    # Each program's worst NH session must involve many hits.
+    for program, per_approach in hotspots.items():
+        worst = per_approach["NH"][0]
+        assert worst.hits > 1000, (program, worst)
+
+    report_writer("hotspots", render_hotspots_report(experiment_data))

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Table 1 (sessions studied + base times)."""
+
+from repro.experiments.table1 import compute_table1, render_table1_report
+from repro.sessions.types import SESSION_TYPE_ORDER
+
+
+def test_table1(benchmark, experiment_data, report_writer):
+    rows = benchmark(compute_table1, experiment_data)
+
+    # The paper's session-type mix must hold: ctex and qcd have no heap
+    # sessions; bps is dominated by OneHeap; every program has locals.
+    for name in ("ctex", "qcd"):
+        assert rows[name]["OneHeap"] == 0
+        assert rows[name]["AllHeapInFunc"] == 0
+    assert rows["bps"]["OneHeap"] > sum(
+        rows["bps"][kind] for kind in SESSION_TYPE_ORDER if kind != "OneHeap"
+    )
+    for row in rows.values():
+        assert row["OneLocalAuto"] > 0
+        assert row["execution_ms"] > 0
+
+    report_writer("table1", render_table1_report(experiment_data))

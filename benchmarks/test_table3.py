@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 3 (mean counting variables)."""
+
+from repro.experiments.table3 import compute_table3, render_table3_report
+
+
+def test_table3(benchmark, experiment_data, report_writer):
+    rows = benchmark(compute_table3, experiment_data)
+
+    for name, row in rows.items():
+        # Misses dominate hits by at least an order of magnitude, as in
+        # the paper (whose ratios range from ~106x for QCD to ~1400x).
+        assert row["misses"] > 10 * row["hits"]
+        # Active-page misses grow (weakly) with page size, as in Table 3.
+        assert row["vm8k_active_page_misses"] >= row["vm4k_active_page_misses"]
+        # Protect/unprotect transitions shrink (weakly) with page size.
+        assert row["vm8k_protects"] <= row["vm4k_protects"] * 1.001
+
+    report_writer("table3", render_table3_report(experiment_data))

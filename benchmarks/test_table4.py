@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table 4 (relative-overhead statistics) — the
+paper's headline result — and verify every qualitative shape claim."""
+
+from repro.analysis.compare import shape_checks
+from repro.experiments.table4 import compute_table4, render_table4_report
+
+
+def test_table4(benchmark, experiment_data, report_writer):
+    table = benchmark(compute_table4, experiment_data)
+
+    for check in shape_checks(table):
+        assert check.holds, f"{check.claim}: {check.detail}"
+
+    # Spot-check the conclusion (section 9): CodePatch is the practical
+    # winner — modest overhead, and better than NH at the worst case.
+    for program, row in table.items():
+        assert row["CP"].t_mean < 25, program
+        assert row["CP"].max < row["NH"].max, program
+        assert row["TP"].t_mean > 10 * row["CP"].t_mean, program
+
+    report_writer("table4", render_table4_report(experiment_data))

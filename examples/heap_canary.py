@@ -1,0 +1,74 @@
+"""Guard a data structure with watchpoint "canaries".
+
+A classic data-breakpoint application beyond stop-and-inspect: place
+silent watchpoints on the bytes *around* a critical structure, and any
+out-of-bounds write announces itself instantly — a 1992-era AddressSanitizer
+built from the paper's write monitor service.
+
+Run:  python examples/heap_canary.py
+"""
+
+from repro.debugger import Debugger
+
+SOURCE = """
+int n_records;
+
+/* record: [0] id, [1] score */
+int *new_record(int id, int score) {
+  int *r;
+  r = malloc(8);
+  r[0] = id;
+  r[1] = score;
+  n_records++;
+  return r;
+}
+
+/* The bug: writes one past the end of its own record. */
+void update_scores(int *r, int rounds) {
+  int i;
+  for (i = 0; i <= rounds; i++) {   /* <= should be < */
+    r[1 + i] = r[1 + i] + 10;
+  }
+}
+
+int main() {
+  int *alpha;
+  int *beta;
+  alpha = new_record(1, 50);
+  beta = new_record(2, 70);        /* allocated right after alpha */
+  update_scores(alpha, 1);
+  return beta[0];                  /* corrupted id! */
+}
+"""
+
+
+def main() -> None:
+    # Plain run: the corruption is silent until much later.
+    plain = Debugger.from_source(SOURCE, strategy="code")
+    outcome = plain.run()
+    print(f"symptom: beta's id became {outcome.state.exit_value} (expected 2)\n")
+
+    # Canary run: watch every heap record; a write that touches a record
+    # from a function that doesn't own it is flagged with full context.
+    debugger = Debugger.from_source(SOURCE, strategy="code")
+    canary = debugger.watch_heap("main")       # all records
+    outcome = debugger.run()
+    assert outcome.finished
+
+    print("writes observed on heap records:")
+    for event in canary.events:
+        print(f"  [{event.address:#x}] <- {event.value:<4}  at {event.location}  "
+              f"({' > '.join(event.call_stack)})")
+
+    # The smoking gun: a write landing in beta's record while the stack
+    # shows update_scores(alpha, ...).
+    rogue = [
+        event for event in canary.events
+        if "update_scores" in event.call_stack and event.value == 12
+    ]
+    print(f"\nrogue write: {rogue[0].describe()}")
+    print("update_scores walked past alpha's record into beta's.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""A scripted session in the gdb-flavored debugger shell.
+
+The shell speaks text in both directions, so the same commands work
+interactively (``DebuggerShell.interact()``) and from scripts like this
+one.  The session below hunts down which call site pushes a queue past
+its high-water mark.
+
+Run:  python examples/interactive_session.py
+      python examples/interactive_session.py --interactive   # live REPL
+"""
+
+import sys
+
+from repro.debugger import DebuggerShell
+
+SOURCE = """
+int queue[32];
+int queue_len;
+int high_water;
+
+void push(int v) {
+  queue[queue_len] = v;
+  queue_len = queue_len + 1;
+  if (queue_len > high_water) high_water = queue_len;
+}
+
+void pop() {
+  queue_len = queue_len - 1;
+}
+
+void burst(int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) push(i);
+}
+
+int main() {
+  burst(3);
+  pop();
+  pop();
+  burst(9);        /* the spike */
+  while (queue_len > 0) pop();
+  return high_water;
+}
+"""
+
+SCRIPT = [
+    "help",
+    "watch high_water if > 5 stop",
+    "run",
+    "backtrace",
+    "print queue_len",
+    "info breakpoints",
+    "continue",
+    "continue",
+    "continue",
+    "continue",
+    "continue",
+    "stats",
+]
+
+
+def main() -> None:
+    shell = DebuggerShell.from_source(SOURCE, strategy="code")
+    if "--interactive" in sys.argv:
+        shell.interact()
+        return
+    for command in SCRIPT:
+        print(f"(repro-db) {command}")
+        response = shell.execute(command)
+        if response:
+            print(response)
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""The paper's motivating scenario: find a rogue pointer.
+
+Section 1: "An example data breakpoint suspends execution whenever a
+certain object is modified.  Such a breakpoint would help identify
+pointer uses that are inadvertently modifying an otherwise unrelated
+data structure."
+
+This program keeps a free-list header next to a table that one function
+overruns.  The symptom (a corrupted free list) appears long after the
+cause.  A data breakpoint on the header catches the culprit red-handed —
+with the program counter, source line, and call stack of the rogue
+write.
+
+Run:  python examples/memory_corruption.py
+"""
+
+from repro.debugger import Debugger
+
+SOURCE = """
+int table[8];
+int freelist_head;     /* sits right after table[] in memory */
+int freelist_len;
+
+void freelist_init() {
+  freelist_head = 1000;
+  freelist_len = 3;
+}
+
+/* The bug: writes n entries into an 8-entry table. */
+void fill_table(int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    table[i] = i * 11;
+  }
+}
+
+int freelist_pop() {
+  freelist_len = freelist_len - 1;
+  return freelist_head;
+}
+
+int main() {
+  freelist_init();
+  fill_table(10);          /* overruns into freelist_head */
+  return freelist_pop();   /* symptom: bogus head value */
+}
+"""
+
+
+def main() -> None:
+    # First, observe the symptom without a debugger.
+    plain = Debugger.from_source(SOURCE, strategy="code")
+    outcome = plain.run()
+    print(f"symptom: freelist_pop() returned {outcome.state.exit_value} "
+          f"(expected 1000)\n")
+
+    # Now hunt the corruption: break on any write to freelist_head that
+    # is NOT the legitimate initialization value.
+    debugger = Debugger.from_source(SOURCE, strategy="code")
+    debugger.watch_global(
+        "freelist_head", condition=lambda value: value != 1000, action="stop"
+    )
+    outcome = debugger.run()
+    assert outcome.stopped
+
+    event = outcome.stop.event
+    print("caught the rogue write:")
+    print(f"  wrote {event.value} over freelist_head")
+    print(f"  at {event.location}")
+    print(f"  call stack: {' > '.join(event.call_stack)}")
+    print("\nthe culprit is fill_table's loop overrunning table[8].")
+
+    outcome = debugger.cont()
+    assert outcome.finished
+
+
+if __name__ == "__main__":
+    main()

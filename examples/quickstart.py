@@ -1,0 +1,64 @@
+"""Quickstart: set a data breakpoint on a running program.
+
+Compiles a small MiniC program, watches a global variable through the
+CodePatch write monitor service (the paper's recommended strategy), and
+prints every write to it — value, location, and call stack.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.debugger import Debugger
+
+SOURCE = """
+int balance;
+
+void deposit(int amount) {
+  balance = balance + amount;
+}
+
+void withdraw(int amount) {
+  balance = balance - amount;
+}
+
+int main() {
+  deposit(100);
+  deposit(50);
+  withdraw(30);
+  withdraw(200);      /* drives the balance negative */
+  return balance;
+}
+"""
+
+
+def main() -> None:
+    debugger = Debugger.from_source(SOURCE, strategy="code")
+
+    # "Print the value whenever `balance` is modified."
+    watch = debugger.watch_global("balance")
+
+    outcome = debugger.run()
+    assert outcome.finished
+
+    print("data breakpoint hits on `balance`:")
+    for event in watch.events:
+        print(f"  balance = {event.value:>5}  at {event.location}  "
+              f"(stack: {' > '.join(event.call_stack)})")
+    print(f"\nprogram exited with {outcome.state.exit_value}")
+    print(f"simulated cost: {outcome.state.cycles} cycles "
+          f"({outcome.state.instructions} instructions)")
+
+    # Conditional data breakpoint: stop the program the moment the
+    # balance goes negative, then inspect and continue.
+    debugger = Debugger.from_source(SOURCE, strategy="code")
+    debugger.watch_global("balance", condition=lambda v: v < 0, action="stop")
+    outcome = debugger.run()
+    assert outcome.stopped
+    print(f"\n{outcome.stop.describe()}")
+    print(f"call stack at stop: {' > '.join(debugger.call_stack())}")
+    outcome = debugger.cont()
+    assert outcome.finished
+    print("continued to completion.")
+
+
+if __name__ == "__main__":
+    main()

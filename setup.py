@@ -1,0 +1,6 @@
+"""Setup shim for legacy editable installs (offline environments without
+the ``wheel`` package). Configuration lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

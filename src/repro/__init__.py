@@ -1,0 +1,60 @@
+"""Reproduction of "Efficient Data Breakpoints" (Wahbe, ASPLOS 1992).
+
+The package has two faces:
+
+* **a working data-breakpoint debugger** — compile MiniC source, pick a
+  write-monitor-service strategy, set breakpoints, run::
+
+      from repro import Debugger
+      dbg = Debugger.from_source(source, strategy="code")
+      dbg.watch_global("freelist", action="stop")
+      outcome = dbg.run()
+
+* **the paper's evaluation pipeline** — trace the five benchmarks,
+  simulate every monitor session, apply the analytical models::
+
+      from repro.experiments import ExperimentConfig, load_experiment_data
+      from repro.experiments.table4 import render_table4_report
+      print(render_table4_report(load_experiment_data(ExperimentConfig())))
+
+Subpackage map: :mod:`repro.machine` (simulated CPU/MMU),
+:mod:`repro.sim_os` (kernel model), :mod:`repro.minic` (compiler and
+runtime), :mod:`repro.core` (the four WMS strategies),
+:mod:`repro.debugger`, :mod:`repro.workloads`, :mod:`repro.trace`,
+:mod:`repro.sessions`, :mod:`repro.simulate`, :mod:`repro.models`,
+:mod:`repro.analysis`, :mod:`repro.experiments`.
+"""
+
+from repro.core import (
+    BitmapMonitorMap,
+    CodePatchWms,
+    Monitor,
+    NativeHardwareWms,
+    Notification,
+    OptimizedCodePatchWms,
+    TrapPatchWms,
+    VirtualMemoryWms,
+    WriteMonitorService,
+)
+from repro.debugger import Debugger, DebuggerShell
+from repro.errors import ReproError
+from repro.minic import compile_source
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "compile_source",
+    "Debugger",
+    "DebuggerShell",
+    "Monitor",
+    "Notification",
+    "WriteMonitorService",
+    "BitmapMonitorMap",
+    "NativeHardwareWms",
+    "VirtualMemoryWms",
+    "TrapPatchWms",
+    "CodePatchWms",
+    "OptimizedCodePatchWms",
+]

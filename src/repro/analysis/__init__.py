@@ -1,0 +1,28 @@
+"""Statistics, table rendering, and figure rendering for the experiments."""
+
+from repro.analysis.stats import OverheadStats, compute_stats, trimmed_mean
+from repro.analysis.tables import (
+    render_table,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+from repro.analysis.figures import render_bar_chart, FigureSeries
+from repro.analysis.compare import CellComparison, compare_table4, shape_checks
+
+__all__ = [
+    "OverheadStats",
+    "compute_stats",
+    "trimmed_mean",
+    "render_table",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "render_bar_chart",
+    "FigureSeries",
+    "CellComparison",
+    "compare_table4",
+    "shape_checks",
+]

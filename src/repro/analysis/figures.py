@@ -1,0 +1,79 @@
+"""ASCII renderings of the paper's Figures 7-9.
+
+Each figure is a grouped bar chart of relative overhead per program and
+approach.  Relative overheads span four orders of magnitude, so bars are
+drawn on a logarithmic scale (the raw series are also returned so tests
+and EXPERIMENTS.md can use exact values).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+
+@dataclass
+class FigureSeries:
+    """One figure's data: program -> approach -> value."""
+
+    title: str
+    values: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def approaches(self) -> List[str]:
+        for per_approach in self.values.values():
+            return list(per_approach.keys())
+        return []
+
+
+def render_bar_chart(series: FigureSeries, width: int = 50) -> str:
+    """Render a grouped horizontal bar chart on a log scale."""
+    lines = [series.title]
+    all_values = [
+        value
+        for per_approach in series.values.values()
+        for value in per_approach.values()
+    ]
+    if not all_values:
+        return series.title + "\n(no data)"
+    max_value = max(all_values)
+    floor = 0.01  # values below this render as an empty bar
+    log_span = math.log10(max(max_value, floor * 10) / floor)
+
+    def bar(value: float) -> str:
+        if value <= floor:
+            return ""
+        length = int(round(width * math.log10(value / floor) / log_span))
+        return "#" * max(length, 1)
+
+    label_width = max(
+        (len(f"{p} {a}") for p, pa in series.values.items() for a in pa), default=10
+    )
+    for program, per_approach in series.values.items():
+        lines.append("")
+        for approach, value in per_approach.items():
+            label = f"{program} {approach}".ljust(label_width)
+            lines.append(f"{label}  {bar(value):<{width}s} {value:10.2f}x")
+    lines.append("")
+    lines.append(f"(log scale; bar floor at {floor}x relative overhead)")
+    return "\n".join(lines)
+
+
+def figure_from_table4(
+    table4: Mapping[str, Mapping[str, object]],
+    statistic: str,
+    title: str,
+) -> FigureSeries:
+    """Extract one statistic from Table-4 data as a figure series.
+
+    ``statistic`` is an attribute of
+    :class:`~repro.analysis.stats.OverheadStats` (``max``, ``p90``,
+    ``t_mean``).
+    """
+    series = FigureSeries(title)
+    for program, per_approach in table4.items():
+        series.values[program] = {
+            approach: float(getattr(stats, statistic))
+            for approach, stats in per_approach.items()
+        }
+    return series

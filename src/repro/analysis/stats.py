@@ -1,0 +1,75 @@
+"""Relative-overhead statistics (the rows of the paper's Table 4).
+
+The paper reports, per program and approach, six statistics over all
+studied monitor sessions: Min, Max, T-Mean, Mean, 90%, and 98%, where
+T-Mean is "the mean of monitor sessions whose relative overhead is
+between the 10th and 90th percentiles" (Table 4 caption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import PipelineError
+
+
+@dataclass(frozen=True)
+class OverheadStats:
+    """Six-number summary of a relative-overhead distribution."""
+
+    n_sessions: int
+    min: float
+    max: float
+    t_mean: float
+    mean: float
+    p90: float
+    p98: float
+
+    def row(self) -> tuple:
+        """Values in the paper's Table-4 order."""
+        return (self.min, self.max, self.t_mean, self.mean, self.p90, self.p98)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile with linear interpolation."""
+    if len(values) == 0:
+        raise PipelineError("percentile of empty distribution")
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+def trimmed_mean(values: Sequence[float], low: float = 10.0, high: float = 90.0) -> float:
+    """Mean of values between the ``low``-th and ``high``-th percentiles.
+
+    The paper's T-Mean.  Degenerate distributions (all values equal, or
+    fewer than three sessions) fall back to the plain mean.
+    """
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise PipelineError("trimmed mean of empty distribution")
+    if data.size < 3:
+        return float(data.mean())
+    lo = np.percentile(data, low)
+    hi = np.percentile(data, high)
+    inside = data[(data >= lo) & (data <= hi)]
+    if inside.size == 0:
+        return float(data.mean())
+    return float(inside.mean())
+
+
+def compute_stats(values: Sequence[float]) -> OverheadStats:
+    """All six Table-4 statistics for one distribution."""
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise PipelineError("statistics of empty distribution")
+    return OverheadStats(
+        n_sessions=int(data.size),
+        min=float(data.min()),
+        max=float(data.max()),
+        t_mean=trimmed_mean(data),
+        mean=float(data.mean()),
+        p90=percentile(data, 90.0),
+        p98=percentile(data, 98.0),
+    )

@@ -1,0 +1,126 @@
+"""Plain-text table renderers for the four paper tables.
+
+Each ``render_tableN`` takes the already-computed data (see
+:mod:`repro.experiments`) and produces aligned monospace text matching
+the paper's layout, so a diff against the published numbers is easy to
+eyeball.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.analysis.stats import OverheadStats
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Generic aligned-column table."""
+    str_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: float, digits: int = 2) -> str:
+    return f"{value:.{digits}f}"
+
+
+def render_table1(rows: Mapping[str, Mapping[str, object]]) -> str:
+    """Table 1: session counts per type and base execution time.
+
+    ``rows``: program -> {session type: count, ..., "execution_ms": t}.
+    """
+    headers = [
+        "Program", "OneLocalAuto", "AllLocalInFunc", "OneGlobalStatic",
+        "OneHeap", "AllHeapInFunc", "Exec (ms)",
+    ]
+    body = []
+    for program, row in rows.items():
+        body.append([
+            program,
+            row["OneLocalAuto"],
+            row["AllLocalInFunc"],
+            row["OneGlobalStatic"],
+            row["OneHeap"],
+            row["AllHeapInFunc"],
+            _fmt(float(row["execution_ms"]), 1),
+        ])
+    return render_table(headers, body, "Table 1: monitor sessions studied and base execution time")
+
+
+def render_table2(measured: Mapping[str, float], reference: Mapping[str, float]) -> str:
+    """Table 2: timing variables, measured on the simulated machine vs
+    the paper's SPARCstation 2 values."""
+    headers = ["Timing Variable", "Measured (us)", "Paper (us)"]
+    body = []
+    for name, paper_value in reference.items():
+        measured_value = measured.get(name)
+        body.append([
+            name,
+            "-" if measured_value is None else _fmt(measured_value, 2),
+            _fmt(paper_value, 2),
+        ])
+    return render_table(headers, body, "Table 2: timing variable data (microseconds)")
+
+
+def render_table3(rows: Mapping[str, Mapping[str, float]]) -> str:
+    """Table 3: mean counting variables over all studied sessions."""
+    headers = [
+        "Program", "Install/Remove", "Hits", "Misses",
+        "VM4K Prot/Unprot", "VM4K ActivePageMiss",
+        "VM8K Prot/Unprot", "VM8K ActivePageMiss",
+    ]
+    body = []
+    for program, row in rows.items():
+        body.append([
+            program,
+            _fmt(row["install_remove"], 0),
+            _fmt(row["hits"], 0),
+            _fmt(row["misses"], 0),
+            _fmt(row["vm4k_protects"], 0),
+            _fmt(row["vm4k_active_page_misses"], 0),
+            _fmt(row["vm8k_protects"], 0),
+            _fmt(row["vm8k_active_page_misses"], 0),
+        ])
+    return render_table(headers, body, "Table 3: mean counting variables per program")
+
+
+def render_table4(data: Mapping[str, Mapping[str, OverheadStats]]) -> str:
+    """Table 4: relative-overhead statistics per program and approach.
+
+    ``data``: program -> approach label -> :class:`OverheadStats`.
+    Renders the paper's layout: three statistic pairs per program row
+    group (Min/Max, T-Mean/Mean, 90%/98%).
+    """
+    approaches = None
+    lines: List[str] = ["Table 4: relative overhead statistics"]
+    for program, per_approach in data.items():
+        if approaches is None:
+            approaches = list(per_approach.keys())
+            header = f"{'Program':8s} {'Statistic':14s}" + "".join(
+                f"{label:>18s}" for label in approaches
+            )
+            lines.append(header)
+            lines.append("-" * len(header))
+        stat_pairs = [
+            ("Min | Max", lambda s: f"{_fmt(s.min)} | {_fmt(s.max)}"),
+            ("T-Mean | Mean", lambda s: f"{_fmt(s.t_mean)} | {_fmt(s.mean)}"),
+            ("90% | 98%", lambda s: f"{_fmt(s.p90)} | {_fmt(s.p98)}"),
+        ]
+        for row_index, (stat_name, fmt) in enumerate(stat_pairs):
+            prefix = f"{program:8s} " if row_index == 0 else " " * 9
+            cells = "".join(
+                f"{fmt(per_approach[label]):>18s}" for label in approaches
+            )
+            lines.append(f"{prefix}{stat_name:14s}{cells}")
+    return "\n".join(lines)

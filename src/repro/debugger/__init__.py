@@ -1,0 +1,40 @@
+"""Source-level debugger with data breakpoints.
+
+This is the paper's motivating application: a debugger where breakpoint
+conditions are specified in terms of *data* abstractions — "suspend
+execution whenever a certain object is modified" — implemented on top of
+a write monitor service (any of the four strategies).
+
+Typical use::
+
+    from repro.debugger import Debugger
+
+    dbg = Debugger.from_source(source, strategy="code")
+    bp = dbg.watch_global("freelist", action="stop")
+    outcome = dbg.run()
+    while outcome.stopped:
+        print(outcome.stop.describe())
+        outcome = dbg.cont()
+"""
+
+from repro.debugger.breakpoints import (
+    BreakpointAction,
+    BreakpointEvent,
+    ControlBreakpoint,
+    DataBreakpoint,
+)
+from repro.debugger.symbols import SymbolResolver
+from repro.debugger.debugger import Debugger, DebugOutcome, StopInfo
+from repro.debugger.shell import DebuggerShell
+
+__all__ = [
+    "Debugger",
+    "DebuggerShell",
+    "DebugOutcome",
+    "StopInfo",
+    "DataBreakpoint",
+    "ControlBreakpoint",
+    "BreakpointAction",
+    "BreakpointEvent",
+    "SymbolResolver",
+]

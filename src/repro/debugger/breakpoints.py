@@ -1,0 +1,111 @@
+"""Breakpoint objects: data breakpoints and control breakpoints.
+
+A :class:`DataBreakpoint` triggers on writes to a watched object; a
+:class:`ControlBreakpoint` triggers on control reaching a function (the
+ubiquitous kind, included for completeness — paper section 1 contrasts
+the two).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+class BreakpointAction(enum.Enum):
+    """What happens when a breakpoint triggers."""
+
+    LOG = "log"    # record the event, keep running
+    STOP = "stop"  # suspend execution and return control to the client
+
+
+@dataclass
+class BreakpointEvent:
+    """One triggering of a breakpoint."""
+
+    breakpoint: "Breakpoint"
+    pc: int
+    location: str
+    address: Optional[int] = None
+    value: Optional[object] = None
+    call_stack: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        what = self.breakpoint.describe()
+        where = f"at {self.location}"
+        if self.address is not None:
+            return f"{what}: address {self.address:#x} value {self.value!r} {where}"
+        return f"{what} {where}"
+
+
+@dataclass
+class Breakpoint:
+    """Common breakpoint state.
+
+    ``ignore_count`` suppresses the next N triggers (gdb's ``ignore``):
+    each suppressed trigger decrements it and produces no event.
+    """
+
+    id: int
+    action: BreakpointAction
+    enabled: bool = True
+    hit_count: int = 0
+    ignore_count: int = 0
+    events: List[BreakpointEvent] = field(default_factory=list)
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass
+class DataBreakpoint(Breakpoint):
+    """Watch an object for writes.
+
+    Exactly one of the target forms is set:
+
+    * ``global_name`` — a file-scope variable;
+    * ``func_name`` + ``var_name`` — a local (installed per
+      instantiation, on function entry/exit) or a local static;
+    * ``heap_in_context`` (optionally with ``alloc_ordinal``) — heap
+      objects allocated while that function is on the call stack, the
+      paper's AllHeapInFunc shape (``alloc_ordinal`` narrows to the nth
+      matching allocation: OneHeap).
+
+    ``condition`` receives the current value of the watched word and
+    filters events (a conditional data breakpoint).
+    """
+
+    global_name: Optional[str] = None
+    func_name: Optional[str] = None
+    var_name: Optional[str] = None
+    heap_in_context: Optional[str] = None
+    alloc_ordinal: Optional[int] = None
+    condition: Optional[Callable[[object], bool]] = None
+    #: Only trigger when the written value differs from the last one seen
+    #: (gdb's "watch: value changed" semantics).
+    only_changes: bool = False
+    #: Last value observed, for ``only_changes`` (None = nothing seen).
+    last_value: Optional[object] = None
+
+    def describe(self) -> str:
+        if self.global_name:
+            target = f"global {self.global_name!r}"
+        elif self.var_name:
+            target = f"local {self.func_name}.{self.var_name}"
+        elif self.alloc_ordinal is not None:
+            target = f"heap object #{self.alloc_ordinal} from {self.heap_in_context!r}"
+        else:
+            target = f"heap objects allocated under {self.heap_in_context!r}"
+        return f"data breakpoint #{self.id} on {target}"
+
+
+@dataclass
+class ControlBreakpoint(Breakpoint):
+    """Stop (or log) when control enters a function."""
+
+    func_name: str = ""
+
+    def describe(self) -> str:
+        return f"control breakpoint #{self.id} at entry of {self.func_name!r}"

@@ -1,0 +1,284 @@
+"""A gdb-flavored command shell over the debugger.
+
+Commands go in as text, responses come back as text, so the shell is
+equally usable interactively (:meth:`DebuggerShell.interact`) and from
+scripts/tests (:meth:`DebuggerShell.execute`).
+
+Command summary (see ``help``)::
+
+    watch NAME [changed] [if OP VALUE] [stop]      data breakpoint (global)
+    watch FUNC.VAR [changed] [if OP VALUE] [stop]  data breakpoint (local)
+    ignore N COUNT                      skip the next COUNT triggers of bp N
+    watch-heap FUNC [ORDINAL] [stop]    heap objects allocated under FUNC
+    break FUNC                          control breakpoint at entry
+    enable N | disable N                toggle breakpoint N
+    run | continue                      start / resume the debuggee
+    print NAME | print FUNC.VAR         read a variable
+    backtrace                           current call stack
+    info breakpoints | info events      session state
+    list FUNC                           disassemble a function
+    output                              debuggee output so far
+    stats                               cycles/instructions/hit counts
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, List, Optional
+
+from repro.debugger.breakpoints import DataBreakpoint
+from repro.debugger.debugger import Debugger
+from repro.errors import DebuggerError, ReproError
+
+_COMPARATORS = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class ShellError(DebuggerError):
+    """A command the shell could not execute."""
+
+
+def _parse_number(text: str):
+    try:
+        return int(text, 0)
+    except ValueError:
+        try:
+            return float(text)
+        except ValueError:
+            raise ShellError(f"not a number: {text!r}") from None
+
+
+def _parse_condition(tokens: List[str]) -> Optional[Callable]:
+    """Consume a trailing ``if OP VALUE`` clause, if present."""
+    if "if" not in tokens:
+        return None
+    position = tokens.index("if")
+    clause = tokens[position + 1 :]
+    del tokens[position:]
+    if len(clause) != 2 or clause[0] not in _COMPARATORS:
+        raise ShellError(
+            "condition must be 'if OP VALUE' with OP one of "
+            + " ".join(_COMPARATORS)
+        )
+    compare = _COMPARATORS[clause[0]]
+    threshold = _parse_number(clause[1])
+    return lambda value: compare(value, threshold)
+
+
+def _parse_action(tokens: List[str]) -> str:
+    if tokens and tokens[-1] == "stop":
+        tokens.pop()
+        return "stop"
+    return "log"
+
+
+class DebuggerShell:
+    """Command interpreter over one :class:`~repro.debugger.Debugger`."""
+
+    def __init__(self, debugger: Debugger) -> None:
+        self.debugger = debugger
+        self._finished = False
+
+    @classmethod
+    def from_source(cls, source: str, strategy: str = "code", **kwargs) -> "DebuggerShell":
+        """Open a shell on a freshly compiled debuggee."""
+        return cls(Debugger.from_source(source, strategy=strategy, **kwargs))
+
+    # ------------------------------------------------------------------
+    # Command dispatch
+    # ------------------------------------------------------------------
+
+    def execute(self, line: str) -> str:
+        """Execute one command line; returns the response text."""
+        tokens = line.split()
+        if not tokens:
+            return ""
+        command, args = tokens[0], tokens[1:]
+        handler = getattr(self, f"_cmd_{command.replace('-', '_')}", None)
+        if handler is None:
+            return f"unknown command {command!r}; try 'help'"
+        try:
+            return handler(args)
+        except ReproError as exc:
+            return f"error: {exc}"
+
+    def run_script(self, lines) -> List[str]:
+        """Execute many commands; returns all non-empty responses."""
+        responses = []
+        for line in lines:
+            response = self.execute(line)
+            if response:
+                responses.append(response)
+        return responses
+
+    def interact(self, input_fn=input, output_fn=print) -> None:
+        """Simple REPL; exits on 'quit' or EOF."""
+        output_fn("repro debugger shell — 'help' for commands, 'quit' to exit")
+        while True:
+            try:
+                line = input_fn("(repro-db) ")
+            except EOFError:
+                break
+            if line.strip() in ("quit", "exit"):
+                break
+            response = self.execute(line)
+            if response:
+                output_fn(response)
+
+    # ------------------------------------------------------------------
+    # Commands
+    # ------------------------------------------------------------------
+
+    def _cmd_help(self, args) -> str:
+        return __doc__.split("Command summary (see ``help``)::", 1)[1].strip()
+
+    def _cmd_watch(self, args) -> str:
+        if not args:
+            raise ShellError("usage: watch NAME|FUNC.VAR [if OP VALUE] [stop]")
+        tokens = list(args)
+        action = _parse_action(tokens)   # trailing 'stop' first
+        condition = _parse_condition(tokens)
+        only_changes = "changed" in tokens
+        if only_changes:
+            tokens.remove("changed")
+        if len(tokens) != 1:
+            raise ShellError("watch takes one target")
+        target = tokens[0]
+        if "." in target:
+            func_name, var_name = target.split(".", 1)
+            bp = self.debugger.watch_local(
+                func_name, var_name, condition=condition, action=action,
+                only_changes=only_changes,
+            )
+        else:
+            bp = self.debugger.watch_global(
+                target, condition=condition, action=action, only_changes=only_changes
+            )
+        return f"{bp.describe()} set"
+
+    def _cmd_watch_heap(self, args) -> str:
+        if not args:
+            raise ShellError("usage: watch-heap FUNC [ORDINAL] [stop]")
+        tokens = list(args)
+        action = _parse_action(tokens)   # trailing 'stop' first
+        condition = _parse_condition(tokens)
+        func_name = tokens[0]
+        ordinal = int(tokens[1]) if len(tokens) > 1 else None
+        bp = self.debugger.watch_heap(
+            func_name, alloc_ordinal=ordinal, condition=condition, action=action
+        )
+        return f"{bp.describe()} set"
+
+    def _cmd_break(self, args) -> str:
+        if len(args) != 1:
+            raise ShellError("usage: break FUNC")
+        bp = self.debugger.break_at(args[0])
+        return f"{bp.describe()} set"
+
+    def _find_breakpoint(self, number: str):
+        try:
+            wanted = int(number)
+        except ValueError:
+            raise ShellError(f"breakpoint number expected, got {number!r}") from None
+        for bp in self.debugger.breakpoints:
+            if bp.id == wanted:
+                return bp
+        raise ShellError(f"no breakpoint #{wanted}")
+
+    def _cmd_ignore(self, args) -> str:
+        if len(args) != 2:
+            raise ShellError("usage: ignore N COUNT")
+        bp = self._find_breakpoint(args[0])
+        try:
+            bp.ignore_count = int(args[1])
+        except ValueError:
+            raise ShellError(f"count expected, got {args[1]!r}") from None
+        return f"will ignore the next {bp.ignore_count} triggers of breakpoint #{bp.id}"
+
+    def _cmd_enable(self, args) -> str:
+        bp = self._find_breakpoint(args[0] if args else "")
+        bp.enabled = True
+        return f"breakpoint #{bp.id} enabled"
+
+    def _cmd_disable(self, args) -> str:
+        bp = self._find_breakpoint(args[0] if args else "")
+        bp.enabled = False
+        return f"breakpoint #{bp.id} disabled"
+
+    def _describe_outcome(self, outcome) -> str:
+        if outcome.finished:
+            self._finished = True
+            return (
+                f"program exited with {outcome.state.exit_value} "
+                f"({outcome.state.instructions} instructions, "
+                f"{outcome.state.cycles} cycles)"
+            )
+        return outcome.stop.describe()
+
+    def _cmd_run(self, args) -> str:
+        entry = args[0] if args else "main"
+        return self._describe_outcome(self.debugger.run(entry))
+
+    def _cmd_continue(self, args) -> str:
+        if self._finished:
+            return "program has already exited"
+        return self._describe_outcome(self.debugger.cont())
+
+    def _cmd_print(self, args) -> str:
+        if len(args) != 1:
+            raise ShellError("usage: print NAME|FUNC.VAR")
+        target = args[0]
+        if "." in target:
+            func_name, var_name = target.split(".", 1)
+            value = self.debugger.read_local(func_name, var_name)
+        else:
+            value = self.debugger.read_global(target)
+        return f"{target} = {value}"
+
+    def _cmd_backtrace(self, args) -> str:
+        stack = self.debugger.call_stack()
+        if not stack:
+            return "no stack (program not running)"
+        return "\n".join(
+            f"#{index}  {name}" for index, name in enumerate(reversed(stack))
+        )
+
+    def _cmd_info(self, args) -> str:
+        what = args[0] if args else ""
+        if what == "breakpoints":
+            if not self.debugger.breakpoints:
+                return "no breakpoints"
+            return "\n".join(
+                f"{bp.describe()}  [{'enabled' if bp.enabled else 'disabled'}]"
+                f"  hits={bp.hit_count}"
+                for bp in self.debugger.breakpoints
+            )
+        if what == "events":
+            if not self.debugger.events:
+                return "no events"
+            return "\n".join(event.describe() for event in self.debugger.events[-20:])
+        raise ShellError("usage: info breakpoints|events")
+
+    def _cmd_list(self, args) -> str:
+        if len(args) != 1:
+            raise ShellError("usage: list FUNC")
+        return self.debugger.image.disassemble(args[0])
+
+    def _cmd_output(self, args) -> str:
+        return "\n".join(self.debugger.output) or "(no output)"
+
+    def _cmd_stats(self, args) -> str:
+        cpu = self.debugger.cpu
+        wms = self.debugger.wms
+        return (
+            f"strategy={self.debugger.strategy} cycles={cpu.cycles} "
+            f"instructions={cpu.instructions} stores={cpu.stores} "
+            f"monitors_active={len(wms.active)} hits={wms.stats.hits} "
+            f"checks={wms.stats.checks}"
+        )

@@ -1,0 +1,114 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Examples::
+
+    python -m repro.experiments all
+    python -m repro.experiments table4 --scale smoke
+    repro-experiments figures --programs gcc bps
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.breakdown import render_breakdown_report
+from repro.experiments.code_expansion import render_code_expansion_report
+from repro.experiments.figures789 import render_figures_report
+from repro.experiments.hotspots import render_hotspots_report
+from repro.experiments.pipeline import ExperimentConfig, load_experiment_data
+from repro.experiments.table1 import render_table1_report
+from repro.experiments.table2 import render_table2_report
+from repro.experiments.table3 import render_table3_report
+from repro.experiments.table4 import render_table4_report
+from repro.experiments.whatif import render_whatif_report
+
+_TARGETS = (
+    "table1", "table2", "table3", "table4",
+    "figures", "breakdown", "expansion", "hotspots", "whatif", "all",
+)
+
+
+def _parse_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the tables and figures of 'Efficient Data "
+        "Breakpoints' (Wahbe, ASPLOS 1992).",
+    )
+    parser.add_argument("target", choices=_TARGETS, help="what to regenerate")
+    parser.add_argument(
+        "--programs", nargs="+", default=["gcc", "ctex", "spice", "qcd", "bps"],
+        help="benchmark programs to include",
+    )
+    parser.add_argument(
+        "--scale", default="full",
+        help="'full', 'smoke', or an integer applied to every workload",
+    )
+    parser.add_argument(
+        "--cache-dir", default=".repro_cache", help="trace/simulation cache directory"
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the report to FILE",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="ignore and do not write the cache"
+    )
+    parser.add_argument("--quiet", action="store_true", help="suppress progress output")
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _parse_args(argv if argv is not None else sys.argv[1:])
+    scale = args.scale
+    if scale not in ("full", "smoke"):
+        scale = int(scale)
+    config = ExperimentConfig(
+        programs=tuple(args.programs),
+        scale=scale,
+        cache_dir=Path(args.cache_dir),
+        use_cache=not args.no_cache,
+    )
+    progress = None if args.quiet else lambda msg: print(f"  .. {msg}", file=sys.stderr)
+
+    needs_data = args.target not in ("table2", "expansion")
+    data = None
+    if needs_data or args.target == "all":
+        start = time.time()
+        data = load_experiment_data(config, progress)
+        if progress:
+            progress(f"pipeline ready in {time.time() - start:.1f}s")
+
+    sections = []
+    if args.target in ("table1", "all"):
+        sections.append(render_table1_report(data))
+    if args.target in ("table2", "all"):
+        sections.append(render_table2_report())
+    if args.target in ("table3", "all"):
+        sections.append(render_table3_report(data))
+    if args.target in ("table4", "all"):
+        sections.append(render_table4_report(data))
+    if args.target in ("figures", "all"):
+        sections.append(render_figures_report(data))
+    if args.target in ("breakdown", "all"):
+        sections.append(render_breakdown_report(data))
+    if args.target in ("expansion", "all"):
+        sections.append(render_code_expansion_report(data))
+    if args.target in ("hotspots", "all"):
+        sections.append(render_hotspots_report(data))
+    if args.target in ("whatif", "all"):
+        sections.append(render_whatif_report(data))
+
+    report = ("\n\n" + "=" * 72 + "\n\n").join(sections)
+    print(report)
+    if args.out:
+        Path(args.out).write_text(report + "\n", encoding="utf-8")
+        print(f"\n[report written to {args.out}]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Figures 7-9: max, 90th-percentile, and trimmed-mean relative overhead.
+
+The three figures are views of Table 4: Figure 7 plots the maximum over
+all sessions, Figure 8 the 90th percentile, Figure 9 the mean of the
+sessions between the 10th and 90th percentiles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.analysis.figures import FigureSeries, figure_from_table4, render_bar_chart
+from repro.experiments.pipeline import ProgramData
+from repro.experiments.table4 import compute_table4
+
+_FIGURES = (
+    ("figure7", "max", "Figure 7: maximum relative overhead over all monitor sessions"),
+    ("figure8", "p90", "Figure 8: 90th percentile relative overhead"),
+    ("figure9", "t_mean", "Figure 9: mean relative overhead, 10th-90th percentile sessions"),
+)
+
+
+def compute_figures(data: Mapping[str, ProgramData]) -> Dict[str, FigureSeries]:
+    """All three figure series, keyed 'figure7'/'figure8'/'figure9'."""
+    table = compute_table4(data)
+    return {
+        key: figure_from_table4(table, statistic, title)
+        for key, statistic, title in _FIGURES
+    }
+
+
+def render_figures_report(data: Mapping[str, ProgramData]) -> str:
+    """All three figures as log-scale ASCII bar charts."""
+    figures = compute_figures(data)
+    return "\n\n".join(render_bar_chart(figures[key]) for key, _, _ in _FIGURES)

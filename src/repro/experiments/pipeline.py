@@ -1,0 +1,137 @@
+"""Experiment pipeline: run phase 1 + phase 2 per program, with caching.
+
+Phase 1 (trace generation) is done once per program, phase 2 (the
+one-pass simulation) once per page-size set — both are cached under
+``.repro_cache/`` keyed by a hash of the workload source and inputs, so
+re-rendering tables is cheap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
+
+from repro.errors import PipelineError
+from repro.sessions import discover_sessions
+from repro.simulate import SimulationResult, simulate_sessions
+from repro.trace import load_trace, save_trace
+from repro.trace.events import TraceMeta
+from repro.trace.objects import ObjectRegistry
+from repro.workloads import WORKLOADS, Workload, run_workload
+
+Progress = Optional[Callable[[str], None]]
+
+#: Cache format version; bump to invalidate stale caches.
+_CACHE_VERSION = 4
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """What to run and at which scale.
+
+    ``scale`` is ``"full"`` (the default-scale runs behind the tables),
+    ``"smoke"`` (small runs for tests and examples), or an explicit int
+    applied to every workload.
+    """
+
+    programs: Tuple[str, ...] = ("gcc", "ctex", "spice", "qcd", "bps")
+    scale: Union[str, int] = "full"
+    page_sizes: Tuple[int, ...] = (4096, 8192)
+    cache_dir: Path = Path(".repro_cache")
+    use_cache: bool = True
+
+    def scale_of(self, workload: Workload) -> int:
+        if self.scale == "full":
+            return workload.default_scale
+        if self.scale == "smoke":
+            return workload.smoke_scale
+        if isinstance(self.scale, int):
+            return self.scale
+        raise PipelineError(f"bad scale {self.scale!r}")
+
+
+@dataclass
+class ProgramData:
+    """Everything the table modules need for one program."""
+
+    name: str
+    scale: int
+    meta: TraceMeta
+    registry: ObjectRegistry
+    result: SimulationResult
+
+    @property
+    def base_time_us(self) -> float:
+        return self.meta.base_time_us
+
+    @property
+    def base_time_ms(self) -> float:
+        return self.meta.base_time_ms
+
+
+def _workload_key(workload: Workload, scale: int) -> str:
+    digest = hashlib.sha256(workload.source(scale).encode("utf-8")).hexdigest()[:12]
+    return f"{workload.name}-s{scale}-v{_CACHE_VERSION}-{digest}"
+
+
+def _trace_for(
+    workload: Workload,
+    scale: int,
+    config: ExperimentConfig,
+    progress: Progress,
+):
+    trace_path = config.cache_dir / f"{_workload_key(workload, scale)}.npz"
+    if config.use_cache and trace_path.exists():
+        if progress:
+            progress(f"[{workload.name}] loading cached trace {trace_path.name}")
+        return load_trace(trace_path)
+    run = run_workload(workload, scale, on_progress=progress)
+    if config.use_cache:
+        save_trace(run.trace, run.registry, trace_path)
+    return run.trace, run.registry
+
+
+def load_program_data(
+    name: str,
+    config: ExperimentConfig = ExperimentConfig(),
+    progress: Progress = None,
+) -> ProgramData:
+    """Phase 1 + phase 2 for one program (cached)."""
+    workload = WORKLOADS.get(name)
+    if workload is None:
+        raise PipelineError(f"unknown program {name!r}; known: {sorted(WORKLOADS)}")
+    scale = config.scale_of(workload)
+    sizes = "-".join(str(size) for size in config.page_sizes)
+    sim_path = config.cache_dir / f"{_workload_key(workload, scale)}-sim-{sizes}.pkl"
+    if config.use_cache and sim_path.exists():
+        if progress:
+            progress(f"[{name}] loading cached simulation {sim_path.name}")
+        with open(sim_path, "rb") as handle:
+            payload = pickle.load(handle)
+        return ProgramData(name=name, scale=scale, **payload)
+
+    trace, registry = _trace_for(workload, scale, config, progress)
+    sessions = discover_sessions(registry)
+    if progress:
+        progress(f"[{name}] simulating {len(sessions)} sessions over {len(trace)} events")
+    result = simulate_sessions(trace, registry, sessions, config.page_sizes)
+    payload = {"meta": trace.meta, "registry": registry, "result": result}
+    if config.use_cache:
+        sim_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(sim_path, "wb") as handle:
+            pickle.dump(payload, handle)
+    return ProgramData(name=name, scale=scale, **payload)
+
+
+def load_experiment_data(
+    config: ExperimentConfig = ExperimentConfig(),
+    progress: Progress = None,
+) -> Dict[str, ProgramData]:
+    """Phase 1 + phase 2 for every configured program."""
+    return {
+        name: load_program_data(name, config, progress)
+        for name in config.programs
+    }

@@ -1,0 +1,35 @@
+"""Simulated machine substrate.
+
+This package models the hardware the paper's experiment ran on: a
+word-addressed memory, a paging unit with per-page write protection, a
+trap mechanism, i386/R4000-style hardware monitor registers, and a CPU
+that executes the MiniC intermediate representation with SPARCstation-2
+calibrated cycle accounting.
+
+The machine is deliberately simple but *mechanistically faithful*: every
+strategy the paper studies (monitor-register faults, page-protection write
+faults, trap-patched stores, code-patched stores) runs live on this
+substrate.
+"""
+
+from repro.machine.layout import MemoryLayout
+from repro.machine.memory import Memory
+from repro.machine.paging import PageTable, Protection
+from repro.machine.traps import TrapKind, TrapFrame
+from repro.machine.monitor_registers import MonitorRegisterFile
+from repro.machine.cpu import Cpu, CpuState
+from repro.machine.loader import LoadedProgram, load_program
+
+__all__ = [
+    "MemoryLayout",
+    "Memory",
+    "PageTable",
+    "Protection",
+    "TrapKind",
+    "TrapFrame",
+    "MonitorRegisterFile",
+    "Cpu",
+    "CpuState",
+    "LoadedProgram",
+    "load_program",
+]

@@ -1,0 +1,530 @@
+"""The simulated CPU.
+
+Executes loaded MiniC programs with cycle accounting, and provides the
+four hook points the write-monitor strategies need:
+
+* **hardware monitor registers** — every completed store is checked
+  against :class:`~repro.machine.monitor_registers.MonitorRegisterFile`;
+  a hit raises a ``MONITOR_FAULT`` trap *after* the write (write monitors,
+  not write barriers).
+* **page protection** — a store to a write-protected page raises a
+  ``WRITE_FAULT`` trap *before* the write; the user-level handler must
+  emulate the store (:meth:`Cpu.emulate_store`) to make progress.
+* **trap instructions** — ``TRAP``-patched stores raise ``TRAP_INSTR``;
+  the handler emulates the original store.
+* **check calls** — ``CHK`` instructions (code patching) invoke the
+  registered :attr:`Cpu.check_hook` subroutine directly, with no kernel
+  involvement.
+
+A :attr:`Cpu.tracer` hook observes function entry/exit and every completed
+write, which is how phase 1 of the experiment generates its event trace.
+
+The dispatch loop is a single ``while`` with an ``if/elif`` chain ordered
+by dynamic frequency; this is the hottest code in the repository.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import (
+    AlignmentFault,
+    CpuLimitExceeded,
+    InvalidInstruction,
+    MemoryFault,
+    MiniCRuntimeError,
+    StackOverflow,
+    UnhandledFault,
+)
+from repro.machine import isa
+from repro.machine.layout import MemoryLayout
+from repro.machine.memory import Memory
+from repro.machine.monitor_registers import MonitorRegisterFile
+from repro.machine.paging import PageTable
+from repro.machine.traps import TrapFrame, TrapKind
+
+#: Dense opcode -> cycle cost table (list for O(1) indexed lookup).
+_COST: List[int] = [0] * (max(isa.CYCLE_COST) + 1)
+for _op, _cost in isa.CYCLE_COST.items():
+    _COST[_op] = _cost
+
+
+class _Frame:
+    """One activation record: virtual registers plus return linkage."""
+
+    __slots__ = ("func", "regs", "ret_pc", "saved_fp", "dest_reg")
+
+    def __init__(self, func, regs, ret_pc, saved_fp, dest_reg):
+        self.func = func
+        self.regs = regs
+        self.ret_pc = ret_pc
+        self.saved_fp = saved_fp
+        self.dest_reg = dest_reg
+
+
+@dataclass
+class CpuState:
+    """Result of a completed run."""
+
+    exit_value: Optional[object] = None
+    instructions: int = 0
+    cycles: int = 0
+    stores: int = 0
+    max_call_depth: int = 0
+    halted: bool = False
+    trap_counts: Dict[TrapKind, int] = field(default_factory=dict)
+
+
+def _c_div(a: int, b: int) -> int:
+    """C-style truncating integer division."""
+    if b == 0:
+        raise MiniCRuntimeError("integer division by zero")
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _c_mod(a: int, b: int) -> int:
+    """C-style remainder (sign follows the dividend)."""
+    return a - _c_div(a, b) * b
+
+
+class Cpu:
+    """Interpreter for loaded programs on the simulated machine."""
+
+    def __init__(
+        self,
+        memory: Memory,
+        page_table: Optional[PageTable] = None,
+        monitor_registers: Optional[MonitorRegisterFile] = None,
+        layout: Optional[MemoryLayout] = None,
+    ) -> None:
+        self.memory = memory
+        self.layout = layout or memory.layout
+        self.page_table = page_table or PageTable()
+        self.monitor_registers = monitor_registers or MonitorRegisterFile()
+
+        # --- hook points -------------------------------------------------
+        #: Called as ``deliver(trap_frame, cpu)`` for every trap; normally
+        #: bound to :meth:`repro.sim_os.SimOs.deliver`.
+        self.trap_sink: Optional[Callable[[TrapFrame, "Cpu"], None]] = None
+        #: Code-patch check subroutine: ``check(address, pc, cpu)``.
+        self.check_hook: Optional[Callable[[int, int, "Cpu"], None]] = None
+        #: Phase-1 tracer (``on_enter``/``on_exit``/``on_write`` methods).
+        self.tracer = None
+        #: Builtin functions: index -> ``fn(cpu, args) -> value``.
+        self.builtins: List[Callable] = []
+        #: Debugger hooks keyed by function index.
+        self.enter_hooks: Dict[int, List[Callable]] = {}
+        self.exit_hooks: Dict[int, List[Callable]] = {}
+
+        # --- machine state -----------------------------------------------
+        self.cycles = 0
+        self.instructions = 0
+        self.stores = 0
+        self.sp = self.layout.stack_top
+        self.fp = self.layout.stack_top
+        self.frames: List[_Frame] = []
+        self.trap_counts: Dict[TrapKind, int] = {}
+        self._loaded = None
+
+    # ------------------------------------------------------------------
+    # Program control
+    # ------------------------------------------------------------------
+
+    def attach(self, loaded_program) -> None:
+        """Attach a :class:`~repro.machine.loader.LoadedProgram`."""
+        self._loaded = loaded_program
+        for address, value in loaded_program.global_init_words:
+            self.memory.store_word(address, value)
+
+    @property
+    def loaded_program(self):
+        """The attached program image, or None."""
+        return self._loaded
+
+    def emulate_store(self, address: int, value) -> None:
+        """Perform a store on behalf of a fault handler.
+
+        Bypasses page protection (the handler is trusted), but still
+        checks alignment/bounds and notifies hardware monitor registers
+        and the tracer, so emulated writes are indistinguishable from
+        direct ones to every downstream observer.
+        """
+        if address & 3 or not (0 <= address < self.layout.memory_size):
+            raise MemoryFault(address, "bad emulated store")
+        self.memory.words[address >> 2] = value
+        self.stores += 1
+        mrf = self.monitor_registers
+        if mrf.any_enabled and mrf.hit(address, address + 4) is not None:
+            self._raise_trap(TrapFrame(TrapKind.MONITOR_FAULT, self._trap_pc, address, value))
+        if self.tracer is not None:
+            self.tracer.on_write(address, address + 4)
+
+    def _raise_trap(self, frame: TrapFrame) -> None:
+        self.trap_counts[frame.kind] = self.trap_counts.get(frame.kind, 0) + 1
+        if self.trap_sink is None:
+            raise UnhandledFault(f"{frame.kind.value} at pc={frame.pc} with no trap sink")
+        self.trap_sink(frame, self)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, entry: str = "main", args=(), max_instructions: int = 500_000_000) -> CpuState:
+        """Execute the attached program from function ``entry``.
+
+        Returns a :class:`CpuState` describing the completed run.  The
+        instruction budget guards against runaway programs.
+        """
+        if self._loaded is None:
+            raise InvalidInstruction("no program attached")
+        loaded = self._loaded
+        func_index = loaded.function_index(entry)
+        return self._run_from(func_index, list(args), max_instructions)
+
+    def resume(self, max_instructions: int = 500_000_000) -> CpuState:
+        """Continue execution after a handler raised through :meth:`run`.
+
+        The CPU records a resume program counter at every point where a
+        user hook or trap handler may raise (the instruction after a
+        faulting store, or a callee's entry for an entry hook), so a
+        debugger can stop at a breakpoint, inspect state, and continue.
+        """
+        if not self.frames:
+            raise InvalidInstruction("nothing to resume: no live frames")
+        if self._resume_pc < 0:
+            raise InvalidInstruction("nothing to resume: no recorded resume point")
+        return self._loop(self._resume_pc, max_instructions)
+
+    def _run_from(self, func_index: int, args, max_instructions: int) -> CpuState:
+        loaded = self._loaded
+        functions = loaded.functions
+        stack_limit = self.layout.stack_limit
+
+        func = functions[func_index]
+        self.sp -= func.frame_size
+        if self.sp < stack_limit:
+            raise StackOverflow(func.name)
+        self.fp = self.sp
+        regs: List = [0] * func.n_regs
+        regs[: len(args)] = args
+        frame = _Frame(func, regs, -1, self.layout.stack_top, None)
+        self.frames.append(frame)
+        if self.tracer is not None:
+            self.tracer.on_enter(func, self.fp)
+        hooks = self.enter_hooks.get(func_index)
+        if hooks:
+            self._resume_pc = func.entry_pc
+            for hook in hooks:
+                hook(func, self.fp)
+        return self._loop(func.entry_pc, max_instructions)
+
+    def _loop(self, start_pc: int, max_instructions: int) -> CpuState:
+        loaded = self._loaded
+        code = loaded.code
+        functions = loaded.functions
+        mem_size = self.layout.memory_size
+        words = self.memory.words
+        protected = self.page_table.write_protected
+        page_shift = self.page_table.page_shift
+        mrf = self.monitor_registers
+        cost = _COST
+        stack_limit = self.layout.stack_limit
+        enter_hooks = self.enter_hooks
+        exit_hooks = self.exit_hooks
+
+        frame = self.frames[-1]
+        regs = frame.regs
+        fp = self.fp
+        max_depth = len(self.frames)
+
+        pc = start_pc
+        cycles = self.cycles
+        n_instr = self.instructions
+        n_stores = self.stores
+        exit_value = None
+        tracer = self.tracer
+
+        # Local opcode constants (LOAD_FAST beats LOAD_GLOBAL in the loop).
+        LDI, MOV, LEAF = isa.LDI, isa.MOV, isa.LEAF
+        ADD, SUB, MUL, DIV, MOD = isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.MOD
+        FADD, FSUB, FMUL, FDIV = isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV
+        AND, OR, XOR, SHL, SHR = isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR
+        NEG, FNEG, NOT, BNOT = isa.NEG, isa.FNEG, isa.NOT, isa.BNOT
+        I2F, F2I = isa.I2F, isa.F2I
+        EQ, NE, LT, LE, GT, GE = isa.EQ, isa.NE, isa.LT, isa.LE, isa.GT, isa.GE
+        LD, ST = isa.LD, isa.ST
+        JMP, BF, BT = isa.JMP, isa.BF, isa.BT
+        CALL, CALLB, RET = isa.CALL, isa.CALLB, isa.RET
+        CHK, TRAP, NOP, HALT = isa.CHK, isa.TRAP, isa.NOP, isa.HALT
+
+        running = True
+        while running:
+            instr = code[pc]
+            op = instr[0]
+            cycles += cost[op]
+            n_instr += 1
+            if n_instr > max_instructions:
+                self.cycles, self.instructions, self.stores = cycles, n_instr, n_stores
+                raise CpuLimitExceeded(f"exceeded {max_instructions} instructions")
+
+            if op == LD:
+                addr = regs[instr[2]] + instr[3]
+                if addr & 3 or not (0 <= addr < mem_size):
+                    self._sync(cycles, n_instr, n_stores)
+                    raise AlignmentFault(addr) if addr & 3 else MemoryFault(addr, "load out of range")
+                regs[instr[1]] = words[addr >> 2]
+                pc += 1
+            elif op == ST:
+                addr = regs[instr[1]] + instr[2]
+                if addr & 3 or not (0 <= addr < mem_size):
+                    self._sync(cycles, n_instr, n_stores)
+                    raise AlignmentFault(addr) if addr & 3 else MemoryFault(addr, "store out of range")
+                value = regs[instr[3]]
+                if (addr >> page_shift) in protected:
+                    # Pre-write fault; handler emulates (or the store is lost).
+                    self._sync(cycles, n_instr, n_stores)
+                    self._trap_pc = pc
+                    self._resume_pc = pc + 1
+                    self._raise_trap(
+                        TrapFrame(TrapKind.WRITE_FAULT, pc, addr, value, (addr, value))
+                    )
+                    cycles, n_stores = self.cycles, self.stores
+                else:
+                    words[addr >> 2] = value
+                    n_stores += 1
+                    if mrf.any_enabled and mrf.hit(addr, addr + 4) is not None:
+                        self._sync(cycles, n_instr, n_stores)
+                        self._trap_pc = pc
+                        self._resume_pc = pc + 1
+                        self._raise_trap(TrapFrame(TrapKind.MONITOR_FAULT, pc, addr, value))
+                        cycles = self.cycles
+                    if tracer is not None:
+                        tracer.on_write(addr, addr + 4)
+                pc += 1
+            elif op == LDI:
+                regs[instr[1]] = instr[2]
+                pc += 1
+            elif op == ADD:
+                regs[instr[1]] = regs[instr[2]] + regs[instr[3]]
+                pc += 1
+            elif op == BF:
+                pc = instr[2] if not regs[instr[1]] else pc + 1
+            elif op == BT:
+                pc = instr[2] if regs[instr[1]] else pc + 1
+            elif op == LT:
+                regs[instr[1]] = 1 if regs[instr[2]] < regs[instr[3]] else 0
+                pc += 1
+            elif op == LEAF:
+                regs[instr[1]] = fp + instr[2]
+                pc += 1
+            elif op == SUB:
+                regs[instr[1]] = regs[instr[2]] - regs[instr[3]]
+                pc += 1
+            elif op == MUL:
+                regs[instr[1]] = regs[instr[2]] * regs[instr[3]]
+                pc += 1
+            elif op == JMP:
+                pc = instr[1]
+            elif op == MOV:
+                regs[instr[1]] = regs[instr[2]]
+                pc += 1
+            elif op == EQ:
+                regs[instr[1]] = 1 if regs[instr[2]] == regs[instr[3]] else 0
+                pc += 1
+            elif op == NE:
+                regs[instr[1]] = 1 if regs[instr[2]] != regs[instr[3]] else 0
+                pc += 1
+            elif op == LE:
+                regs[instr[1]] = 1 if regs[instr[2]] <= regs[instr[3]] else 0
+                pc += 1
+            elif op == GT:
+                regs[instr[1]] = 1 if regs[instr[2]] > regs[instr[3]] else 0
+                pc += 1
+            elif op == GE:
+                regs[instr[1]] = 1 if regs[instr[2]] >= regs[instr[3]] else 0
+                pc += 1
+            elif op == CALL:
+                callee = functions[instr[1]]
+                new_regs = [0] * callee.n_regs
+                arg_regs = instr[3]
+                for i in range(len(arg_regs)):
+                    new_regs[i] = regs[arg_regs[i]]
+                self.sp -= callee.frame_size
+                if self.sp < stack_limit:
+                    self._sync(cycles, n_instr, n_stores)
+                    raise StackOverflow(callee.name)
+                frame = _Frame(callee, new_regs, pc + 1, fp, instr[2])
+                self.frames.append(frame)
+                if len(self.frames) > max_depth:
+                    max_depth = len(self.frames)
+                fp = self.sp
+                self.fp = fp
+                regs = new_regs
+                if tracer is not None:
+                    tracer.on_enter(callee, fp)
+                hooks = enter_hooks.get(instr[1])
+                if hooks:
+                    self._sync(cycles, n_instr, n_stores)
+                    self._resume_pc = callee.entry_pc
+                    for hook in hooks:
+                        hook(callee, fp)
+                    cycles = self.cycles
+                pc = callee.entry_pc
+            elif op == RET:
+                ret_val = regs[instr[1]] if instr[1] is not None else None
+                done_frame = self.frames.pop()
+                if tracer is not None:
+                    tracer.on_exit(done_frame.func, fp)
+                hooks = exit_hooks.get(done_frame.func.index)
+                if hooks:
+                    self._sync(cycles, n_instr, n_stores)
+                    for hook in hooks:
+                        hook(done_frame.func, fp)
+                    cycles = self.cycles
+                self.sp += done_frame.func.frame_size
+                if not self.frames:
+                    exit_value = ret_val
+                    running = False
+                else:
+                    caller = self.frames[-1]
+                    fp = done_frame.saved_fp
+                    self.fp = fp
+                    regs = caller.regs
+                    if done_frame.dest_reg is not None:
+                        regs[done_frame.dest_reg] = ret_val
+                    pc = done_frame.ret_pc
+            elif op == CALLB:
+                self._sync(cycles, n_instr, n_stores)
+                arg_values = [regs[a] for a in instr[3]]
+                result = self.builtins[instr[1]](self, arg_values)
+                cycles, n_stores = self.cycles, self.stores
+                if instr[2] is not None:
+                    regs[instr[2]] = result
+                pc += 1
+            elif op == CHK:
+                addr = regs[instr[1]] + instr[2]
+                if self.check_hook is not None:
+                    self._sync(cycles, n_instr, n_stores)
+                    self._trap_pc = pc
+                    self._resume_pc = pc + 1
+                    self.check_hook(addr, pc, self)
+                    cycles = self.cycles
+                pc += 1
+            elif op == TRAP:
+                addr = regs[instr[1]] + instr[2]
+                value = regs[instr[3]]
+                self._sync(cycles, n_instr, n_stores)
+                self._trap_pc = pc
+                self._resume_pc = pc + 1
+                self._raise_trap(
+                    TrapFrame(TrapKind.TRAP_INSTR, pc, addr, value, (addr, value))
+                )
+                cycles, n_stores = self.cycles, self.stores
+                pc += 1
+            elif op == DIV:
+                regs[instr[1]] = _c_div(regs[instr[2]], regs[instr[3]])
+                pc += 1
+            elif op == MOD:
+                regs[instr[1]] = _c_mod(regs[instr[2]], regs[instr[3]])
+                pc += 1
+            elif op == FADD:
+                regs[instr[1]] = regs[instr[2]] + regs[instr[3]]
+                pc += 1
+            elif op == FSUB:
+                regs[instr[1]] = regs[instr[2]] - regs[instr[3]]
+                pc += 1
+            elif op == FMUL:
+                regs[instr[1]] = regs[instr[2]] * regs[instr[3]]
+                pc += 1
+            elif op == FDIV:
+                denom = regs[instr[3]]
+                if denom == 0:
+                    self._sync(cycles, n_instr, n_stores)
+                    raise MiniCRuntimeError("float division by zero")
+                regs[instr[1]] = regs[instr[2]] / denom
+                pc += 1
+            elif op == AND:
+                regs[instr[1]] = regs[instr[2]] & regs[instr[3]]
+                pc += 1
+            elif op == OR:
+                regs[instr[1]] = regs[instr[2]] | regs[instr[3]]
+                pc += 1
+            elif op == XOR:
+                regs[instr[1]] = regs[instr[2]] ^ regs[instr[3]]
+                pc += 1
+            elif op == SHL:
+                regs[instr[1]] = regs[instr[2]] << regs[instr[3]]
+                pc += 1
+            elif op == SHR:
+                regs[instr[1]] = regs[instr[2]] >> regs[instr[3]]
+                pc += 1
+            elif op == NEG:
+                regs[instr[1]] = -regs[instr[2]]
+                pc += 1
+            elif op == FNEG:
+                regs[instr[1]] = -regs[instr[2]]
+                pc += 1
+            elif op == NOT:
+                regs[instr[1]] = 0 if regs[instr[2]] else 1
+                pc += 1
+            elif op == BNOT:
+                regs[instr[1]] = ~regs[instr[2]]
+                pc += 1
+            elif op == I2F:
+                regs[instr[1]] = float(regs[instr[2]])
+                pc += 1
+            elif op == F2I:
+                regs[instr[1]] = int(regs[instr[2]])
+                pc += 1
+            elif op == NOP:
+                pc += 1
+            elif op == HALT:
+                running = False
+            else:
+                self._sync(cycles, n_instr, n_stores)
+                raise InvalidInstruction(f"opcode {op} at pc={pc}")
+
+        self._sync(cycles, n_instr, n_stores)
+        return CpuState(
+            exit_value=exit_value,
+            instructions=self.instructions,
+            cycles=self.cycles,
+            stores=self.stores,
+            max_call_depth=max_depth,
+            halted=True,
+            trap_counts=dict(self.trap_counts),
+        )
+
+    # The trap pc of the instruction currently faulting (for emulate_store).
+    _trap_pc: int = -1
+    # Where resume() continues after a handler raises (set at raise sites).
+    _resume_pc: int = -1
+
+    def _sync(self, cycles: int, n_instr: int, n_stores: int) -> None:
+        """Write loop-local counters back to instance state."""
+        self.cycles = cycles
+        self.instructions = n_instr
+        self.stores = n_stores
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (used by the debugger)
+    # ------------------------------------------------------------------
+
+    def call_stack(self) -> List[str]:
+        """Names of functions on the call stack, innermost last."""
+        return [frame.func.name for frame in self.frames]
+
+    def current_frame_base(self, depth: int = 0) -> int:
+        """Frame pointer of the frame ``depth`` levels up from innermost.
+
+        Each frame records its *caller's* frame pointer in ``saved_fp``,
+        so the frame at depth ``d`` has its base stored in the frame one
+        level deeper (or in ``self.fp`` for the innermost frame).
+        """
+        if depth < 0 or depth >= len(self.frames):
+            raise MemoryFault(0, "no such frame")
+        if depth == 0:
+            return self.fp
+        return self.frames[len(self.frames) - depth].saved_fp

@@ -1,0 +1,87 @@
+"""Address-space layout of the simulated machine.
+
+The layout mimics a classic Unix process image:
+
+::
+
+    0x0000_0000 ... reserved (null page, never mapped)
+    GLOBAL_BASE ... global/static data segment, grows up
+    HEAP_BASE   ... heap, grows up (bump allocator with free list)
+    STACK_TOP   ... stack, grows *down* toward the heap
+
+Code does not live in data memory; instructions are held in the loaded
+program image and addressed by a flat program counter, as on a Harvard
+style simulator.  Only *data* addresses flow through the paging unit and
+the write-monitor machinery, matching the paper's focus on data writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MachineError
+from repro.units import is_power_of_two
+
+
+@dataclass(frozen=True)
+class MemoryLayout:
+    """Segment boundaries for a simulated address space.
+
+    All boundaries are byte addresses and must be word-aligned.  The
+    defaults give a 16 MiB space: 1 MiB reserved low, globals up to 2 MiB,
+    heap up to 14 MiB, and a 2 MiB stack region at the top.
+    """
+
+    global_base: int = 0x0010_0000
+    heap_base: int = 0x0020_0000
+    stack_top: int = 0x0100_0000
+    memory_size: int = 0x0100_0000
+
+    #: Stack may grow down to this address before a StackOverflow is raised.
+    stack_limit: int = 0x00E0_0000
+
+    def __post_init__(self) -> None:
+        boundaries = (
+            self.global_base,
+            self.heap_base,
+            self.stack_limit,
+            self.stack_top,
+            self.memory_size,
+        )
+        for boundary in boundaries:
+            if boundary % 4 != 0:
+                raise MachineError(f"layout boundary {boundary:#x} not word-aligned")
+        if not (0 < self.global_base < self.heap_base < self.stack_limit < self.stack_top <= self.memory_size):
+            raise MachineError("layout segments out of order")
+        if not is_power_of_two(self.memory_size):
+            raise MachineError("memory size must be a power of two")
+
+    @property
+    def heap_limit(self) -> int:
+        """Highest address (exclusive) the heap may bump up to."""
+        return self.stack_limit
+
+    @property
+    def global_limit(self) -> int:
+        """Highest address (exclusive) for global/static data."""
+        return self.heap_base
+
+    def segment_of(self, address: int) -> str:
+        """Classify ``address`` as 'global', 'heap', 'stack', or 'reserved'.
+
+        The classification is by segment boundary, not by live allocation:
+        any address between ``heap_base`` and ``stack_limit`` is 'heap'.
+        """
+        if address < self.global_base:
+            return "reserved"
+        if address < self.heap_base:
+            return "global"
+        if address < self.stack_limit:
+            return "heap"
+        if address < self.stack_top:
+            return "stack"
+        return "reserved"
+
+
+#: The default layout used throughout the package.
+DEFAULT_LAYOUT = MemoryLayout()

@@ -1,0 +1,200 @@
+"""Loader: flattens compiled functions into one executable image.
+
+The MiniC compiler emits per-function code with *function-local* branch
+targets.  The loader lays the functions out in one flat code array,
+rewrites branch targets to absolute program counters, records each
+function's entry point, and collects global-variable initialization so a
+CPU can :meth:`~repro.machine.cpu.Cpu.attach` the image and run.
+
+The loader is deliberately agnostic about where the compiled program came
+from: it only requires the small duck-typed surface documented on
+:func:`load_program`, which keeps the machine package independent of the
+MiniC front end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import MachineError
+from repro.machine import isa
+from repro.machine.layout import DEFAULT_LAYOUT, MemoryLayout
+
+
+class LoadedFunction:
+    """A function placed in the flat code image."""
+
+    __slots__ = (
+        "name", "index", "entry_pc", "end_pc", "n_regs", "frame_size",
+        "params", "local_vars", "static_vars", "source_line",
+    )
+
+    def __init__(self, name, index, entry_pc, end_pc, n_regs, frame_size,
+                 params, local_vars, static_vars, source_line):
+        self.name = name
+        self.index = index
+        self.entry_pc = entry_pc
+        self.end_pc = end_pc
+        self.n_regs = n_regs
+        self.frame_size = frame_size
+        #: Parameter variables (live in the frame, written by the prologue).
+        self.params = params
+        #: Automatic local variables (live in the frame).
+        self.local_vars = local_vars
+        #: Local ``static`` variables (live in the global segment).
+        self.static_vars = static_vars
+        self.source_line = source_line
+
+    def frame_vars(self):
+        """All variables that live in this function's stack frame."""
+        return list(self.params) + list(self.local_vars)
+
+    def __repr__(self) -> str:
+        return f"<LoadedFunction {self.name} @pc {self.entry_pc}..{self.end_pc}>"
+
+
+class LoadedProgram:
+    """A flat, executable program image.
+
+    Attributes
+    ----------
+    code:
+        The flat instruction list; program counters index into it.
+    functions:
+        :class:`LoadedFunction` records, in CALL-index order.
+    global_vars:
+        Global variable descriptors (duck-typed: ``name``, ``address``,
+        ``size_bytes``, optional ``owner_function`` for local statics).
+    global_init_words:
+        ``(address, value)`` pairs the CPU stores before execution.
+    """
+
+    def __init__(self, name: str, layout: MemoryLayout) -> None:
+        self.name = name
+        self.layout = layout
+        self.code: List[tuple] = []
+        self.functions: List[LoadedFunction] = []
+        self._functions_by_name: Dict[str, LoadedFunction] = {}
+        self.global_vars: List = []
+        self._globals_by_name: Dict[str, object] = {}
+        self.global_init_words: List[Tuple[int, object]] = []
+        #: pc -> source line (best effort; used by the debugger).
+        self.line_map: Dict[int, int] = {}
+
+    # -- lookups ---------------------------------------------------------
+
+    def function_index(self, name: str) -> int:
+        """Index of the function named ``name``."""
+        func = self._functions_by_name.get(name)
+        if func is None:
+            raise MachineError(f"no function named {name!r}")
+        return func.index
+
+    def function(self, name: str) -> LoadedFunction:
+        """The :class:`LoadedFunction` named ``name``."""
+        return self.functions[self.function_index(name)]
+
+    def function_at_pc(self, pc: int) -> Optional[LoadedFunction]:
+        """The function whose code contains ``pc``, or None."""
+        for func in self.functions:
+            if func.entry_pc <= pc < func.end_pc:
+                return func
+        return None
+
+    def global_var(self, name: str):
+        """The global variable descriptor named ``name``."""
+        var = self._globals_by_name.get(name)
+        if var is None:
+            raise MachineError(f"no global named {name!r}")
+        return var
+
+    def source_line_at(self, pc: int) -> Optional[int]:
+        """Best-effort source line for ``pc``."""
+        return self.line_map.get(pc)
+
+    # -- statistics --------------------------------------------------------
+
+    def count_opcodes(self) -> Dict[int, int]:
+        """Static opcode histogram of the image."""
+        counts: Dict[int, int] = {}
+        for instr in self.code:
+            counts[instr[0]] = counts.get(instr[0], 0) + 1
+        return counts
+
+    def static_store_count(self) -> int:
+        """Number of write instructions (ST or patched forms) in the image."""
+        counts = self.count_opcodes()
+        return (
+            counts.get(isa.ST, 0)
+            + counts.get(isa.TRAP, 0)
+        )
+
+    def disassemble(self, name: Optional[str] = None) -> str:
+        """Disassemble one function (or the whole image) to text."""
+        if name is None:
+            span = range(len(self.code))
+        else:
+            func = self.function(name)
+            span = range(func.entry_pc, func.end_pc)
+        lines = []
+        for pc in span:
+            func = self.function_at_pc(pc)
+            marker = f"{func.name}:" if func and pc == func.entry_pc else ""
+            lines.append(f"{marker:>16} {pc:6d}  {isa.format_instr(self.code[pc])}")
+        return "\n".join(lines)
+
+
+def load_program(compiled, layout: MemoryLayout = DEFAULT_LAYOUT) -> LoadedProgram:
+    """Flatten ``compiled`` into a :class:`LoadedProgram`.
+
+    ``compiled`` must provide:
+
+    * ``name`` — program name;
+    * ``functions`` — ordered list of objects with ``name``, ``n_regs``,
+      ``frame_size``, ``params``, ``local_vars``, ``static_vars``,
+      ``code`` (instr list with local branch targets), ``source_line``,
+      and optional ``line_table`` (local index -> source line);
+    * ``globals`` — list of descriptors with ``name``, ``address``, and
+      ``init_words`` (list of ``(address, value)``).
+    """
+    image = LoadedProgram(getattr(compiled, "name", "program"), layout)
+    offset = 0
+    for index, cf in enumerate(compiled.functions):
+        entry = offset
+        for local_index, instr in enumerate(cf.code):
+            op = instr[0]
+            if op == isa.JMP:
+                image.code.append((isa.JMP, instr[1] + entry))
+            elif op in (isa.BF, isa.BT):
+                image.code.append((op, instr[1], instr[2] + entry))
+            else:
+                image.code.append(instr)
+            line_table = getattr(cf, "line_table", None)
+            if line_table:
+                line = line_table.get(local_index)
+                if line is not None:
+                    image.line_map[offset + local_index] = line
+        offset += len(cf.code)
+        loaded = LoadedFunction(
+            name=cf.name,
+            index=index,
+            entry_pc=entry,
+            end_pc=offset,
+            n_regs=cf.n_regs,
+            frame_size=cf.frame_size,
+            params=list(cf.params),
+            local_vars=list(cf.local_vars),
+            static_vars=list(getattr(cf, "static_vars", ())),
+            source_line=getattr(cf, "source_line", 0),
+        )
+        image.functions.append(loaded)
+        if loaded.name in image._functions_by_name:
+            raise MachineError(f"duplicate function {loaded.name!r}")
+        image._functions_by_name[loaded.name] = loaded
+
+    for var in compiled.globals:
+        image.global_vars.append(var)
+        image._globals_by_name[var.name] = var
+        image.global_init_words.extend(getattr(var, "init_words", ()))
+
+    return image

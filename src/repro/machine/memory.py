@@ -1,0 +1,72 @@
+"""Word-addressed simulated physical memory.
+
+Memory is modeled as a flat array of 4-byte words.  Cells hold Python
+numbers (ints or floats); MiniC's type system guarantees each cell is read
+with the type it was written with, so no bit-level packing is needed.  This
+keeps the interpreter fast while preserving the addressing behaviour the
+write-monitor machinery cares about: every store targets a byte address
+range ``[address, address + 4)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.errors import AlignmentFault, MemoryFault
+from repro.machine.layout import DEFAULT_LAYOUT, MemoryLayout
+from repro.units import WORD_SHIFT, WORD_SIZE
+
+Number = Union[int, float]
+
+
+class Memory:
+    """Flat word-addressed memory with bounds and alignment checking.
+
+    The hot paths (:meth:`load_word` / :meth:`store_word`) are kept small;
+    the CPU inlines the underlying list access in its dispatch loop and
+    uses this class directly only on cold paths (loader, runtime, debugger).
+    """
+
+    def __init__(self, layout: MemoryLayout = DEFAULT_LAYOUT) -> None:
+        self.layout = layout
+        self.n_words = layout.memory_size >> WORD_SHIFT
+        #: Backing store; the CPU reads this attribute directly for speed.
+        self.words: List[Number] = [0] * self.n_words
+
+    def _word_index(self, address: int) -> int:
+        if address & (WORD_SIZE - 1):
+            raise AlignmentFault(address)
+        index = address >> WORD_SHIFT
+        if index < 0 or index >= self.n_words:
+            raise MemoryFault(address, "outside physical memory")
+        return index
+
+    def load_word(self, address: int) -> Number:
+        """Load the word at byte ``address`` (must be word-aligned)."""
+        return self.words[self._word_index(address)]
+
+    def store_word(self, address: int, value: Number) -> None:
+        """Store ``value`` at byte ``address`` (must be word-aligned)."""
+        self.words[self._word_index(address)] = value
+
+    def load_range(self, address: int, n_words: int) -> List[Number]:
+        """Load ``n_words`` consecutive words starting at ``address``."""
+        start = self._word_index(address)
+        if start + n_words > self.n_words:
+            raise MemoryFault(address, "range outside physical memory")
+        return self.words[start : start + n_words]
+
+    def store_range(self, address: int, values: List[Number]) -> None:
+        """Store consecutive ``values`` starting at ``address``."""
+        start = self._word_index(address)
+        if start + len(values) > self.n_words:
+            raise MemoryFault(address, "range outside physical memory")
+        self.words[start : start + len(values)] = values
+
+    def fill(self, address: int, n_words: int, value: Number = 0) -> None:
+        """Fill ``n_words`` words starting at ``address`` with ``value``."""
+        self.store_range(address, [value] * n_words)
+
+    def clear(self) -> None:
+        """Zero all of memory."""
+        self.words = [0] * self.n_words

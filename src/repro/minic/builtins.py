@@ -1,0 +1,49 @@
+"""Builtin function signatures shared by the compiler and the runtime.
+
+The ids here index :attr:`repro.machine.cpu.Cpu.builtins`; the runtime
+registers its implementations in the same order
+(:meth:`repro.minic.runtime.Runtime.install`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.minic.mc_types import FLOAT, INT, VOID, CType, PointerType
+
+WORD_PTR = PointerType(INT)
+
+
+@dataclass(frozen=True)
+class BuiltinSig:
+    """Signature of one builtin function."""
+
+    name: str
+    index: int
+    param_types: List[CType]
+    ret_type: CType
+
+
+_SIGS = [
+    # Heap management (section 5: OneHeap / AllHeapInFunc sessions hinge
+    # on these; realloc preserves object identity, paper footnote 4).
+    BuiltinSig("malloc", 0, [INT], WORD_PTR),
+    BuiltinSig("free", 1, [WORD_PTR], VOID),
+    BuiltinSig("realloc", 2, [WORD_PTR, INT], WORD_PTR),
+    # Minimal I/O.
+    BuiltinSig("print_int", 3, [INT], VOID),
+    BuiltinSig("print_float", 4, [FLOAT], VOID),
+    BuiltinSig("print_char", 5, [INT], VOID),
+    # Math helpers a C program would get from libm (the paper excludes
+    # library internals from the trace, so these are opaque builtins).
+    BuiltinSig("sqrt", 6, [FLOAT], FLOAT),
+    BuiltinSig("exp", 7, [FLOAT], FLOAT),
+    BuiltinSig("log", 8, [FLOAT], FLOAT),
+    BuiltinSig("fabs", 9, [FLOAT], FLOAT),
+]
+
+BUILTINS = {sig.name: sig for sig in _SIGS}
+
+#: Number of builtin slots the runtime must fill.
+N_BUILTINS = len(_SIGS)

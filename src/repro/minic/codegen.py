@@ -1,0 +1,628 @@
+"""IR code generation for MiniC.
+
+Generates :mod:`repro.machine.isa` instructions from the analyzed AST.
+The generator is deliberately unoptimizing, matching the paper's
+compilation mode (``-g``, no register allocation of user variables):
+
+* every named variable access goes through memory (``LEAF``/``LDI`` to
+  form the address, then ``LD``/``ST``);
+* expression temporaries use virtual registers managed by a simple
+  free-list allocator;
+* no constant folding, no CSE — one source-level assignment is exactly
+  one ``ST`` instruction.
+
+Branch targets are function-local instruction indices; the loader rewrites
+them to absolute program counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import TypeError_
+from repro.machine import isa
+from repro.minic import mc_ast as A
+from repro.minic.mc_types import (
+    ArrayType,
+    CType,
+    FloatType,
+    IntType,
+    PointerType,
+    decay,
+)
+from repro.minic.semantics import AnalyzedFunction, AnalyzedUnit
+from repro.minic.symbols import GlobalVar, VarInfo
+from repro.units import WORD_SHIFT
+
+
+@dataclass
+class CompiledFunction:
+    """One function's generated code plus the metadata the loader needs."""
+
+    name: str
+    index: int
+    n_regs: int
+    frame_size: int
+    params: List[VarInfo]
+    local_vars: List[VarInfo]
+    static_vars: List[GlobalVar]
+    code: List[tuple]
+    line_table: Dict[int, int] = field(default_factory=dict)
+    source_line: int = 0
+
+
+class _RegAlloc:
+    """Free-list virtual register allocator.
+
+    Registers ``0 .. first_free-1`` are reserved for incoming arguments.
+    """
+
+    def __init__(self, first_free: int) -> None:
+        self._next = first_free
+        self._free: List[int] = []
+        self.high_water = first_free
+
+    def alloc(self) -> int:
+        if self._free:
+            return self._free.pop()
+        reg = self._next
+        self._next += 1
+        if self._next > self.high_water:
+            self.high_water = self._next
+        return reg
+
+    def free(self, reg: int) -> None:
+        self._free.append(reg)
+
+
+class _Loop:
+    """Backpatch bookkeeping for one enclosing loop."""
+
+    def __init__(self) -> None:
+        self.break_sites: List[int] = []
+        self.continue_sites: List[int] = []
+
+
+class FunctionCodegen:
+    """Generates code for a single function."""
+
+    def __init__(self, analyzed: AnalyzedFunction, unit: AnalyzedUnit) -> None:
+        self.analyzed = analyzed
+        self.unit = unit
+        self.code: List[list] = []
+        self.regs = _RegAlloc(len(analyzed.params))
+        self.loops: List[_Loop] = []
+        self.line_table: Dict[int, int] = {}
+
+    # -- emission helpers --------------------------------------------------
+
+    def _emit(self, *parts) -> int:
+        """Append one instruction; returns its index (for backpatching)."""
+        self.code.append(list(parts))
+        return len(self.code) - 1
+
+    def _here(self) -> int:
+        return len(self.code)
+
+    def _patch(self, index: int, target: int) -> None:
+        """Set the branch target (last operand) of instruction ``index``."""
+        self.code[index][-1] = target
+
+    def _note_line(self, line: int) -> None:
+        self.line_table.setdefault(self._here(), line)
+
+    # -- type coercion ------------------------------------------------------
+
+    def _coerce(self, reg: int, from_type: CType, to_type: CType) -> int:
+        """Convert ``reg`` between int and float if needed."""
+        from_type, to_type = decay(from_type), decay(to_type)
+        if isinstance(from_type, IntType) and isinstance(to_type, FloatType):
+            out = self.regs.alloc()
+            self._emit(isa.I2F, out, reg)
+            self.regs.free(reg)
+            return out
+        if isinstance(from_type, FloatType) and isinstance(to_type, IntType):
+            out = self.regs.alloc()
+            self._emit(isa.F2I, out, reg)
+            self.regs.free(reg)
+            return out
+        return reg
+
+    # -- addresses ----------------------------------------------------------
+
+    def _gen_var_address(self, var: VarInfo) -> int:
+        reg = self.regs.alloc()
+        if var.storage == "frame":
+            self._emit(isa.LEAF, reg, var.offset)
+        else:
+            self._emit(isa.LDI, reg, var.address)
+        return reg
+
+    def gen_addr(self, expr: A.Expr) -> int:
+        """Generate code leaving the *address* of lvalue ``expr`` in a reg."""
+        if isinstance(expr, A.Ident):
+            return self._gen_var_address(expr.varinfo)  # type: ignore[attr-defined]
+        if isinstance(expr, A.Unary) and expr.op == "*":
+            return self.gen_expr(expr.operand)
+        if isinstance(expr, A.Index):
+            base = self.gen_expr(expr.base)
+            index = self.gen_expr(expr.index)
+            shift = self.regs.alloc()
+            self._emit(isa.LDI, shift, WORD_SHIFT)
+            scaled = self.regs.alloc()
+            self._emit(isa.SHL, scaled, index, shift)
+            self.regs.free(index)
+            self.regs.free(shift)
+            out = self.regs.alloc()
+            self._emit(isa.ADD, out, base, scaled)
+            self.regs.free(base)
+            self.regs.free(scaled)
+            return out
+        raise TypeError_(f"not an lvalue: {type(expr).__name__}", expr.line)
+
+    # -- expressions ----------------------------------------------------------
+
+    def gen_expr(self, expr: A.Expr) -> int:
+        """Generate code leaving the value of ``expr`` in a register."""
+        if isinstance(expr, A.IntLit):
+            reg = self.regs.alloc()
+            self._emit(isa.LDI, reg, expr.value)
+            return reg
+        if isinstance(expr, A.FloatLit):
+            reg = self.regs.alloc()
+            self._emit(isa.LDI, reg, expr.value)
+            return reg
+        if isinstance(expr, A.Ident):
+            var: VarInfo = expr.varinfo  # type: ignore[attr-defined]
+            if var.ctype.is_array:
+                return self._gen_var_address(var)  # array decays to address
+            addr = self._gen_var_address(var)
+            value = self.regs.alloc()
+            self._emit(isa.LD, value, addr, 0)
+            self.regs.free(addr)
+            return value
+        if isinstance(expr, A.Assign):
+            return self._gen_assign(expr)
+        if isinstance(expr, A.CompoundAssign):
+            return self._gen_compound_assign(expr)
+        if isinstance(expr, A.IncDec):
+            return self._gen_incdec(expr)
+        if isinstance(expr, A.Ternary):
+            return self._gen_ternary(expr)
+        if isinstance(expr, A.Unary):
+            return self._gen_unary(expr)
+        if isinstance(expr, A.Binary):
+            return self._gen_binary(expr)
+        if isinstance(expr, A.Call):
+            return self._gen_call(expr, want_value=True)
+        if isinstance(expr, A.Index):
+            addr = self.gen_addr(expr)
+            value = self.regs.alloc()
+            self._emit(isa.LD, value, addr, 0)
+            self.regs.free(addr)
+            return value
+        raise TypeError_(f"cannot generate {type(expr).__name__}", expr.line)
+
+    def _gen_assign(self, expr: A.Assign) -> int:
+        addr = self.gen_addr(expr.target)
+        value = self.gen_expr(expr.value)
+        value = self._coerce(value, expr.value.ctype, expr.target.ctype)
+        self._emit(isa.ST, addr, 0, value)
+        self.regs.free(addr)
+        return value
+
+    def _gen_compound_assign(self, expr: A.CompoundAssign) -> int:
+        """``target op= value`` evaluates the target address exactly once."""
+        addr = self.gen_addr(expr.target)
+        old = self.regs.alloc()
+        self._emit(isa.LD, old, addr, 0)
+        value = self.gen_expr(expr.value)
+
+        target_d = decay(expr.target.ctype)
+        if target_d.is_pointer:
+            # p += n / p -= n: scale the integer operand by the word size.
+            shift = self.regs.alloc()
+            self._emit(isa.LDI, shift, WORD_SHIFT)
+            scaled = self.regs.alloc()
+            self._emit(isa.SHL, scaled, value, shift)
+            self.regs.free(value)
+            self.regs.free(shift)
+            result = self.regs.alloc()
+            opcode = isa.ADD if expr.op == "+" else isa.SUB
+            self._emit(opcode, result, old, scaled)
+            self.regs.free(scaled)
+        else:
+            # C computes in the promoted type, then converts on store:
+            # `int x; x += -0.5;` is a float add truncated afterwards.
+            is_float = isinstance(target_d, FloatType) or isinstance(
+                decay(expr.value.ctype), FloatType
+            )
+            if is_float:
+                old = self._coerce(old, expr.target.ctype, FloatType())
+                value = self._coerce(value, expr.value.ctype, FloatType())
+                opcode = self._FLOAT_BINOPS[expr.op]
+            else:
+                opcode = self._INT_BINOPS[expr.op]
+            result = self.regs.alloc()
+            self._emit(opcode, result, old, value)
+            self.regs.free(value)
+            computed_type = FloatType() if is_float else IntType()
+            result = self._coerce(result, computed_type, expr.target.ctype)
+        self.regs.free(old)
+        self._emit(isa.ST, addr, 0, result)
+        self.regs.free(addr)
+        return result
+
+    def _gen_incdec(self, expr: A.IncDec) -> int:
+        """``++x``/``x++``: load, adjust by one (word for pointers), store."""
+        addr = self.gen_addr(expr.target)
+        old = self.regs.alloc()
+        self._emit(isa.LD, old, addr, 0)
+        step_reg = self.regs.alloc()
+        target_d = decay(expr.target.ctype)
+        if target_d.is_pointer:
+            self._emit(isa.LDI, step_reg, 4)
+            add_op, sub_op = isa.ADD, isa.SUB
+        elif isinstance(target_d, FloatType):
+            self._emit(isa.LDI, step_reg, 1.0)
+            add_op, sub_op = isa.FADD, isa.FSUB
+        else:
+            self._emit(isa.LDI, step_reg, 1)
+            add_op, sub_op = isa.ADD, isa.SUB
+        new = self.regs.alloc()
+        self._emit(add_op if expr.op == "+" else sub_op, new, old, step_reg)
+        self.regs.free(step_reg)
+        self._emit(isa.ST, addr, 0, new)
+        self.regs.free(addr)
+        if expr.is_prefix:
+            self.regs.free(old)
+            return new
+        self.regs.free(new)
+        return old
+
+    def _gen_ternary(self, expr: A.Ternary) -> int:
+        """``cond ? a : b`` with both arms coerced to the result type."""
+        out = self.regs.alloc()
+        cond = self.gen_expr(expr.cond)
+        to_else = self._emit(isa.BF, cond, -1)
+        self.regs.free(cond)
+        then_value = self.gen_expr(expr.then_expr)
+        then_value = self._coerce(then_value, expr.then_expr.ctype, expr.ctype)
+        self._emit(isa.MOV, out, then_value)
+        self.regs.free(then_value)
+        over_else = self._emit(isa.JMP, -1)
+        self._patch(to_else, self._here())
+        else_value = self.gen_expr(expr.else_expr)
+        else_value = self._coerce(else_value, expr.else_expr.ctype, expr.ctype)
+        self._emit(isa.MOV, out, else_value)
+        self.regs.free(else_value)
+        self._patch(over_else, self._here())
+        return out
+
+    def _gen_unary(self, expr: A.Unary) -> int:
+        if expr.op == "&":
+            return self.gen_addr(expr.operand)
+        if expr.op == "*":
+            pointer = self.gen_expr(expr.operand)
+            value = self.regs.alloc()
+            self._emit(isa.LD, value, pointer, 0)
+            self.regs.free(pointer)
+            return value
+        operand = self.gen_expr(expr.operand)
+        out = self.regs.alloc()
+        if expr.op == "-":
+            opcode = isa.FNEG if isinstance(decay(expr.ctype), FloatType) else isa.NEG
+            self._emit(opcode, out, operand)
+        elif expr.op == "!":
+            self._emit(isa.NOT, out, operand)
+        elif expr.op == "~":
+            self._emit(isa.BNOT, out, operand)
+        else:
+            raise TypeError_(f"unknown unary {expr.op!r}", expr.line)
+        self.regs.free(operand)
+        return out
+
+    _INT_BINOPS = {
+        "+": isa.ADD, "-": isa.SUB, "*": isa.MUL, "/": isa.DIV, "%": isa.MOD,
+        "&": isa.AND, "|": isa.OR, "^": isa.XOR, "<<": isa.SHL, ">>": isa.SHR,
+    }
+    _FLOAT_BINOPS = {"+": isa.FADD, "-": isa.FSUB, "*": isa.FMUL, "/": isa.FDIV}
+    _COMPARE_OPS = {
+        "==": isa.EQ, "!=": isa.NE, "<": isa.LT,
+        "<=": isa.LE, ">": isa.GT, ">=": isa.GE,
+    }
+
+    def _gen_binary(self, expr: A.Binary) -> int:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._gen_logical(expr)
+
+        left_type = decay(expr.left.ctype)
+        right_type = decay(expr.right.ctype)
+
+        # Pointer arithmetic: scale the integer operand by the word size.
+        if op in ("+", "-") and (left_type.is_pointer or right_type.is_pointer):
+            return self._gen_pointer_arith(expr, left_type, right_type)
+
+        left = self.gen_expr(expr.left)
+        right = self.gen_expr(expr.right)
+
+        if op in self._COMPARE_OPS:
+            is_float = isinstance(left_type, FloatType) or isinstance(right_type, FloatType)
+            if is_float:
+                left = self._coerce(left, left_type, FloatType())
+                right = self._coerce(right, right_type, FloatType())
+            out = self.regs.alloc()
+            self._emit(self._COMPARE_OPS[op], out, left, right)
+            self.regs.free(left)
+            self.regs.free(right)
+            return out
+
+        is_float = isinstance(decay(expr.ctype), FloatType)
+        if is_float:
+            left = self._coerce(left, left_type, FloatType())
+            right = self._coerce(right, right_type, FloatType())
+            opcode = self._FLOAT_BINOPS[op]
+        else:
+            opcode = self._INT_BINOPS[op]
+        out = self.regs.alloc()
+        self._emit(opcode, out, left, right)
+        self.regs.free(left)
+        self.regs.free(right)
+        return out
+
+    def _gen_pointer_arith(self, expr: A.Binary, left_type, right_type) -> int:
+        left = self.gen_expr(expr.left)
+        right = self.gen_expr(expr.right)
+        if left_type.is_pointer and right_type.is_pointer:
+            # Pointer difference, in elements.
+            diff = self.regs.alloc()
+            self._emit(isa.SUB, diff, left, right)
+            shift = self.regs.alloc()
+            self._emit(isa.LDI, shift, WORD_SHIFT)
+            out = self.regs.alloc()
+            self._emit(isa.SHR, out, diff, shift)
+            for reg in (left, right, diff, shift):
+                self.regs.free(reg)
+            return out
+        # pointer +/- int (or int + pointer)
+        pointer, integer = (left, right) if left_type.is_pointer else (right, left)
+        shift = self.regs.alloc()
+        self._emit(isa.LDI, shift, WORD_SHIFT)
+        scaled = self.regs.alloc()
+        self._emit(isa.SHL, scaled, integer, shift)
+        out = self.regs.alloc()
+        opcode = isa.SUB if expr.op == "-" else isa.ADD
+        self._emit(opcode, out, pointer, scaled)
+        for reg in (left, right, shift, scaled):
+            self.regs.free(reg)
+        return out
+
+    def _gen_logical(self, expr: A.Binary) -> int:
+        # Layout:   <left>  branch  <right>  BF->false
+        #   true:   LDI out,1 ; JMP end
+        #   false:  LDI out,0
+        #   end:
+        out = self.regs.alloc()
+        left = self.gen_expr(expr.left)
+        if expr.op == "&&":
+            short_branch = self._emit(isa.BF, left, -1)  # left false -> false
+        else:
+            short_branch = self._emit(isa.BT, left, -1)  # left true -> true
+        self.regs.free(left)
+        right = self.gen_expr(expr.right)
+        right_false = self._emit(isa.BF, right, -1)
+        self.regs.free(right)
+        true_label = self._here()
+        self._emit(isa.LDI, out, 1)
+        done_jump = self._emit(isa.JMP, -1)
+        false_label = self._here()
+        self._emit(isa.LDI, out, 0)
+        end = self._here()
+        self._patch(right_false, false_label)
+        self._patch(done_jump, end)
+        self._patch(short_branch, false_label if expr.op == "&&" else true_label)
+        return out
+
+    def _gen_call(self, expr: A.Call, want_value: bool) -> int:
+        builtin = getattr(expr, "builtin", None)
+        sig = getattr(expr, "sig", None)
+        param_types = builtin.param_types if builtin else sig.param_types
+        ret_type = builtin.ret_type if builtin else sig.ret_type
+
+        arg_regs = []
+        for arg, param_type in zip(expr.args, param_types):
+            reg = self.gen_expr(arg)
+            reg = self._coerce(reg, arg.ctype, param_type)
+            arg_regs.append(reg)
+
+        returns_value = ret_type.size_bytes() > 0
+        dest = self.regs.alloc() if returns_value else None
+        if builtin is not None:
+            self._emit(isa.CALLB, builtin.index, dest, tuple(arg_regs))
+        else:
+            self._emit(isa.CALL, sig.index, dest, tuple(arg_regs))
+        for reg in arg_regs:
+            self.regs.free(reg)
+        if want_value and not returns_value:
+            # void used in value context is rejected by semantics; keep a
+            # defensive placeholder for robustness.
+            dest = self.regs.alloc()
+            self._emit(isa.LDI, dest, 0)
+        return dest if dest is not None else -1
+
+    # -- statements --------------------------------------------------------------
+
+    def gen_stmt(self, stmt: A.Stmt) -> None:
+        if isinstance(stmt, A.VarDecl):
+            self._note_line(stmt.line)
+            self._gen_local_decl(stmt)
+        elif isinstance(stmt, A.Block):
+            for inner in stmt.statements:
+                self.gen_stmt(inner)
+        elif isinstance(stmt, A.ExprStmt):
+            self._note_line(stmt.line)
+            if isinstance(stmt.expr, A.Call):
+                reg = self._gen_call(stmt.expr, want_value=False)
+                if reg >= 0:
+                    self.regs.free(reg)
+            else:
+                self.regs.free(self.gen_expr(stmt.expr))
+        elif isinstance(stmt, A.If):
+            self._gen_if(stmt)
+        elif isinstance(stmt, A.While):
+            self._gen_while(stmt)
+        elif isinstance(stmt, A.DoWhile):
+            self._gen_do_while(stmt)
+        elif isinstance(stmt, A.For):
+            self._gen_for(stmt)
+        elif isinstance(stmt, A.Return):
+            self._gen_return(stmt)
+        elif isinstance(stmt, A.Break):
+            self._note_line(stmt.line)
+            site = self._emit(isa.JMP, -1)
+            self.loops[-1].break_sites.append(site)
+        elif isinstance(stmt, A.Continue):
+            self._note_line(stmt.line)
+            site = self._emit(isa.JMP, -1)
+            self.loops[-1].continue_sites.append(site)
+        else:
+            raise TypeError_(f"cannot generate {type(stmt).__name__}", stmt.line)
+
+    def _gen_local_decl(self, decl: A.VarDecl) -> None:
+        if decl.is_static or decl.init is None:
+            return  # statics initialize at load; uninitialized autos get garbage
+        var: VarInfo = decl.varinfo  # type: ignore[attr-defined]
+        value = self.gen_expr(decl.init)
+        value = self._coerce(value, decl.init.ctype, var.ctype)
+        addr = self._gen_var_address(var)
+        self._emit(isa.ST, addr, 0, value)
+        self.regs.free(addr)
+        self.regs.free(value)
+
+    def _gen_if(self, stmt: A.If) -> None:
+        self._note_line(stmt.line)
+        cond = self.gen_expr(stmt.cond)
+        to_else = self._emit(isa.BF, cond, -1)
+        self.regs.free(cond)
+        self.gen_stmt(stmt.then_body)
+        if stmt.else_body is not None:
+            over_else = self._emit(isa.JMP, -1)
+            self._patch(to_else, self._here())
+            self.gen_stmt(stmt.else_body)
+            self._patch(over_else, self._here())
+        else:
+            self._patch(to_else, self._here())
+
+    def _gen_while(self, stmt: A.While) -> None:
+        self._note_line(stmt.line)
+        loop = _Loop()
+        self.loops.append(loop)
+        top = self._here()
+        cond = self.gen_expr(stmt.cond)
+        exit_branch = self._emit(isa.BF, cond, -1)
+        self.regs.free(cond)
+        self.gen_stmt(stmt.body)
+        self._emit(isa.JMP, top)
+        end = self._here()
+        self._patch(exit_branch, end)
+        for site in loop.break_sites:
+            self._patch(site, end)
+        for site in loop.continue_sites:
+            self._patch(site, top)
+        self.loops.pop()
+
+    def _gen_do_while(self, stmt: A.DoWhile) -> None:
+        self._note_line(stmt.line)
+        loop = _Loop()
+        self.loops.append(loop)
+        top = self._here()
+        self.gen_stmt(stmt.body)
+        cond_start = self._here()
+        cond = self.gen_expr(stmt.cond)
+        self._emit(isa.BT, cond, top)
+        self.regs.free(cond)
+        end = self._here()
+        for site in loop.break_sites:
+            self._patch(site, end)
+        for site in loop.continue_sites:
+            self._patch(site, cond_start)
+        self.loops.pop()
+
+    def _gen_for(self, stmt: A.For) -> None:
+        self._note_line(stmt.line)
+        loop = _Loop()
+        if stmt.init is not None:
+            self.regs.free(self.gen_expr(stmt.init))
+        self.loops.append(loop)
+        top = self._here()
+        exit_branch = None
+        if stmt.cond is not None:
+            cond = self.gen_expr(stmt.cond)
+            exit_branch = self._emit(isa.BF, cond, -1)
+            self.regs.free(cond)
+        self.gen_stmt(stmt.body)
+        step_start = self._here()
+        if stmt.step is not None:
+            self.regs.free(self.gen_expr(stmt.step))
+        self._emit(isa.JMP, top)
+        end = self._here()
+        if exit_branch is not None:
+            self._patch(exit_branch, end)
+        for site in loop.break_sites:
+            self._patch(site, end)
+        for site in loop.continue_sites:
+            self._patch(site, step_start)
+        self.loops.pop()
+
+    def _gen_return(self, stmt: A.Return) -> None:
+        self._note_line(stmt.line)
+        if stmt.value is None:
+            self._emit(isa.RET, None)
+            return
+        value = self.gen_expr(stmt.value)
+        value = self._coerce(value, stmt.value.ctype, self.analyzed.signature.ret_type)
+        self._emit(isa.RET, value)
+        self.regs.free(value)
+
+    # -- driver -------------------------------------------------------------------
+
+    def generate(self) -> CompiledFunction:
+        """Generate this function's code."""
+        analyzed = self.analyzed
+        func = analyzed.definition
+        # Prologue: spill incoming arguments to their frame slots, exactly
+        # as a no-regalloc SPARC compiler stores %i0..%i5 to the frame.
+        for position, param in enumerate(analyzed.params):
+            addr = self.regs.alloc()
+            self._emit(isa.LEAF, addr, param.offset)
+            self._emit(isa.ST, addr, 0, position)
+            self.regs.free(addr)
+        for stmt in func.body.statements:
+            self.gen_stmt(stmt)
+        # Implicit return for functions that fall off the end.
+        if not self.code or self.code[-1][0] != isa.RET:
+            if self.analyzed.signature.ret_type.size_bytes() > 0:
+                reg = self.regs.alloc()
+                self._emit(isa.LDI, reg, 0)
+                self._emit(isa.RET, reg)
+            else:
+                self._emit(isa.RET, None)
+        return CompiledFunction(
+            name=func.name,
+            index=analyzed.signature.index,
+            n_regs=max(self.regs.high_water, 1),
+            frame_size=analyzed.frame_size,
+            params=analyzed.params,
+            local_vars=analyzed.local_vars,
+            static_vars=analyzed.static_vars,
+            code=[tuple(instr) for instr in self.code],
+            line_table=self.line_table,
+            source_line=func.line,
+        )
+
+
+def generate_unit(unit: AnalyzedUnit) -> List[CompiledFunction]:
+    """Generate code for every function in ``unit``."""
+    return [FunctionCodegen(analyzed, unit).generate() for analyzed in unit.functions]

@@ -1,0 +1,151 @@
+"""MiniC lexer: source text to a token stream."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import LexError
+from repro.minic.tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPERATORS,
+    SINGLE_CHAR_OPERATORS,
+    Token,
+)
+
+_ESCAPES = {"n": 10, "t": 9, "0": 0, "\\": 92, "'": 39, '"': 34, "r": 13}
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize MiniC ``source``, returning tokens ending with an EOF token.
+
+    Supports ``//`` and ``/* */`` comments, decimal and hex integer
+    literals, float literals, and character literals (which lex as ints,
+    as in C).
+    """
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(source)
+
+    def column() -> int:
+        return i - line_start + 1
+
+    while i < n:
+        ch = source[i]
+
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+
+        # Comments.
+        if ch == "/" and i + 1 < n:
+            nxt = source[i + 1]
+            if nxt == "/":
+                while i < n and source[i] != "\n":
+                    i += 1
+                continue
+            if nxt == "*":
+                start_line = line
+                i += 2
+                while i + 1 < n and not (source[i] == "*" and source[i + 1] == "/"):
+                    if source[i] == "\n":
+                        line += 1
+                        line_start = i + 1
+                    i += 1
+                if i + 1 >= n:
+                    raise LexError("unterminated block comment", start_line)
+                i += 2
+                continue
+
+        # Identifiers and keywords.
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            word = source[start:i]
+            kind = word if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, line, start - line_start + 1))
+            continue
+
+        # Numeric literals.
+        if ch.isdigit():
+            start = i
+            if ch == "0" and i + 1 < n and source[i + 1] in "xX":
+                i += 2
+                while i < n and source[i] in "0123456789abcdefABCDEF":
+                    i += 1
+                text = source[start:i]
+                if len(text) == 2:
+                    raise LexError(f"bad hex literal {text!r}", line)
+                tokens.append(Token("int_lit", int(text, 16), line, start - line_start + 1))
+                continue
+            while i < n and source[i].isdigit():
+                i += 1
+            is_float = False
+            if i < n and source[i] == "." and i + 1 < n and source[i + 1].isdigit():
+                is_float = True
+                i += 1
+                while i < n and source[i].isdigit():
+                    i += 1
+            if i < n and source[i] in "eE":
+                peek = i + 1
+                if peek < n and source[peek] in "+-":
+                    peek += 1
+                if peek < n and source[peek].isdigit():
+                    is_float = True
+                    i = peek
+                    while i < n and source[i].isdigit():
+                        i += 1
+            text = source[start:i]
+            if is_float:
+                tokens.append(Token("float_lit", float(text), line, start - line_start + 1))
+            else:
+                tokens.append(Token("int_lit", int(text), line, start - line_start + 1))
+            continue
+
+        # Character literals (lex as ints, as in C).
+        if ch == "'":
+            start_col = column()
+            i += 1
+            if i >= n:
+                raise LexError("unterminated character literal", line)
+            if source[i] == "\\":
+                i += 1
+                if i >= n or source[i] not in _ESCAPES:
+                    raise LexError("bad escape in character literal", line)
+                value = _ESCAPES[source[i]]
+                i += 1
+            else:
+                value = ord(source[i])
+                i += 1
+            if i >= n or source[i] != "'":
+                raise LexError("unterminated character literal", line)
+            i += 1
+            tokens.append(Token("int_lit", value, line, start_col))
+            continue
+
+        # Operators (longest match first).
+        matched = False
+        for op in MULTI_CHAR_OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token(op, op, line, column()))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in SINGLE_CHAR_OPERATORS:
+            tokens.append(Token(ch, ch, line, column()))
+            i += 1
+            continue
+
+        raise LexError(f"unexpected character {ch!r}", line)
+
+    tokens.append(Token("eof", None, line, column()))
+    return tokens

@@ -1,0 +1,222 @@
+"""Abstract syntax tree node definitions for MiniC.
+
+Nodes are plain dataclasses; the parser produces them, semantic analysis
+annotates expression nodes with a ``ctype`` attribute, and code generation
+walks them.  The module is named ``mc_ast`` to avoid shadowing the
+standard-library ``ast`` module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class Node:
+    """Base class: every node knows its source line."""
+
+    line: int
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    """Base class for expressions; ``ctype`` is set by semantic analysis."""
+
+    ctype: object = field(default=None, init=False, repr=False)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float
+
+
+@dataclass
+class Ident(Expr):
+    name: str
+
+
+@dataclass
+class Unary(Expr):
+    """Unary operation: ``-``, ``!``, ``~``, ``*`` (deref), ``&`` (addr-of)."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    """Binary operation, including short-circuit ``&&``/``||``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Assign(Expr):
+    """Assignment ``target = value``; the value of the expression is
+    the assigned value, so chained assignment works."""
+
+    target: Expr
+    value: Expr
+
+
+@dataclass
+class CompoundAssign(Expr):
+    """``target op= value``; the target's address is evaluated once."""
+
+    op: str  # '+', '-', '*', '/', '%'
+    target: Expr
+    value: Expr
+
+
+@dataclass
+class IncDec(Expr):
+    """``++x`` / ``x++`` / ``--x`` / ``x--``."""
+
+    op: str  # '+' or '-'
+    target: Expr
+    is_prefix: bool
+
+
+@dataclass
+class Ternary(Expr):
+    """Conditional expression ``cond ? then_expr : else_expr``."""
+
+    cond: Expr
+    then_expr: Expr
+    else_expr: Expr
+
+
+@dataclass
+class Call(Expr):
+    name: str
+    args: List[Expr]
+
+
+@dataclass
+class Index(Expr):
+    """Array/pointer subscript ``base[index]``."""
+
+    base: Expr
+    index: Expr
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class VarDecl(Stmt):
+    """A local or global variable declaration.
+
+    ``array_size`` is None for scalars.  ``init`` is an optional scalar
+    initializer expression; ``init_list`` an optional brace initializer
+    for arrays (globals only — constant expressions).
+    """
+
+    name: str
+    base_type: str  # 'int' or 'float'
+    pointer_depth: int
+    array_size: Optional[int]
+    is_static: bool
+    init: Optional[Expr]
+    init_list: Optional[List[Expr]]
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt]
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then_body: Stmt
+    else_body: Optional[Stmt]
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt
+    cond: Expr
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Expr]
+    cond: Optional[Expr]
+    step: Optional[Expr]
+    body: Stmt
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr]
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Top level
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    name: str
+    base_type: str
+    pointer_depth: int
+
+
+@dataclass
+class FuncDef(Node):
+    name: str
+    ret_base_type: str  # 'int', 'float', or 'void'
+    ret_pointer_depth: int
+    params: List[Param]
+    body: Block
+
+
+@dataclass
+class TranslationUnit(Node):
+    """A whole source file: global declarations and function definitions."""
+
+    globals: List[VarDecl]
+    functions: List[FuncDef]

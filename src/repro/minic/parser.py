@@ -1,0 +1,381 @@
+"""Recursive-descent parser for MiniC.
+
+Grammar (EBNF, informal)::
+
+    unit        := (global_decl | func_def)*
+    global_decl := ['static'] type declarator ('=' (expr | init_list))? ';'
+    func_def    := type ident '(' params ')' block
+    params      := 'void'? | param (',' param)*
+    param       := type ident
+    type        := ('int' | 'float' | 'void') '*'*
+    declarator  := ident ('[' int ']')?
+    block       := '{' (var_decl | stmt)* '}'
+    stmt        := if | while | for | return | break | continue
+                 | block | expr? ';'
+    expr        := assignment
+    assignment  := conditional (('='|'+='|'-='|'*='|'/='|'%=') assignment)?
+    conditional := logical_or ('?' expr ':' conditional)?
+    logical_or  := logical_and ('||' logical_and)*
+    logical_and := bit_or ('&&' bit_or)*
+    bit_or      := bit_xor ('|' bit_xor)*
+    bit_xor     := bit_and ('^' bit_and)*
+    bit_and     := equality ('&' equality)*
+    equality    := relational (('==' | '!=') relational)*
+    relational  := shift (('<' | '<=' | '>' | '>=') shift)*
+    shift       := additive (('<<' | '>>') additive)*
+    additive    := multiplicative (('+' | '-') multiplicative)*
+    multiplicative := unary (('*' | '/' | '%') unary)*
+    unary       := ('-' | '!' | '~' | '*' | '&' | '++' | '--') unary
+                 | postfix
+    postfix     := primary ('[' expr ']' | '++' | '--')*
+    primary     := int | float | ident | ident '(' args ')' | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ParseError
+from repro.minic import mc_ast as A
+from repro.minic.lexer import tokenize
+from repro.minic.tokens import Token
+
+_TYPE_KEYWORDS = ("int", "float", "void")
+
+
+class Parser:
+    """One-token-lookahead recursive-descent parser."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _peek(self, offset: int = 1) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._cur
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _check(self, kind: str) -> bool:
+        return self._cur.kind == kind
+
+    def _accept(self, kind: str) -> Optional[Token]:
+        if self._check(kind):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str) -> Token:
+        if not self._check(kind):
+            raise ParseError(
+                f"expected {kind!r}, found {self._cur.kind!r}", self._cur.line
+            )
+        return self._advance()
+
+    # -- top level -----------------------------------------------------------
+
+    def parse_unit(self) -> A.TranslationUnit:
+        """Parse a whole translation unit."""
+        globals_: List[A.VarDecl] = []
+        functions: List[A.FuncDef] = []
+        first_line = self._cur.line
+        while not self._check("eof"):
+            if self._is_function_ahead():
+                func = self._func_def()
+                if func is not None:  # None = forward declaration
+                    functions.append(func)
+            else:
+                globals_.append(self._var_decl(allow_static=True, is_global=True))
+        return A.TranslationUnit(first_line, globals_, functions)
+
+    def _is_function_ahead(self) -> bool:
+        """Distinguish ``type ident (`` (function) from a variable decl."""
+        offset = 0
+        if self._peek(offset).kind == "static":
+            return False  # static at top level is always a variable here
+        if self._peek(offset).kind not in _TYPE_KEYWORDS:
+            raise ParseError(
+                f"expected declaration, found {self._cur.kind!r}", self._cur.line
+            )
+        offset += 1
+        while self._peek(offset).kind == "*":
+            offset += 1
+        if self._peek(offset).kind != "ident":
+            raise ParseError("expected identifier in declaration", self._cur.line)
+        return self._peek(offset + 1).kind == "("
+
+    def _parse_type(self):
+        token = self._advance()
+        if token.kind not in _TYPE_KEYWORDS:
+            raise ParseError(f"expected type, found {token.kind!r}", token.line)
+        depth = 0
+        while self._accept("*"):
+            depth += 1
+        return token.kind, depth
+
+    def _func_def(self) -> A.FuncDef:
+        line = self._cur.line
+        base, depth = self._parse_type()
+        name = self._expect("ident").value
+        self._expect("(")
+        params: List[A.Param] = []
+        if self._check("void") and self._peek().kind == ")":
+            self._advance()
+        elif not self._check(")"):
+            while True:
+                p_line = self._cur.line
+                p_base, p_depth = self._parse_type()
+                if p_base == "void" and p_depth == 0:
+                    raise ParseError("parameter cannot have type void", p_line)
+                p_name = self._expect("ident").value
+                params.append(A.Param(p_line, p_name, p_base, p_depth))
+                if not self._accept(","):
+                    break
+        self._expect(")")
+        if self._accept(";"):
+            # Forward declaration: bodies are collected in a first pass by
+            # semantic analysis, so prototypes carry no information here.
+            return None
+        body = self._block()
+        return A.FuncDef(line, name, base, depth, params, body)
+
+    def _var_decl(self, allow_static: bool, is_global: bool) -> A.VarDecl:
+        line = self._cur.line
+        is_static = False
+        if self._check("static"):
+            if not allow_static:
+                raise ParseError("'static' not allowed here", line)
+            self._advance()
+            is_static = True
+        base, depth = self._parse_type()
+        if base == "void" and depth == 0:
+            raise ParseError("variable cannot have type void", line)
+        name = self._expect("ident").value
+        array_size: Optional[int] = None
+        if self._accept("["):
+            size_token = self._expect("int_lit")
+            array_size = size_token.value
+            if array_size <= 0:
+                raise ParseError(f"array size must be positive, got {array_size}", line)
+            self._expect("]")
+        init: Optional[A.Expr] = None
+        init_list: Optional[List[A.Expr]] = None
+        if self._accept("="):
+            if self._check("{"):
+                if array_size is None:
+                    raise ParseError("brace initializer requires an array", line)
+                self._advance()
+                init_list = []
+                if not self._check("}"):
+                    while True:
+                        init_list.append(self._expr())
+                        if not self._accept(","):
+                            break
+                self._expect("}")
+                if len(init_list) > array_size:
+                    raise ParseError(
+                        f"too many initializers for array of {array_size}", line
+                    )
+            else:
+                init = self._expr()
+        self._expect(";")
+        return A.VarDecl(line, name, base, depth, array_size, is_static, init, init_list)
+
+    # -- statements ------------------------------------------------------------
+
+    def _block(self) -> A.Block:
+        line = self._expect("{").line
+        statements: List[A.Stmt] = []
+        while not self._check("}"):
+            if self._check("eof"):
+                raise ParseError("unterminated block", line)
+            statements.append(self._block_item())
+        self._expect("}")
+        return A.Block(line, statements)
+
+    def _block_item(self) -> A.Stmt:
+        if self._cur.kind in _TYPE_KEYWORDS or self._check("static"):
+            return self._var_decl(allow_static=True, is_global=False)
+        return self._stmt()
+
+    def _stmt(self) -> A.Stmt:
+        line = self._cur.line
+        if self._check("{"):
+            return self._block()
+        if self._accept("if"):
+            self._expect("(")
+            cond = self._expr()
+            self._expect(")")
+            then_body = self._stmt()
+            else_body = self._stmt() if self._accept("else") else None
+            return A.If(line, cond, then_body, else_body)
+        if self._accept("while"):
+            self._expect("(")
+            cond = self._expr()
+            self._expect(")")
+            return A.While(line, cond, self._stmt())
+        if self._accept("do"):
+            body = self._stmt()
+            self._expect("while")
+            self._expect("(")
+            cond = self._expr()
+            self._expect(")")
+            self._expect(";")
+            return A.DoWhile(line, body, cond)
+        if self._accept("for"):
+            self._expect("(")
+            init = None if self._check(";") else self._expr()
+            self._expect(";")
+            cond = None if self._check(";") else self._expr()
+            self._expect(";")
+            step = None if self._check(")") else self._expr()
+            self._expect(")")
+            return A.For(line, init, cond, step, self._stmt())
+        if self._accept("return"):
+            value = None if self._check(";") else self._expr()
+            self._expect(";")
+            return A.Return(line, value)
+        if self._accept("break"):
+            self._expect(";")
+            return A.Break(line)
+        if self._accept("continue"):
+            self._expect(";")
+            return A.Continue(line)
+        if self._accept(";"):
+            return A.Block(line, [])
+        expr = self._expr()
+        self._expect(";")
+        return A.ExprStmt(line, expr)
+
+    # -- expressions ------------------------------------------------------------
+
+    def _expr(self) -> A.Expr:
+        return self._assignment()
+
+    _COMPOUND_OPS = {"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%"}
+
+    def _assignment(self) -> A.Expr:
+        left = self._conditional()
+        if self._check("="):
+            line = self._advance().line
+            value = self._assignment()
+            return A.Assign(line, left, value)
+        if self._cur.kind in self._COMPOUND_OPS:
+            token = self._advance()
+            value = self._assignment()
+            return A.CompoundAssign(
+                token.line, self._COMPOUND_OPS[token.kind], left, value
+            )
+        return left
+
+    def _conditional(self) -> A.Expr:
+        cond = self._logical_or()
+        if self._accept("?"):
+            then_expr = self._expr()
+            self._expect(":")
+            else_expr = self._conditional()
+            return A.Ternary(cond.line, cond, then_expr, else_expr)
+        return cond
+
+    def _binary_level(self, operators, next_level):
+        expr = next_level()
+        while self._cur.kind in operators:
+            token = self._advance()
+            right = next_level()
+            expr = A.Binary(token.line, token.kind, expr, right)
+        return expr
+
+    def _logical_or(self) -> A.Expr:
+        return self._binary_level(("||",), self._logical_and)
+
+    def _logical_and(self) -> A.Expr:
+        return self._binary_level(("&&",), self._bit_or)
+
+    def _bit_or(self) -> A.Expr:
+        return self._binary_level(("|",), self._bit_xor)
+
+    def _bit_xor(self) -> A.Expr:
+        return self._binary_level(("^",), self._bit_and)
+
+    def _bit_and(self) -> A.Expr:
+        return self._binary_level(("&",), self._equality)
+
+    def _equality(self) -> A.Expr:
+        return self._binary_level(("==", "!="), self._relational)
+
+    def _relational(self) -> A.Expr:
+        return self._binary_level(("<", "<=", ">", ">="), self._shift)
+
+    def _shift(self) -> A.Expr:
+        return self._binary_level(("<<", ">>"), self._additive)
+
+    def _additive(self) -> A.Expr:
+        return self._binary_level(("+", "-"), self._multiplicative)
+
+    def _multiplicative(self) -> A.Expr:
+        return self._binary_level(("*", "/", "%"), self._unary)
+
+    def _unary(self) -> A.Expr:
+        if self._cur.kind in ("++", "--"):
+            token = self._advance()
+            operand = self._unary()
+            return A.IncDec(token.line, token.kind[0], operand, is_prefix=True)
+        if self._cur.kind in ("-", "!", "~", "*", "&"):
+            token = self._advance()
+            operand = self._unary()
+            return A.Unary(token.line, token.kind, operand)
+        return self._postfix()
+
+    def _postfix(self) -> A.Expr:
+        expr = self._primary()
+        while True:
+            if self._accept("["):
+                index = self._expr()
+                self._expect("]")
+                expr = A.Index(expr.line, expr, index)
+            elif self._cur.kind in ("++", "--"):
+                token = self._advance()
+                expr = A.IncDec(token.line, token.kind[0], expr, is_prefix=False)
+            else:
+                break
+        return expr
+
+    def _primary(self) -> A.Expr:
+        token = self._cur
+        if token.kind == "int_lit":
+            self._advance()
+            return A.IntLit(token.line, token.value)
+        if token.kind == "float_lit":
+            self._advance()
+            return A.FloatLit(token.line, token.value)
+        if token.kind == "ident":
+            self._advance()
+            if self._accept("("):
+                args: List[A.Expr] = []
+                if not self._check(")"):
+                    while True:
+                        args.append(self._expr())
+                        if not self._accept(","):
+                            break
+                self._expect(")")
+                return A.Call(token.line, token.value, args)
+            return A.Ident(token.line, token.value)
+        if self._accept("("):
+            expr = self._expr()
+            self._expect(")")
+            return expr
+        raise ParseError(f"unexpected token {token.kind!r}", token.line)
+
+
+def parse(source: str) -> A.TranslationUnit:
+    """Parse MiniC ``source`` into a :class:`~repro.minic.mc_ast.TranslationUnit`."""
+    return Parser(tokenize(source)).parse_unit()

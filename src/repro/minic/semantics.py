@@ -1,0 +1,565 @@
+"""Semantic analysis: scope resolution, type checking, and layout.
+
+Walks the AST produced by the parser and
+
+* builds symbol tables (globals, function signatures, per-function frame
+  layouts),
+* assigns absolute addresses to globals and function statics in the
+  global segment, and frame-pointer offsets to params and locals,
+* annotates every expression node with its :class:`~repro.minic.mc_types.CType`
+  and every :class:`~repro.minic.mc_ast.Ident` with its resolved
+  :class:`~repro.minic.symbols.VarInfo`,
+* checks types with C-like permissiveness (implicit int/float conversion;
+  any-pointer-to-any-pointer assignment, as K&R malloc idiom requires).
+
+The paper's benchmarks were compiled with no register allocation of user
+variables; correspondingly, *every* named variable gets a memory home.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import TypeError_
+from repro.machine.layout import DEFAULT_LAYOUT, MemoryLayout
+from repro.minic import mc_ast as A
+from repro.minic.builtins import BUILTINS
+from repro.minic.mc_types import (
+    INT,
+    FLOAT,
+    VOID,
+    ArrayType,
+    CType,
+    FloatType,
+    IntType,
+    PointerType,
+    VoidType,
+    decay,
+    make_type,
+)
+from repro.minic.symbols import FunctionSig, GlobalVar, VarInfo
+from repro.units import WORD_SIZE
+
+
+@dataclass
+class AnalyzedFunction:
+    """Semantic results for one function."""
+
+    definition: A.FuncDef
+    signature: FunctionSig
+    params: List[VarInfo] = field(default_factory=list)
+    local_vars: List[VarInfo] = field(default_factory=list)
+    static_vars: List[GlobalVar] = field(default_factory=list)
+    frame_size: int = 0
+
+
+@dataclass
+class AnalyzedUnit:
+    """Semantic results for a whole translation unit."""
+
+    globals: List[GlobalVar] = field(default_factory=list)
+    functions: List[AnalyzedFunction] = field(default_factory=list)
+    signatures: Dict[str, FunctionSig] = field(default_factory=dict)
+
+
+class _Scope:
+    """One lexical scope of variable bindings."""
+
+    def __init__(self, parent: Optional["_Scope"]) -> None:
+        self.parent = parent
+        self.bindings: Dict[str, VarInfo] = {}
+
+    def declare(self, var: VarInfo) -> None:
+        if var.name in self.bindings:
+            raise TypeError_(f"duplicate declaration of {var.name!r}", var.line)
+        self.bindings[var.name] = var
+
+    def lookup(self, name: str) -> Optional[VarInfo]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            var = scope.bindings.get(name)
+            if var is not None:
+                return var
+            scope = scope.parent
+        return None
+
+
+def _const_eval(expr: A.Expr):
+    """Evaluate a constant initializer expression (globals only)."""
+    if isinstance(expr, A.IntLit):
+        return expr.value
+    if isinstance(expr, A.FloatLit):
+        return expr.value
+    if isinstance(expr, A.Unary) and expr.op == "-":
+        return -_const_eval(expr.operand)
+    if isinstance(expr, A.Binary):
+        left, right = _const_eval(expr.left), _const_eval(expr.right)
+        ops = {
+            "+": lambda a, b: a + b,
+            "-": lambda a, b: a - b,
+            "*": lambda a, b: a * b,
+        }
+        if expr.op in ops:
+            return ops[expr.op](left, right)
+    raise TypeError_("global initializer must be a constant expression", expr.line)
+
+
+class Analyzer:
+    """Semantic analyzer for one translation unit."""
+
+    def __init__(self, layout: MemoryLayout = DEFAULT_LAYOUT) -> None:
+        self.layout = layout
+        self._next_global_address = layout.global_base
+        self._unit = AnalyzedUnit()
+        self._current: Optional[AnalyzedFunction] = None
+        self._current_scope: Optional[_Scope] = None
+        self._loop_depth = 0
+        self._globals_scope = _Scope(None)
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def analyze(self, unit: A.TranslationUnit) -> AnalyzedUnit:
+        """Analyze ``unit``; returns the annotated symbol information."""
+        for decl in unit.globals:
+            self._declare_global(decl, owner=None)
+        for index, func in enumerate(unit.functions):
+            if func.name in self._unit.signatures:
+                raise TypeError_(f"duplicate function {func.name!r}", func.line)
+            if func.name in BUILTINS:
+                raise TypeError_(
+                    f"{func.name!r} is a builtin and cannot be redefined", func.line
+                )
+            ret = make_type(func.ret_base_type, func.ret_pointer_depth)
+            param_types = [make_type(p.base_type, p.pointer_depth) for p in func.params]
+            self._unit.signatures[func.name] = FunctionSig(
+                func.name, index, ret, param_types, func.line
+            )
+        for func in unit.functions:
+            self._unit.functions.append(self._analyze_function(func))
+        if "main" not in self._unit.signatures:
+            raise TypeError_("program has no 'main' function")
+        return self._unit
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+
+    def _allocate_global(self, size_bytes: int) -> int:
+        address = self._next_global_address
+        if address + size_bytes > self.layout.global_limit:
+            raise TypeError_("global segment exhausted")
+        self._next_global_address += max(size_bytes, WORD_SIZE)
+        return address
+
+    def _declare_global(self, decl: A.VarDecl, owner: Optional[str]) -> GlobalVar:
+        ctype = make_type(decl.base_type, decl.pointer_depth, decl.array_size)
+        size = ctype.size_bytes()
+        address = self._allocate_global(size)
+        init_words = []
+        if decl.init is not None:
+            value = _const_eval(decl.init)
+            if isinstance(ctype, FloatType):
+                value = float(value)
+            elif isinstance(ctype, IntType):
+                value = int(value)
+            init_words.append((address, value))
+        if decl.init_list is not None:
+            element = ctype.element if isinstance(ctype, ArrayType) else ctype
+            for position, item in enumerate(decl.init_list):
+                value = _const_eval(item)
+                if isinstance(element, FloatType):
+                    value = float(value)
+                else:
+                    value = int(value)
+                init_words.append((address + position * WORD_SIZE, value))
+        var = GlobalVar(
+            name=decl.name,
+            ctype=ctype,
+            address=address,
+            size_bytes=size,
+            owner_function=owner,
+            init_words=init_words,
+            line=decl.line,
+        )
+        if owner is None:
+            self._unit.globals.append(var)
+            self._globals_scope.declare(
+                VarInfo(
+                    name=decl.name,
+                    ctype=ctype,
+                    storage="global",
+                    size_bytes=size,
+                    address=address,
+                    line=decl.line,
+                )
+            )
+        return var
+
+    # ------------------------------------------------------------------
+    # Functions
+    # ------------------------------------------------------------------
+
+    def _analyze_function(self, func: A.FuncDef) -> AnalyzedFunction:
+        analyzed = AnalyzedFunction(func, self._unit.signatures[func.name])
+        self._current = analyzed
+        self._current_scope = _Scope(self._globals_scope)
+        offset = 0
+        for param in func.params:
+            ctype = make_type(param.base_type, param.pointer_depth)
+            var = VarInfo(
+                name=param.name,
+                ctype=ctype,
+                storage="frame",
+                size_bytes=ctype.size_bytes(),
+                offset=offset,
+                is_param=True,
+                owner_function=func.name,
+                line=param.line,
+            )
+            offset += ctype.size_bytes()
+            analyzed.params.append(var)
+            self._current_scope.declare(var)
+        analyzed.frame_size = offset
+        self._check_block(func.body, new_scope=False)
+        # Round the frame to a double-word boundary, as SPARC frames are.
+        analyzed.frame_size = (analyzed.frame_size + 7) & ~7
+        self._current = None
+        self._current_scope = None
+        return analyzed
+
+    def _declare_local(self, decl: A.VarDecl) -> None:
+        assert self._current is not None and self._current_scope is not None
+        func_name = self._current.definition.name
+        if decl.is_static:
+            # Constant-ness of the initializer is checked in _declare_global.
+            gvar = self._declare_global(decl, owner=func_name)
+            self._current.static_vars.append(gvar)
+            var = VarInfo(
+                name=decl.name,
+                ctype=gvar.ctype,
+                storage="static",
+                size_bytes=gvar.size_bytes,
+                address=gvar.address,
+                owner_function=func_name,
+                line=decl.line,
+            )
+            self._current_scope.declare(var)
+            decl.varinfo = var  # type: ignore[attr-defined]
+            return
+        if decl.init_list is not None:
+            raise TypeError_("brace initializers are global-only", decl.line)
+        ctype = make_type(decl.base_type, decl.pointer_depth, decl.array_size)
+        var = VarInfo(
+            name=decl.name,
+            ctype=ctype,
+            storage="frame",
+            size_bytes=ctype.size_bytes(),
+            offset=self._current.frame_size,
+            owner_function=func_name,
+            line=decl.line,
+        )
+        self._current.frame_size += ctype.size_bytes()
+        self._current.local_vars.append(var)
+        self._current_scope.declare(var)
+        decl.varinfo = var  # type: ignore[attr-defined]
+        if decl.init is not None:
+            value_type = self._check_expr(decl.init)
+            self._check_assignable(ctype, value_type, decl.init, decl.line)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _check_block(self, block: A.Block, new_scope: bool = True) -> None:
+        if new_scope:
+            self._current_scope = _Scope(self._current_scope)
+        for stmt in block.statements:
+            self._check_stmt(stmt)
+        if new_scope:
+            assert self._current_scope is not None
+            self._current_scope = self._current_scope.parent
+
+    def _check_stmt(self, stmt: A.Stmt) -> None:
+        if isinstance(stmt, A.VarDecl):
+            self._declare_local(stmt)
+        elif isinstance(stmt, A.Block):
+            self._check_block(stmt)
+        elif isinstance(stmt, A.ExprStmt):
+            self._check_expr(stmt.expr)
+        elif isinstance(stmt, A.If):
+            self._check_condition(stmt.cond)
+            self._check_stmt(stmt.then_body)
+            if stmt.else_body is not None:
+                self._check_stmt(stmt.else_body)
+        elif isinstance(stmt, A.While):
+            self._check_condition(stmt.cond)
+            self._loop_depth += 1
+            self._check_stmt(stmt.body)
+            self._loop_depth -= 1
+        elif isinstance(stmt, A.DoWhile):
+            self._loop_depth += 1
+            self._check_stmt(stmt.body)
+            self._loop_depth -= 1
+            self._check_condition(stmt.cond)
+        elif isinstance(stmt, A.For):
+            if stmt.init is not None:
+                self._check_expr(stmt.init)
+            if stmt.cond is not None:
+                self._check_condition(stmt.cond)
+            if stmt.step is not None:
+                self._check_expr(stmt.step)
+            self._loop_depth += 1
+            self._check_stmt(stmt.body)
+            self._loop_depth -= 1
+        elif isinstance(stmt, A.Return):
+            assert self._current is not None
+            ret_type = self._current.signature.ret_type
+            if stmt.value is None:
+                if not isinstance(ret_type, VoidType):
+                    raise TypeError_("return without value in non-void function", stmt.line)
+            else:
+                if isinstance(ret_type, VoidType):
+                    raise TypeError_("return with value in void function", stmt.line)
+                value_type = self._check_expr(stmt.value)
+                self._check_assignable(ret_type, value_type, stmt.value, stmt.line)
+        elif isinstance(stmt, (A.Break, A.Continue)):
+            if self._loop_depth == 0:
+                keyword = "break" if isinstance(stmt, A.Break) else "continue"
+                raise TypeError_(f"{keyword} outside of a loop", stmt.line)
+        else:
+            raise TypeError_(f"unknown statement {type(stmt).__name__}", stmt.line)
+
+    def _check_condition(self, expr: A.Expr) -> None:
+        ctype = self._check_expr(expr)
+        if isinstance(decay(ctype), VoidType):
+            raise TypeError_("condition has type void", expr.line)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def _check_assignable(
+        self, target: CType, value: CType, value_expr: A.Expr, line: int
+    ) -> None:
+        target_d, value_d = decay(target), decay(value)
+        if target_d == value_d:
+            return
+        if target_d.is_numeric and value_d.is_numeric:
+            return
+        # K&R-era permissiveness: pointers assign freely to and from other
+        # pointer types and ints (1992 C code stores pointers in int fields
+        # all the time; GCC 1.4 warned at most).  Both words are one cell.
+        if target_d.is_pointer and (value_d.is_pointer or isinstance(value_d, IntType)):
+            return
+        if isinstance(target_d, IntType) and value_d.is_pointer:
+            return
+        raise TypeError_(f"cannot assign {value} to {target}", line)
+
+    def _is_lvalue(self, expr: A.Expr) -> bool:
+        if isinstance(expr, A.Ident):
+            return not expr.ctype.is_array
+        if isinstance(expr, A.Index):
+            return True
+        if isinstance(expr, A.Unary) and expr.op == "*":
+            return True
+        return False
+
+    def _check_expr(self, expr: A.Expr) -> CType:
+        ctype = self._check_expr_inner(expr)
+        expr.ctype = ctype
+        return ctype
+
+    def _check_expr_inner(self, expr: A.Expr) -> CType:
+        if isinstance(expr, A.IntLit):
+            return INT
+        if isinstance(expr, A.FloatLit):
+            return FLOAT
+        if isinstance(expr, A.Ident):
+            assert self._current_scope is not None
+            var = self._current_scope.lookup(expr.name)
+            if var is None:
+                raise TypeError_(f"undeclared identifier {expr.name!r}", expr.line)
+            expr.varinfo = var  # type: ignore[attr-defined]
+            return var.ctype
+        if isinstance(expr, A.Assign):
+            target_type = self._check_expr(expr.target)
+            if not self._is_lvalue(expr.target):
+                raise TypeError_("assignment target is not an lvalue", expr.line)
+            value_type = self._check_expr(expr.value)
+            self._check_assignable(target_type, value_type, expr.value, expr.line)
+            return decay(target_type)
+        if isinstance(expr, A.CompoundAssign):
+            return self._check_compound_assign(expr)
+        if isinstance(expr, A.IncDec):
+            return self._check_incdec(expr)
+        if isinstance(expr, A.Ternary):
+            return self._check_ternary(expr)
+        if isinstance(expr, A.Unary):
+            return self._check_unary(expr)
+        if isinstance(expr, A.Binary):
+            return self._check_binary(expr)
+        if isinstance(expr, A.Call):
+            return self._check_call(expr)
+        if isinstance(expr, A.Index):
+            base_type = decay(self._check_expr(expr.base))
+            if not base_type.is_pointer:
+                raise TypeError_(f"cannot index type {base_type}", expr.line)
+            index_type = decay(self._check_expr(expr.index))
+            if not isinstance(index_type, IntType):
+                raise TypeError_("array index must be an int", expr.line)
+            return base_type.pointee  # type: ignore[union-attr]
+        raise TypeError_(f"unknown expression {type(expr).__name__}", expr.line)
+
+    def _check_compound_assign(self, expr: A.CompoundAssign) -> CType:
+        target_type = self._check_expr(expr.target)
+        if not self._is_lvalue(expr.target):
+            raise TypeError_("compound assignment target is not an lvalue", expr.line)
+        value_type = decay(self._check_expr(expr.value))
+        target_d = decay(target_type)
+        if expr.op in ("%",) and not (
+            isinstance(target_d, IntType) and isinstance(value_type, IntType)
+        ):
+            raise TypeError_("'%=' requires int operands", expr.line)
+        if target_d.is_pointer:
+            # Pointer arithmetic: p += n / p -= n only.
+            if expr.op not in ("+", "-") or not isinstance(value_type, IntType):
+                raise TypeError_(
+                    f"pointer compound assignment supports += and -= int only",
+                    expr.line,
+                )
+            return target_d
+        if not (target_d.is_numeric and value_type.is_numeric):
+            raise TypeError_(
+                f"cannot apply {expr.op}= to {target_type} and {value_type}", expr.line
+            )
+        return target_d
+
+    def _check_incdec(self, expr: A.IncDec) -> CType:
+        target_type = self._check_expr(expr.target)
+        if not self._is_lvalue(expr.target):
+            raise TypeError_("++/-- target is not an lvalue", expr.line)
+        target_d = decay(target_type)
+        if not (target_d.is_numeric or target_d.is_pointer):
+            raise TypeError_(f"cannot apply ++/-- to {target_type}", expr.line)
+        return target_d
+
+    def _check_ternary(self, expr: A.Ternary) -> CType:
+        self._check_condition(expr.cond)
+        then_type = decay(self._check_expr(expr.then_expr))
+        else_type = decay(self._check_expr(expr.else_expr))
+        if then_type == else_type:
+            return then_type
+        if then_type.is_numeric and else_type.is_numeric:
+            if isinstance(then_type, FloatType) or isinstance(else_type, FloatType):
+                return FLOAT
+            return INT
+        if then_type.is_pointer and else_type.is_pointer:
+            return then_type
+        # K&R-style pointer/int mixing, as for assignment.
+        if then_type.is_pointer and isinstance(else_type, IntType):
+            return then_type
+        if else_type.is_pointer and isinstance(then_type, IntType):
+            return else_type
+        raise TypeError_(
+            f"incompatible ternary arms: {then_type} and {else_type}", expr.line
+        )
+
+    def _check_unary(self, expr: A.Unary) -> CType:
+        if expr.op == "&":
+            operand_type = self._check_expr(expr.operand)
+            if isinstance(operand_type, ArrayType):
+                # Permissive: &arr is the decayed pointer, as K&R code assumes.
+                return operand_type.decayed()
+            if not self._is_lvalue(expr.operand):
+                raise TypeError_("'&' requires an lvalue", expr.line)
+            return PointerType(operand_type)
+        operand_type = decay(self._check_expr(expr.operand))
+        if expr.op == "*":
+            if not operand_type.is_pointer:
+                raise TypeError_(f"cannot dereference type {operand_type}", expr.line)
+            pointee = operand_type.pointee  # type: ignore[union-attr]
+            if isinstance(pointee, VoidType):
+                raise TypeError_("cannot dereference void*", expr.line)
+            return pointee
+        if expr.op == "-":
+            if not operand_type.is_numeric:
+                raise TypeError_("unary '-' requires a numeric operand", expr.line)
+            return operand_type
+        if expr.op == "!":
+            return INT
+        if expr.op == "~":
+            if not isinstance(operand_type, IntType):
+                raise TypeError_("'~' requires an int operand", expr.line)
+            return INT
+        raise TypeError_(f"unknown unary operator {expr.op!r}", expr.line)
+
+    def _check_binary(self, expr: A.Binary) -> CType:
+        left = decay(self._check_expr(expr.left))
+        right = decay(self._check_expr(expr.right))
+        op = expr.op
+        if op in ("&&", "||"):
+            return INT
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            if left.is_pointer and right.is_pointer:
+                return INT
+            if left.is_pointer and isinstance(right, IntType):
+                return INT
+            if right.is_pointer and isinstance(left, IntType):
+                return INT
+            if left.is_numeric and right.is_numeric:
+                return INT
+            raise TypeError_(f"cannot compare {left} and {right}", expr.line)
+        if op in ("&", "|", "^", "<<", ">>", "%"):
+            if isinstance(left, IntType) and isinstance(right, IntType):
+                return INT
+            raise TypeError_(f"operator {op!r} requires int operands", expr.line)
+        if op == "+":
+            if left.is_pointer and isinstance(right, IntType):
+                return left
+            if right.is_pointer and isinstance(left, IntType):
+                return right
+        if op == "-":
+            if left.is_pointer and isinstance(right, IntType):
+                return left
+            if left.is_pointer and right.is_pointer:
+                return INT  # pointer difference, in elements
+        if op in ("+", "-", "*", "/"):
+            if left.is_numeric and right.is_numeric:
+                if isinstance(left, FloatType) or isinstance(right, FloatType):
+                    return FLOAT
+                return INT
+            raise TypeError_(f"operator {op!r} cannot combine {left} and {right}", expr.line)
+        raise TypeError_(f"unknown binary operator {op!r}", expr.line)
+
+    def _check_call(self, expr: A.Call) -> CType:
+        builtin = BUILTINS.get(expr.name)
+        if builtin is not None:
+            expr.builtin = builtin  # type: ignore[attr-defined]
+            expr.sig = None  # type: ignore[attr-defined]
+            param_types = builtin.param_types
+            ret_type = builtin.ret_type
+        else:
+            sig = self._unit.signatures.get(expr.name)
+            if sig is None:
+                raise TypeError_(f"call to undefined function {expr.name!r}", expr.line)
+            expr.sig = sig  # type: ignore[attr-defined]
+            expr.builtin = None  # type: ignore[attr-defined]
+            param_types = sig.param_types
+            ret_type = sig.ret_type
+        if len(expr.args) != len(param_types):
+            raise TypeError_(
+                f"{expr.name} expects {len(param_types)} arguments, got {len(expr.args)}",
+                expr.line,
+            )
+        for arg, param_type in zip(expr.args, param_types):
+            arg_type = self._check_expr(arg)
+            self._check_assignable(param_type, arg_type, arg, expr.line)
+        return ret_type
+
+
+def analyze(unit: A.TranslationUnit, layout: MemoryLayout = DEFAULT_LAYOUT) -> AnalyzedUnit:
+    """Run semantic analysis over ``unit``."""
+    return Analyzer(layout).analyze(unit)

@@ -1,0 +1,83 @@
+"""Symbol information produced by semantic analysis.
+
+These records are the bridge between the compiler and everything
+downstream: the loader exposes them for symbol resolution, the tracer uses
+them to emit install/remove events for locals, and the debugger resolves
+user-named variables through them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.minic.mc_types import CType
+
+
+@dataclass
+class VarInfo:
+    """One variable.
+
+    ``storage`` is one of:
+
+    * ``'frame'`` — automatic local or parameter; ``offset`` is the byte
+      offset from the frame pointer;
+    * ``'global'`` — file-scope variable; ``address`` is absolute;
+    * ``'static'`` — function-scope static; ``address`` is absolute and
+      ``owner_function`` names the function.
+    """
+
+    name: str
+    ctype: CType
+    storage: str
+    size_bytes: int
+    offset: int = 0
+    address: int = 0
+    is_param: bool = False
+    owner_function: Optional[str] = None
+    line: int = 0
+
+    @property
+    def is_frame(self) -> bool:
+        return self.storage == "frame"
+
+    def address_in_frame(self, frame_base: int) -> int:
+        """Absolute address of this variable given a frame base."""
+        if self.storage == "frame":
+            return frame_base + self.offset
+        return self.address
+
+    def __repr__(self) -> str:
+        where = f"fp+{self.offset}" if self.is_frame else f"{self.address:#x}"
+        return f"<VarInfo {self.name}:{self.ctype} @{where}>"
+
+
+@dataclass
+class GlobalVar:
+    """A variable in the global segment (file-scope or function static)."""
+
+    name: str
+    ctype: CType
+    address: int
+    size_bytes: int
+    owner_function: Optional[str] = None
+    init_words: List[Tuple[int, object]] = field(default_factory=list)
+    line: int = 0
+
+    @property
+    def end_address(self) -> int:
+        return self.address + self.size_bytes
+
+    def __repr__(self) -> str:
+        return f"<GlobalVar {self.name} @{self.address:#x} +{self.size_bytes}>"
+
+
+@dataclass
+class FunctionSig:
+    """A function signature visible to callers."""
+
+    name: str
+    index: int
+    ret_type: CType
+    param_types: List[CType]
+    line: int = 0

@@ -1,0 +1,65 @@
+"""Token definitions for the MiniC lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+#: Reserved words of the language.
+KEYWORDS = frozenset(
+    {
+        "int",
+        "float",
+        "void",
+        "if",
+        "else",
+        "while",
+        "for",
+        "return",
+        "break",
+        "continue",
+        "static",
+        "do",
+    }
+)
+
+#: Multi-character operators, longest first so the lexer can match greedily.
+MULTI_CHAR_OPERATORS = (
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "++",
+    "--",
+)
+
+#: Single-character operators and punctuation.
+SINGLE_CHAR_OPERATORS = "+-*/%=<>!&|^~(){}[],;?:"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of: ``'ident'``, ``'int_lit'``, ``'float_lit'``, a
+    keyword string (``'int'``, ``'while'``, ...), an operator string, or
+    ``'eof'``.  Literal kinds are distinct from the ``int``/``float``
+    type keywords.
+    """
+
+    kind: str
+    value: Union[str, int, float, None]
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind!r}, {self.value!r}, line={self.line})"

@@ -1,0 +1,88 @@
+"""Model interface and the overhead record all four models produce."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Type
+
+from repro.errors import PipelineError
+from repro.models.timing import TimingVariables
+from repro.simulate.counting import CountingVariables
+
+
+@dataclass
+class Overhead:
+    """Estimated overhead of one monitor session, in microseconds.
+
+    The four components follow the paper's model structure: the total
+    overhead of a session is simply their sum.  ``by_timing_variable``
+    attributes the same total to individual Table-2 timing variables,
+    which is what the paper's section-8 breakdown reports.
+    """
+
+    monitor_hit: float = 0.0
+    monitor_miss: float = 0.0
+    install_monitor: float = 0.0
+    remove_monitor: float = 0.0
+    by_timing_variable: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_us(self) -> float:
+        return (
+            self.monitor_hit
+            + self.monitor_miss
+            + self.install_monitor
+            + self.remove_monitor
+        )
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_us / 1000.0
+
+
+class WmsModel:
+    """Base class: an analytical model of one WMS strategy.
+
+    Subclasses implement :meth:`overhead`.  ``page_size`` is honored only
+    by page-granular models (VirtualMemory); others ignore it.
+    """
+
+    #: Short name used in tables ("NH", "VM", "TP", "CP").
+    abbrev: str = "?"
+    #: Full name used in prose ("NativeHardware", ...).
+    name: str = "?"
+    #: True if the model's numbers depend on the page size.
+    page_sensitive: bool = False
+
+    def __init__(self, timing: TimingVariables) -> None:
+        self.timing = timing
+
+    def overhead(self, counts: CountingVariables, page_size: int = 4096) -> Overhead:
+        """Estimate the session overhead from its counting variables."""
+        raise NotImplementedError
+
+    def label(self, page_size: int = 4096) -> str:
+        """Column label, e.g. ``VM-4K`` for page-sensitive models."""
+        if self.page_sensitive:
+            return f"{self.abbrev}-{page_size // 1024}K"
+        return self.abbrev
+
+
+#: name/abbrev -> model class; populated by each model module at import.
+MODEL_REGISTRY: Dict[str, Type[WmsModel]] = {}
+
+
+def register_model(cls: Type[WmsModel]) -> Type[WmsModel]:
+    """Class decorator registering a model under its name and abbrev."""
+    MODEL_REGISTRY[cls.abbrev] = cls
+    MODEL_REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_model(name: str, timing: TimingVariables) -> WmsModel:
+    """Instantiate a registered model by name or abbreviation."""
+    cls = MODEL_REGISTRY.get(name)
+    if cls is None:
+        known = sorted({c.abbrev for c in MODEL_REGISTRY.values()})
+        raise PipelineError(f"unknown model {name!r}; known: {known}")
+    return cls(timing)

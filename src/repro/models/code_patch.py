@@ -1,0 +1,39 @@
+"""CodePatch analytical model (paper Figure 6).
+
+Every write instruction was prefixed with an inline check at compile
+time; no kernel involvement at all::
+
+    MonitorHit_ov     = MonitorHit_s  * SoftwareLookup_t
+    MonitorMiss_ov    = MonitorMiss_s * SoftwareLookup_t
+    InstallMonitor_ov = InstallMonitor_s * SoftwareUpdate_t
+    RemoveMonitor_ov  = RemoveMonitor_s  * SoftwareUpdate_t
+"""
+
+from __future__ import annotations
+
+from repro.models.base import Overhead, WmsModel, register_model
+from repro.simulate.counting import CountingVariables
+
+
+@register_model
+class CodePatchModel(WmsModel):
+    """The paper's CP model."""
+
+    abbrev = "CP"
+    name = "CodePatch"
+    page_sensitive = False
+
+    def overhead(self, counts: CountingVariables, page_size: int = 4096) -> Overhead:
+        timing = self.timing
+        writes = counts.hits + counts.misses
+        return Overhead(
+            monitor_hit=counts.hits * timing.software_lookup,
+            monitor_miss=counts.misses * timing.software_lookup,
+            install_monitor=counts.installs * timing.software_update,
+            remove_monitor=counts.removes * timing.software_update,
+            by_timing_variable={
+                "SoftwareLookup": writes * timing.software_lookup,
+                "SoftwareUpdate": (counts.installs + counts.removes)
+                * timing.software_update,
+            },
+        )

@@ -1,0 +1,31 @@
+"""NativeHardware analytical model (paper Figure 3).
+
+A monitor hit triggers a monitor-register fault; the hardware is directly
+accessible to user programs, so installs, removes, and misses are free::
+
+    MonitorHit_ov     = MonitorHit_s * NHFaultHandler_t
+    MonitorMiss_ov    = 0
+    InstallMonitor_ov = 0
+    RemoveMonitor_ov  = 0
+"""
+
+from __future__ import annotations
+
+from repro.models.base import Overhead, WmsModel, register_model
+from repro.simulate.counting import CountingVariables
+
+
+@register_model
+class NativeHardwareModel(WmsModel):
+    """The paper's NH model."""
+
+    abbrev = "NH"
+    name = "NativeHardware"
+    page_sensitive = False
+
+    def overhead(self, counts: CountingVariables, page_size: int = 4096) -> Overhead:
+        hit_us = counts.hits * self.timing.nh_fault_handler
+        return Overhead(
+            monitor_hit=hit_us,
+            by_timing_variable={"NHFaultHandler": hit_us},
+        )

@@ -1,0 +1,103 @@
+"""Overhead computation across sessions and approaches.
+
+Glue between the models and the analysis layer: compute per-session
+overheads for each approach/page-size column the paper reports
+(NH, VM-4K, VM-8K, TP, CP), normalize to base execution time
+(*relative overhead*, paper section 8), and aggregate the section-8
+percentage breakdowns by timing variable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.models.base import Overhead, WmsModel
+from repro.models.code_patch import CodePatchModel
+from repro.models.native_hardware import NativeHardwareModel
+from repro.models.timing import SPARCSTATION_2_TIMING, TimingVariables
+from repro.models.trap_patch import TrapPatchModel
+from repro.models.virtual_memory import VirtualMemoryModel
+from repro.simulate.counting import CountingVariables
+
+
+@dataclass(frozen=True)
+class ApproachOverhead:
+    """One approach column: label plus model and page size."""
+
+    label: str
+    model: WmsModel
+    page_size: int
+
+
+def paper_approaches(
+    timing: TimingVariables = SPARCSTATION_2_TIMING,
+    page_sizes: Sequence[int] = (4096, 8192),
+) -> List[ApproachOverhead]:
+    """The five approach columns of the paper's Table 4.
+
+    NH, one VM column per page size, TP, CP — in the paper's order.
+    """
+    columns: List[ApproachOverhead] = [
+        ApproachOverhead("NH", NativeHardwareModel(timing), page_sizes[0])
+    ]
+    vm_model = VirtualMemoryModel(timing)
+    for page_size in page_sizes:
+        columns.append(
+            ApproachOverhead(vm_model.label(page_size), vm_model, page_size)
+        )
+    columns.append(ApproachOverhead("TP", TrapPatchModel(timing), page_sizes[0]))
+    columns.append(ApproachOverhead("CP", CodePatchModel(timing), page_sizes[0]))
+    return columns
+
+
+def session_overheads(
+    counts_by_session: Mapping[object, CountingVariables],
+    approach: ApproachOverhead,
+) -> Dict[object, Overhead]:
+    """Per-session :class:`Overhead` under one approach."""
+    return {
+        session: approach.model.overhead(counts, approach.page_size)
+        for session, counts in counts_by_session.items()
+    }
+
+
+def relative_overhead(overhead: Overhead, base_time_us: float) -> float:
+    """Overhead normalized to base execution time (section 8).
+
+    A value of 1.0 means the session doubles the program's run time.
+    """
+    if base_time_us <= 0:
+        raise ValueError(f"non-positive base time {base_time_us}")
+    return overhead.total_us / base_time_us
+
+
+def overhead_breakdown(
+    overheads: Sequence[Overhead],
+) -> Dict[str, float]:
+    """Mean percentage of overhead per timing variable (section 8).
+
+    For each session the paper computes the percentage of its overhead
+    attributable to each timing variable, then averages the percentages
+    over sessions; zero-overhead sessions contribute nothing.
+    """
+    sums: Dict[str, float] = {}
+    n_counted = 0
+    for overhead in overheads:
+        total = overhead.total_us
+        if total <= 0:
+            continue
+        n_counted += 1
+        for name, amount in overhead.by_timing_variable.items():
+            sums[name] = sums.get(name, 0.0) + 100.0 * amount / total
+    if n_counted == 0:
+        return {}
+    return {name: value / n_counted for name, value in sums.items()}
+
+
+def dominant_component(breakdown: Mapping[str, float]) -> Tuple[str, float]:
+    """The timing variable with the largest mean share."""
+    if not breakdown:
+        return ("none", 0.0)
+    name = max(breakdown, key=lambda key: breakdown[key])
+    return (name, breakdown[name])

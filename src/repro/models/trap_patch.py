@@ -1,0 +1,41 @@
+"""TrapPatch analytical model (paper Figure 5).
+
+Every write instruction was replaced by a trap at compile time, so hits
+and misses both pay the trap fault plus a software lookup::
+
+    MonitorHit_ov     = MonitorHit_s  * (TPFaultHandler_t + SoftwareLookup_t)
+    MonitorMiss_ov    = MonitorMiss_s * (TPFaultHandler_t + SoftwareLookup_t)
+    InstallMonitor_ov = InstallMonitor_s * SoftwareUpdate_t
+    RemoveMonitor_ov  = RemoveMonitor_s  * SoftwareUpdate_t
+"""
+
+from __future__ import annotations
+
+from repro.models.base import Overhead, WmsModel, register_model
+from repro.simulate.counting import CountingVariables
+
+
+@register_model
+class TrapPatchModel(WmsModel):
+    """The paper's TP model."""
+
+    abbrev = "TP"
+    name = "TrapPatch"
+    page_sensitive = False
+
+    def overhead(self, counts: CountingVariables, page_size: int = 4096) -> Overhead:
+        timing = self.timing
+        per_write = timing.tp_fault_handler + timing.software_lookup
+        writes = counts.hits + counts.misses
+        return Overhead(
+            monitor_hit=counts.hits * per_write,
+            monitor_miss=counts.misses * per_write,
+            install_monitor=counts.installs * timing.software_update,
+            remove_monitor=counts.removes * timing.software_update,
+            by_timing_variable={
+                "TPFaultHandler": writes * timing.tp_fault_handler,
+                "SoftwareLookup": writes * timing.software_lookup,
+                "SoftwareUpdate": (counts.installs + counts.removes)
+                * timing.software_update,
+            },
+        )

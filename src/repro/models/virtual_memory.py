@@ -1,0 +1,70 @@
+"""VirtualMemory analytical model (paper Figure 4).
+
+Monitor hits — and misses that land on a page holding an active monitor —
+take a write fault, a software lookup, and the unprotect/emulate/reprotect
+dance.  Installing or removing a monitor updates the (protected) WMS data
+structures and may change page protections::
+
+    MonitorHit_ov     = MonitorHit_s * (VMFaultHandler_t + SoftwareLookup_t)
+    MonitorMiss_ov    = VMActivePageMiss_s * (VMFaultHandler_t + SoftwareLookup_t)
+    InstallMonitor_ov = InstallMonitor_s
+                          * (VMUnprotect_t + SoftwareUpdate_t + VMProtect_t)
+                        + VMProtect_s * VMProtect_t
+    RemoveMonitor_ov  = RemoveMonitor_s
+                          * (VMUnprotect_t + SoftwareUpdate_t + VMProtect_t)
+                        + VMUnprotect_s * VMUnprotect_t
+
+The install/remove term's first factor is the cost of unprotecting,
+updating, and reprotecting the page of the WMS mapping itself, which
+lives write-protected in the debuggee's address space (section 3.4).
+"""
+
+from __future__ import annotations
+
+from repro.models.base import Overhead, WmsModel, register_model
+from repro.simulate.counting import CountingVariables
+
+
+@register_model
+class VirtualMemoryModel(WmsModel):
+    """The paper's VM model, parameterized by page size."""
+
+    abbrev = "VM"
+    name = "VirtualMemory"
+    page_sensitive = True
+
+    def overhead(self, counts: CountingVariables, page_size: int = 4096) -> Overhead:
+        timing = self.timing
+        vm = counts.vm_counts(page_size)
+        fault_us = timing.vm_fault_handler
+        lookup_us = timing.software_lookup
+
+        hit = counts.hits * (fault_us + lookup_us)
+        miss = vm.active_page_misses * (fault_us + lookup_us)
+        structure_dance = (
+            timing.vm_unprotect_page + timing.software_update + timing.vm_protect_page
+        )
+        install = counts.installs * structure_dance + vm.protects * timing.vm_protect_page
+        remove = counts.removes * structure_dance + vm.unprotects * timing.vm_unprotect_page
+
+        faulting_writes = counts.hits + vm.active_page_misses
+        breakdown = {
+            "VMFaultHandler": faulting_writes * fault_us,
+            "SoftwareLookup": faulting_writes * lookup_us,
+            "SoftwareUpdate": (counts.installs + counts.removes) * timing.software_update,
+            "VMProtectPage": (
+                (counts.installs + counts.removes + vm.protects)
+                * timing.vm_protect_page
+            ),
+            "VMUnprotectPage": (
+                (counts.installs + counts.removes + vm.unprotects)
+                * timing.vm_unprotect_page
+            ),
+        }
+        return Overhead(
+            monitor_hit=hit,
+            monitor_miss=miss,
+            install_monitor=install,
+            remove_monitor=remove,
+            by_timing_variable=breakdown,
+        )

@@ -1,0 +1,13 @@
+"""Monitor sessions (paper section 5).
+
+A monitor session characterizes write-monitor activity for one run: a
+program-independent description of *what to watch*.  The five session
+types the paper studies are enumerated over a trace's object registry by
+:func:`~repro.sessions.discovery.discover_sessions`; sessions with no
+monitor hits are discarded downstream, as in the paper.
+"""
+
+from repro.sessions.types import SessionDef, SESSION_TYPE_ORDER
+from repro.sessions.discovery import discover_sessions
+
+__all__ = ["SessionDef", "SESSION_TYPE_ORDER", "discover_sessions"]

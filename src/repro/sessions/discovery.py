@@ -1,0 +1,87 @@
+"""Session discovery: enumerate every session instance over a registry.
+
+For each benchmark the paper "discovered all instances of the monitor
+session types described in Section 5" (section 8) — e.g. one
+OneLocalAuto session per local automatic variable.  This module does the
+same over a trace's object registry:
+
+* **OneLocalAuto** — one session per local automatic variable (including
+  parameters, which are automatic variables in C);
+* **AllLocalInFunc** — one per function with locals, members = all its
+  locals *including local statics* (paper section 5);
+* **OneGlobalStatic** — one per file-scope variable;
+* **OneHeap** — one per heap allocation;
+* **AllHeapInFunc** — one per function f that appears in the allocation
+  context of at least one heap object, members = all heap objects
+  allocated while f was on the call stack.
+
+Zero-hit sessions are discarded later, once the simulator has counted
+hits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.sessions.types import (
+    ALL_HEAP_IN_FUNC,
+    ALL_LOCAL_IN_FUNC,
+    ONE_GLOBAL_STATIC,
+    ONE_HEAP,
+    ONE_LOCAL_AUTO,
+    SessionDef,
+)
+from repro.trace.objects import GLOBAL, HEAP, LOCAL, STATIC, ObjectRegistry
+
+
+def discover_sessions(registry: ObjectRegistry) -> List[SessionDef]:
+    """Enumerate all candidate sessions over ``registry``.
+
+    Sessions are returned in a stable order (by type, then by first
+    appearance), with dense indexes suitable for the simulator.
+    """
+    sessions: List[SessionDef] = []
+
+    def add(kind: str, label: str, member_ids) -> None:
+        sessions.append(
+            SessionDef(
+                index=len(sessions),
+                kind=kind,
+                label=label,
+                member_ids=tuple(member_ids),
+            )
+        )
+
+    # OneLocalAuto: a single local automatic variable.
+    for obj in registry.objects:
+        if obj.kind == LOCAL:
+            add(ONE_LOCAL_AUTO, obj.qualified_name, (obj.id,))
+
+    # AllLocalInFunc: all locals of one function, including statics.
+    locals_by_func: Dict[str, List[int]] = {}
+    for obj in registry.objects:
+        if obj.kind in (LOCAL, STATIC) and obj.function:
+            locals_by_func.setdefault(obj.function, []).append(obj.id)
+    for function, member_ids in locals_by_func.items():
+        add(ALL_LOCAL_IN_FUNC, f"{function}.*", member_ids)
+
+    # OneGlobalStatic: a single global static variable.
+    for obj in registry.objects:
+        if obj.kind == GLOBAL:
+            add(ONE_GLOBAL_STATIC, obj.name, (obj.id,))
+
+    # OneHeap: a single heap object.
+    for obj in registry.objects:
+        if obj.kind == HEAP:
+            add(ONE_HEAP, obj.name, (obj.id,))
+
+    # AllHeapInFunc: heap objects allocated in the dynamic context of f.
+    heap_by_context: Dict[str, List[int]] = {}
+    for obj in registry.objects:
+        if obj.kind == HEAP:
+            for function in set(obj.context):
+                heap_by_context.setdefault(function, []).append(obj.id)
+    for function, member_ids in heap_by_context.items():
+        add(ALL_HEAP_IN_FUNC, f"heap@{function}", member_ids)
+
+    return sessions

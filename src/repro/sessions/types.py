@@ -1,0 +1,55 @@
+"""Session definitions.
+
+A session is a set of member objects: installing the session means
+installing one write monitor per member instantiation (the high-level
+description translates directly into InstallMonitor/RemoveMonitor calls,
+paper footnote 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+#: The paper's five session types, in Table-1 column order.
+ONE_LOCAL_AUTO = "OneLocalAuto"
+ALL_LOCAL_IN_FUNC = "AllLocalInFunc"
+ONE_GLOBAL_STATIC = "OneGlobalStatic"
+ONE_HEAP = "OneHeap"
+ALL_HEAP_IN_FUNC = "AllHeapInFunc"
+
+SESSION_TYPE_ORDER = (
+    ONE_LOCAL_AUTO,
+    ALL_LOCAL_IN_FUNC,
+    ONE_GLOBAL_STATIC,
+    ONE_HEAP,
+    ALL_HEAP_IN_FUNC,
+)
+
+
+@dataclass(frozen=True)
+class SessionDef:
+    """One monitor session.
+
+    ``index`` is dense (used as an array index by the simulator);
+    ``member_ids`` are object ids from the trace's registry.
+    """
+
+    index: int
+    kind: str
+    label: str
+    member_ids: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in SESSION_TYPE_ORDER:
+            from repro.errors import SessionError
+
+            raise SessionError(f"unknown session type {self.kind!r}")
+        if not self.member_ids:
+            from repro.errors import SessionError
+
+            raise SessionError(f"session {self.label!r} has no members")
+
+    @property
+    def n_members(self) -> int:
+        return len(self.member_ids)

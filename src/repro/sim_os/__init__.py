@@ -1,0 +1,18 @@
+"""Simulated operating system (SunOS-4.1.1-flavored).
+
+Provides the three OS facilities the paper's strategies depend on:
+
+* **signal-style fault delivery** to user-level handlers (``sigaction`` /
+  ``deliver``), with kernel costs calibrated so the composite times of
+  the paper's Table 2 emerge from the mechanism
+  (:class:`~repro.sim_os.costs.KernelCosts`);
+* **mprotect** page-protection syscalls, with the paper's observed
+  protect/unprotect cost asymmetry (Appendix A.3);
+* **getrusage-style timers** used by the Appendix-A microbenchmarks.
+"""
+
+from repro.sim_os.costs import KernelCosts
+from repro.sim_os.signals import Signal, signal_for_trap
+from repro.sim_os.simos import SimOs, RusageTimer
+
+__all__ = ["KernelCosts", "Signal", "signal_for_trap", "SimOs", "RusageTimer"]

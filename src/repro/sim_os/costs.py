@@ -1,0 +1,78 @@
+"""Kernel cost model, calibrated to the paper's Table 2.
+
+The paper measures composite operation times on a SPARCstation 2 running
+SunOS 4.1.1 (Appendix A).  We decompose those composites into primitive
+kernel costs such that the Appendix-A microbenchmarks, run against the
+simulated OS, reproduce Table 2:
+
+====================  ======  =============================================
+Table 2 entry           us    decomposition (cycles at 40 cycles/us)
+====================  ======  =============================================
+NHFaultHandler_t        131   monitor-fault delivery + resume       (5240)
+TPFaultHandler_t        102   trap delivery (2040) + emulate (2040) (4080)
+VMFaultHandler_t        561   write-fault delivery (5240)
+                              + mprotect RW, lazy path     (11960)
+                              + mprotect R                  (3200)
+                              + emulate                     (2040) (22440)
+VMProtectPage_t          80   synchronous PTE update + flush        (3200)
+VMUnprotectPage_t       299   lazy mapping update (paper A.3)      (11960)
+====================  ======  =============================================
+
+``SoftwareLookup_t`` and ``SoftwareUpdate_t`` are user-level costs and are
+modeled in :mod:`repro.models.timing`, not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import us_to_cycles
+
+
+@dataclass(frozen=True)
+class KernelCosts:
+    """Primitive kernel operation costs, in cycles.
+
+    The defaults reproduce the paper's SPARCstation 2 measurements; pass a
+    different instance to model other platforms (the models section of the
+    paper invites exactly this kind of substitution).
+    """
+
+    #: Receive a monitor-register fault in a user handler and resume.
+    monitor_fault_delivery: int = us_to_cycles(131)
+    #: Receive a VM write fault in a user handler and resume (delivery
+    #: only; mprotect calls and emulation are charged separately).
+    write_fault_delivery: int = us_to_cycles(131)
+    #: Receive a trap-instruction fault in a user handler and resume.
+    trap_delivery: int = us_to_cycles(51)
+    #: Emulate a faulting store from a handler.
+    emulate_store: int = us_to_cycles(51)
+    #: mprotect: make one page read-only (synchronous PTE update).
+    protect_page: int = us_to_cycles(80)
+    #: mprotect: make one page writable (lazy mapping update; Appendix A.3
+    #: conjectures the deferred fault makes this path much slower).
+    unprotect_page: int = us_to_cycles(299)
+
+    @property
+    def nh_fault_handler(self) -> int:
+        """Composite NHFaultHandler_t in cycles (should equal 131 us)."""
+        return self.monitor_fault_delivery
+
+    @property
+    def tp_fault_handler(self) -> int:
+        """Composite TPFaultHandler_t in cycles (should equal 102 us)."""
+        return self.trap_delivery + self.emulate_store
+
+    @property
+    def vm_fault_handler(self) -> int:
+        """Composite VMFaultHandler_t in cycles (should equal 561 us)."""
+        return (
+            self.write_fault_delivery
+            + self.unprotect_page
+            + self.protect_page
+            + self.emulate_store
+        )
+
+
+#: Costs calibrated to the paper's SPARCstation 2 (Table 2).
+SPARCSTATION_2 = KernelCosts()

@@ -1,0 +1,22 @@
+"""Phase-2 simulator.
+
+Replays a phase-1 program event trace against monitor-session definitions
+and produces the per-session *counting variables* the analytical models
+consume (paper sections 4 and 7): monitor hits, misses, installs,
+removes, and — per page size — page protect/unprotect transitions and
+active-page misses.
+
+The engine makes a **single pass** over the trace and computes exact
+counting variables for *every* session simultaneously; see
+:mod:`repro.simulate.engine` for the algorithm.
+"""
+
+from repro.simulate.counting import CountingVariables, VmPageCounts
+from repro.simulate.engine import SimulationResult, simulate_sessions
+
+__all__ = [
+    "CountingVariables",
+    "VmPageCounts",
+    "SimulationResult",
+    "simulate_sessions",
+]

@@ -1,0 +1,56 @@
+"""Counting variables (paper section 7, Figure 2 and Figure 4).
+
+One :class:`CountingVariables` record captures a monitor session's
+run-time behaviour: how many monitors were installed/removed, how many
+writes hit and missed, and — for the VirtualMemory strategy, per page
+size — how often pages transitioned between protected and unprotected
+and how many misses landed on pages holding an active monitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class VmPageCounts:
+    """Page-granular counts for one page size (paper Figure 4).
+
+    * ``protects`` — times a page's active-monitor count went 0 -> 1
+      (``VMProtect_s``);
+    * ``unprotects`` — times it went 1 -> 0 (``VMUnprotect_s``);
+    * ``active_page_misses`` — monitor misses that wrote to a page
+      containing an active monitor (``VMActivePageMiss_s``).
+    """
+
+    protects: int = 0
+    unprotects: int = 0
+    active_page_misses: int = 0
+
+
+@dataclass
+class CountingVariables:
+    """Counting variables for one monitor session.
+
+    ``vm`` maps page size in bytes to that size's
+    :class:`VmPageCounts`.  Invariant (property-tested):
+    ``hits + misses == total writes in the trace``.
+    """
+
+    installs: int = 0
+    removes: int = 0
+    hits: int = 0
+    misses: int = 0
+    #: Peak number of simultaneously active monitors (drives the
+    #: NativeHardware register-pressure analysis: 1992 hardware had <= 4).
+    max_concurrent: int = 0
+    vm: Dict[int, VmPageCounts] = field(default_factory=dict)
+
+    def vm_counts(self, page_size: int) -> VmPageCounts:
+        """The page-granular counts for ``page_size`` (must exist)."""
+        return self.vm[page_size]
+
+    @property
+    def total_writes(self) -> int:
+        return self.hits + self.misses

@@ -1,0 +1,234 @@
+"""One-pass trace simulator.
+
+The paper runs phase 2 once per monitor session; with thousands of
+sessions over multi-million-event traces that is infeasible here, so this
+engine computes exact counting variables for *all* sessions in a single
+pass over the trace.  Three ideas make that work:
+
+1. **Word ownership.** Live monitored objects never overlap (stack frames,
+   heap blocks, and globals are disjoint regions), so a dict mapping each
+   monitored word to its owning object resolves any write to the object —
+   and hence to every session containing it — in O(1).
+
+2. **Session membership is static.** ``object id -> (session indexes)``
+   is precomputed, so a hit updates each affected session with one list
+   increment.
+
+3. **Lazy page accounting.** ``VMActivePageMiss`` needs "writes to page p
+   while session s had an active monitor on p".  The engine keeps one
+   cumulative write counter per page and, per (page, session) pair, an
+   active-monitor count plus the counter value captured when the count
+   rose from zero; when it falls back to zero the difference is added to
+   the session's raw active-page-write total.  Work happens only at
+   install/remove transitions, never per write.  Then::
+
+       VMActivePageMiss = raw_active_writes - hits
+
+   because every hit lands on a page where the session is active (and is
+   therefore contained in the raw total).
+
+Invariants (property-tested in the test suite)::
+
+    hits + misses == total writes        (for every session)
+    0 <= active_page_misses <= misses    (for every session, page size)
+    protects == unprotects               (trace closes all windows)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import PipelineError
+from repro.sessions.types import SessionDef
+from repro.simulate.counting import CountingVariables, VmPageCounts
+from repro.trace.events import EventKind, EventTrace, TraceMeta
+from repro.trace.objects import ObjectRegistry
+
+
+@dataclass
+class SimulationResult:
+    """All counting variables for one program's trace.
+
+    ``sessions`` holds only the *studied* sessions — those with at least
+    one monitor hit (zero-hit sessions are discarded, paper section 8).
+    ``counts`` is parallel to ``sessions``.
+    """
+
+    program: str
+    meta: TraceMeta
+    page_sizes: Tuple[int, ...]
+    sessions: List[SessionDef] = field(default_factory=list)
+    counts: List[CountingVariables] = field(default_factory=list)
+    total_writes: int = 0
+    n_discarded: int = 0
+    overlap_anomalies: int = 0
+
+    def by_session(self) -> Dict[SessionDef, CountingVariables]:
+        """Session -> counting variables mapping."""
+        return dict(zip(self.sessions, self.counts))
+
+    def of_kind(self, kind: str) -> List[Tuple[SessionDef, CountingVariables]]:
+        """Studied sessions of one type, with their counts."""
+        return [
+            (session, counts)
+            for session, counts in zip(self.sessions, self.counts)
+            if session.kind == kind
+        ]
+
+
+def simulate_sessions(
+    trace: EventTrace,
+    registry: ObjectRegistry,
+    sessions: Sequence[SessionDef],
+    page_sizes: Sequence[int] = (4096, 8192),
+) -> SimulationResult:
+    """Run the one-pass simulation; see module docstring.
+
+    Returns a :class:`SimulationResult` containing only sessions with at
+    least one hit.
+    """
+    n_sessions = len(sessions)
+    if n_sessions == 0:
+        raise PipelineError("no sessions to simulate")
+
+    # object id -> tuple of session indexes containing it.
+    member_lists: List[List[int]] = [[] for _ in range(len(registry.objects))]
+    for session in sessions:
+        for object_id in session.member_ids:
+            member_lists[object_id].append(session.index)
+    obj_sessions: List[Tuple[int, ...]] = [tuple(lst) for lst in member_lists]
+
+    installs = [0] * n_sessions
+    removes = [0] * n_sessions
+    hits = [0] * n_sessions
+    active_now = [0] * n_sessions
+    max_active = [0] * n_sessions
+
+    shifts = [size.bit_length() - 1 for size in page_sizes]
+    page_writes: List[Dict[int, int]] = [dict() for _ in page_sizes]
+    # (page * n_sessions + session) -> [active_count, start_write_count]
+    pair_state: List[Dict[int, list]] = [dict() for _ in page_sizes]
+    protects = [[0] * n_sessions for _ in page_sizes]
+    unprotects = [[0] * n_sessions for _ in page_sizes]
+    raw_active = [[0] * n_sessions for _ in page_sizes]
+
+    total_writes = 0
+    overlap_anomalies = 0
+    word_owner: Dict[int, int] = {}
+
+    WRITE = int(EventKind.WRITE)
+    INSTALL = int(EventKind.INSTALL)
+    n_page_sizes = len(page_sizes)
+    page_range = range(n_page_sizes)
+
+    for kind, a, b, c in zip(trace.kinds, trace.col_a, trace.col_b, trace.col_c):
+        if kind == WRITE:
+            total_writes += 1
+            for i in page_range:
+                pw = page_writes[i]
+                page = a >> shifts[i]
+                pw[page] = pw.get(page, 0) + 1
+            if b - a <= 4:
+                obj = word_owner.get(a)
+                if obj is not None:
+                    for s in obj_sessions[obj]:
+                        hits[s] += 1
+            else:
+                # Multi-word write: one hit per session, however many
+                # member words it touches.
+                touched = set()
+                for word in range(a, b, 4):
+                    obj = word_owner.get(word)
+                    if obj is not None:
+                        touched.update(obj_sessions[obj])
+                for s in touched:
+                    hits[s] += 1
+        elif kind == INSTALL:
+            owners = obj_sessions[a]
+            for s in owners:
+                installs[s] += 1
+                active_now[s] += 1
+                if active_now[s] > max_active[s]:
+                    max_active[s] = active_now[s]
+            for word in range(b, c, 4):
+                if word in word_owner:
+                    overlap_anomalies += 1
+                word_owner[word] = a
+            for i in page_range:
+                shift = shifts[i]
+                pairs = pair_state[i]
+                pw = page_writes[i]
+                prot = protects[i]
+                for page in range(b >> shift, ((c - 1) >> shift) + 1):
+                    base = page * n_sessions
+                    for s in owners:
+                        state = pairs.get(base + s)
+                        if state is None or state[0] == 0:
+                            pairs[base + s] = [1, pw.get(page, 0)]
+                            prot[s] += 1
+                        else:
+                            state[0] += 1
+        else:  # REMOVE
+            owners = obj_sessions[a]
+            for s in owners:
+                removes[s] += 1
+                active_now[s] -= 1
+            for word in range(b, c, 4):
+                if word_owner.pop(word, None) is None:
+                    overlap_anomalies += 1
+            for i in page_range:
+                shift = shifts[i]
+                pairs = pair_state[i]
+                pw = page_writes[i]
+                unprot = unprotects[i]
+                raw = raw_active[i]
+                for page in range(b >> shift, ((c - 1) >> shift) + 1):
+                    base = page * n_sessions
+                    for s in owners:
+                        state = pairs.get(base + s)
+                        if state is None or state[0] == 0:
+                            overlap_anomalies += 1
+                            continue
+                        state[0] -= 1
+                        if state[0] == 0:
+                            unprot[s] += 1
+                            raw[s] += pw.get(page, 0) - state[1]
+
+    # Defensive flush: close any windows the trace left open.
+    for i in page_range:
+        pw = page_writes[i]
+        for key, state in pair_state[i].items():
+            if state[0] > 0:
+                page, s = divmod(key, n_sessions)
+                unprotects[i][s] += 1
+                raw_active[i][s] += pw.get(page, 0) - state[1]
+
+    result = SimulationResult(
+        program=trace.meta.program,
+        meta=trace.meta,
+        page_sizes=tuple(page_sizes),
+        total_writes=total_writes,
+        overlap_anomalies=overlap_anomalies,
+    )
+    for session in sessions:
+        s = session.index
+        if hits[s] == 0:
+            result.n_discarded += 1
+            continue
+        counting = CountingVariables(
+            installs=installs[s],
+            removes=removes[s],
+            hits=hits[s],
+            misses=total_writes - hits[s],
+            max_concurrent=max_active[s],
+        )
+        for i, size in enumerate(page_sizes):
+            counting.vm[size] = VmPageCounts(
+                protects=protects[i][s],
+                unprotects=unprotects[i][s],
+                active_page_misses=max(raw_active[i][s] - hits[s], 0),
+            )
+        result.sessions.append(session)
+        result.counts.append(counting)
+    return result

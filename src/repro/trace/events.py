@@ -1,0 +1,116 @@
+"""Event trace container.
+
+Events are stored as three parallel ``array('q')`` columns plus a kind
+byte column — compact enough to hold multi-million-event traces in
+memory and to save/load via numpy.
+
+Column meaning by kind::
+
+    INSTALL / REMOVE:  a = object id,  b = BA,  c = EA
+    WRITE:             a = BA,         b = EA,  c = 0
+"""
+
+from __future__ import annotations
+
+import enum
+from array import array
+from dataclasses import dataclass, field
+from typing import Iterator, Tuple
+
+
+class EventKind(enum.IntEnum):
+    """Trace event kinds (paper section 6)."""
+
+    INSTALL = 1
+    REMOVE = 2
+    WRITE = 3
+
+
+@dataclass
+class TraceMeta:
+    """Run-level metadata accompanying a trace."""
+
+    program: str = "program"
+    cycles: int = 0
+    instructions: int = 0
+    stores: int = 0
+    n_writes: int = 0
+    n_installs: int = 0
+    n_removes: int = 0
+
+    @property
+    def base_time_us(self) -> float:
+        """Base execution time in modeled microseconds (cycles @ 40 MHz)."""
+        from repro.units import cycles_to_us
+
+        return cycles_to_us(self.cycles)
+
+    @property
+    def base_time_ms(self) -> float:
+        return self.base_time_us / 1000.0
+
+
+class EventTrace:
+    """Append-only event log with compact column storage."""
+
+    def __init__(self, program: str = "program") -> None:
+        self.kinds = array("b")
+        self.col_a = array("q")
+        self.col_b = array("q")
+        self.col_c = array("q")
+        self.meta = TraceMeta(program=program)
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    # -- appenders (hot path) ------------------------------------------------
+
+    def append_write(self, begin: int, end: int) -> None:
+        self.kinds.append(EventKind.WRITE)
+        self.col_a.append(begin)
+        self.col_b.append(end)
+        self.col_c.append(0)
+        self.meta.n_writes += 1
+
+    def append_install(self, object_id: int, begin: int, end: int) -> None:
+        self.kinds.append(EventKind.INSTALL)
+        self.col_a.append(object_id)
+        self.col_b.append(begin)
+        self.col_c.append(end)
+        self.meta.n_installs += 1
+
+    def append_remove(self, object_id: int, begin: int, end: int) -> None:
+        self.kinds.append(EventKind.REMOVE)
+        self.col_a.append(object_id)
+        self.col_b.append(begin)
+        self.col_c.append(end)
+        self.meta.n_removes += 1
+
+    # -- access -------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Tuple[int, int, int, int]]:
+        """Iterate ``(kind, a, b, c)`` tuples in event order."""
+        return zip(self.kinds, self.col_a, self.col_b, self.col_c)
+
+    def event(self, index: int) -> Tuple[int, int, int, int]:
+        return (
+            self.kinds[index],
+            self.col_a[index],
+            self.col_b[index],
+            self.col_c[index],
+        )
+
+    def validate(self) -> None:
+        """Check internal consistency (column lengths, counted kinds)."""
+        from repro.errors import TraceFormatError
+
+        n = len(self.kinds)
+        if not (len(self.col_a) == len(self.col_b) == len(self.col_c) == n):
+            raise TraceFormatError("ragged trace columns")
+        expected = (
+            self.meta.n_writes + self.meta.n_installs + self.meta.n_removes
+        )
+        if expected != n:
+            raise TraceFormatError(
+                f"meta counts {expected} disagree with {n} events"
+            )

@@ -1,0 +1,105 @@
+"""Trace persistence: save/load traces and object registries.
+
+Event columns go into a compressed ``.npz``; the object registry and run
+metadata go into a JSON sidecar inside the same archive.  Phase 1 is run
+once per program (paper section 4); the experiment pipeline caches the
+result on disk through this module.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from array import array
+from pathlib import Path
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.errors import TraceFormatError
+from repro.trace.events import EventTrace, TraceMeta
+from repro.trace.objects import ObjectDesc, ObjectRegistry
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(
+    trace: EventTrace, registry: ObjectRegistry, path: Union[str, Path]
+) -> None:
+    """Save ``trace`` + ``registry`` to ``path`` (.npz)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    meta_doc = {
+        "version": _FORMAT_VERSION,
+        "meta": vars(trace.meta),
+        "objects": [
+            {
+                "id": obj.id,
+                "kind": obj.kind,
+                "name": obj.name,
+                "function": obj.function,
+                "context": list(obj.context),
+                "size_bytes": obj.size_bytes,
+                "is_param": obj.is_param,
+            }
+            for obj in registry.objects
+        ],
+    }
+    np.savez_compressed(
+        path,
+        kinds=np.frombuffer(trace.kinds.tobytes(), dtype=np.int8),
+        col_a=np.frombuffer(trace.col_a.tobytes(), dtype=np.int64),
+        col_b=np.frombuffer(trace.col_b.tobytes(), dtype=np.int64),
+        col_c=np.frombuffer(trace.col_c.tobytes(), dtype=np.int64),
+        meta=np.frombuffer(json.dumps(meta_doc).encode("utf-8"), dtype=np.uint8),
+    )
+
+
+def load_trace(path: Union[str, Path]) -> Tuple[EventTrace, ObjectRegistry]:
+    """Load a trace + registry saved by :func:`save_trace`."""
+    path = Path(path)
+    with np.load(path) as archive:
+        try:
+            meta_doc = json.loads(bytes(archive["meta"].tobytes()).decode("utf-8"))
+            kinds = archive["kinds"]
+            col_a = archive["col_a"]
+            col_b = archive["col_b"]
+            col_c = archive["col_c"]
+        except KeyError as exc:
+            raise TraceFormatError(f"missing field in trace file: {exc}") from exc
+    if meta_doc.get("version") != _FORMAT_VERSION:
+        raise TraceFormatError(
+            f"unsupported trace format version {meta_doc.get('version')!r}"
+        )
+
+    trace = EventTrace()
+    trace.kinds = array("b", kinds.tobytes())
+    trace.col_a = array("q", col_a.tobytes())
+    trace.col_b = array("q", col_b.tobytes())
+    trace.col_c = array("q", col_c.tobytes())
+    trace.meta = TraceMeta(**meta_doc["meta"])
+
+    registry = ObjectRegistry()
+    for record in meta_doc["objects"]:
+        desc = ObjectDesc(
+            id=record["id"],
+            kind=record["kind"],
+            name=record["name"],
+            function=record["function"],
+            context=tuple(record["context"]),
+            size_bytes=record["size_bytes"],
+            is_param=record["is_param"],
+        )
+        if desc.id != len(registry.objects):
+            raise TraceFormatError("object ids out of order in trace file")
+        registry.objects.append(desc)
+    # Rebuild lookup keys so the registry stays usable for new objects.
+    for desc in registry.objects:
+        if desc.kind in ("local", "static") and desc.function:
+            registry._local_keys[(desc.function, desc.name)] = desc.id
+        elif desc.kind == "global":
+            registry._global_keys[desc.name] = desc.id
+        elif desc.kind == "heap":
+            registry._heap_count += 1
+    trace.validate()
+    return trace, registry

@@ -1,0 +1,67 @@
+"""Units and clock constants for the simulated SPARCstation 2.
+
+The paper's analytical models are expressed in microseconds measured on a
+40 MHz SPARCstation 2 running SunOS 4.1.1.  The simulated machine counts
+*cycles*; this module provides the conversions between cycles, microseconds,
+and milliseconds at the modeled clock rate.
+
+All conversions are trivially invertible: ``cycles_to_us(us_to_cycles(x))``
+round-trips exactly for integer microsecond inputs.
+"""
+
+from __future__ import annotations
+
+#: Modeled CPU clock, in Hz (40 MHz SPARCstation 2, paper Appendix A).
+CLOCK_HZ: int = 40_000_000
+
+#: Cycles per microsecond at the modeled clock.
+CYCLES_PER_US: int = CLOCK_HZ // 1_000_000
+
+#: Word size of the simulated machine, in bytes (SPARC word).
+WORD_SIZE: int = 4
+
+#: log2 of the word size, for shifting addresses to word indexes.
+WORD_SHIFT: int = 2
+
+
+def us_to_cycles(us: float) -> int:
+    """Convert microseconds to cycles at the modeled 40 MHz clock.
+
+    >>> us_to_cycles(131)
+    5240
+    """
+    return round(us * CYCLES_PER_US)
+
+
+def cycles_to_us(cycles: float) -> float:
+    """Convert cycles to microseconds at the modeled 40 MHz clock.
+
+    >>> cycles_to_us(5240)
+    131.0
+    """
+    return cycles / CYCLES_PER_US
+
+
+def cycles_to_ms(cycles: float) -> float:
+    """Convert cycles to milliseconds at the modeled 40 MHz clock."""
+    return cycles / (CLOCK_HZ / 1000.0)
+
+
+def ms_to_cycles(ms: float) -> int:
+    """Convert milliseconds to cycles at the modeled 40 MHz clock."""
+    return round(ms * (CLOCK_HZ / 1000.0))
+
+
+def align_down(address: int, alignment: int) -> int:
+    """Round ``address`` down to a multiple of ``alignment`` (a power of 2)."""
+    return address & ~(alignment - 1)
+
+
+def align_up(address: int, alignment: int) -> int:
+    """Round ``address`` up to a multiple of ``alignment`` (a power of 2)."""
+    return (address + alignment - 1) & ~(alignment - 1)
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0

@@ -1,0 +1,30 @@
+"""The five benchmark workloads (paper section 6), written in MiniC.
+
+Each module reproduces the *character* of one of the paper's C programs —
+the property that drives the experiment's results: the mix of session
+types (locals vs globals vs heap), write density, hot-spot structure, and
+heap-allocation profile.
+
+==========  ===========================================  =================
+Workload    Paper program                                Character kept
+==========  ===========================================  =================
+``gcc``     GCC v1.4 compiling ``rtl.c``                 compiler over a
+                                                         source input; AST
+                                                         nodes on the heap
+``ctex``    CommonTeX v2.9 formatting a document         text layout; many
+                                                         globals, **no heap**
+``spice``   Spice v3c1 transient analysis                sparse float solver;
+                                                         matrices on heap
+``qcd``     QCD quantum-chromodynamics simulation        lattice sweeps over
+                                                         global arrays, hot
+                                                         induction variables
+``bps``     Bayesian 8-puzzle problem solver             tree search churning
+                                                         thousands of heap
+                                                         nodes
+==========  ===========================================  =================
+"""
+
+from repro.workloads.base import Workload, WorkloadRun, run_workload
+from repro.workloads.registry import WORKLOADS, get_workload
+
+__all__ = ["Workload", "WorkloadRun", "run_workload", "WORKLOADS", "get_workload"]

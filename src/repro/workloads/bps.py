@@ -1,0 +1,394 @@
+"""The ``bps`` workload: Bayesian problem solver for the 8-puzzle.
+
+The paper's BPS (Hanson & Mayer's Bayesian problem solver) arranges 8
+numbers on a 3x3 grid into ascending order by sliding them through the
+empty cell, using tree search with evidential (probabilistic) scoring.
+Its Table-1 signature is the heap: 4184 OneHeap sessions — thousands of
+small search nodes — against only 193 locals and 12 globals.
+
+This workload is a best-first 8-puzzle solver with the same shape:
+
+* each search node is a small ``malloc``'d record (state, parent, cost,
+  score, move, chain link);
+* node scores are Bayesian-flavoured: a log-posterior combining a
+  Manhattan-distance likelihood (via ``exp``/``log``) with a depth prior;
+* a binary-heap priority queue and an open-addressing visited table live
+  in globals;
+* all nodes are freed through the allocation chain at the end, closing
+  every heap monitor window.
+
+Board states pack nine 4-bit tile fields into one word-sized integer.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PipelineError
+from repro.workloads.base import Workload
+
+_HASH_SIZE = 8192
+
+_SOURCE_TEMPLATE = f"""
+/* bps: best-first 8-puzzle search with Bayesian node scoring. */
+
+int scramble_moves;
+int expansion_budget;
+int rng_seed;
+float temperature;
+
+/* priority queue of node pointers (binary min-heap on node score) */
+int *open_heap[4096];
+int open_len;
+
+/* visited states: open addressing, 0 = empty slot */
+int visited[{_HASH_SIZE}];
+int n_visited;
+
+/* all nodes ever allocated, chained for the final free pass */
+int *alloc_chain;
+
+/* statistics */
+int n_expanded;
+int n_allocated;
+int n_dup_hits;
+int solution_depth;
+int solved;
+int n_solved;
+int total_depth;
+int rng_state;
+int checksum;
+
+int rand_next() {{
+  rng_state = (rng_state * 1103515245 + 12345) & 2147483647;
+  return rng_state;
+}}
+
+/* ---- packed 3x3 board: tile at cell i in bits [4i, 4i+4) ---- */
+
+int get_tile(int state, int cell) {{
+  return (state >> (cell * 4)) & 15;
+}}
+
+int set_tile(int state, int cell, int tile) {{
+  int cleared;
+  cleared = state & ~(15 << (cell * 4));
+  return cleared | (tile << (cell * 4));
+}}
+
+int goal_state() {{
+  int s;
+  int i;
+  s = 0;
+  for (i = 0; i < 8; i = i + 1) {{
+    s = set_tile(s, i, i + 1);
+  }}
+  return set_tile(s, 8, 0);
+}}
+
+int find_blank(int state) {{
+  int i;
+  for (i = 0; i < 9; i = i + 1) {{
+    if (get_tile(state, i) == 0) return i;
+  }}
+  return -1;
+}}
+
+/* slide the blank in direction d (0 up, 1 down, 2 left, 3 right);
+   returns the new state, or -1 if the move runs off the board */
+int apply_move(int state, int dir) {{
+  int blank;
+  int row;
+  int col;
+  int target;
+  int tile;
+  blank = find_blank(state);
+  row = blank / 3;
+  col = blank % 3;
+  if (dir == 0) {{ if (row == 0) return -1; target = blank - 3; }}
+  else {{ if (dir == 1) {{ if (row == 2) return -1; target = blank + 3; }}
+  else {{ if (dir == 2) {{ if (col == 0) return -1; target = blank - 1; }}
+  else {{ if (col == 2) return -1; target = blank + 1; }} }} }}
+  tile = get_tile(state, target);
+  state = set_tile(state, target, 0);
+  return set_tile(state, blank, tile);
+}}
+
+int manhattan(int state) {{
+  int cell;
+  int tile;
+  int want;
+  int d;
+  int dr;
+  int dc;
+  d = 0;
+  for (cell = 0; cell < 9; cell = cell + 1) {{
+    tile = get_tile(state, cell);
+    if (tile != 0) {{
+      want = tile - 1;
+      dr = cell / 3 - want / 3;
+      dc = cell % 3 - want % 3;
+      if (dr < 0) dr = -dr;
+      if (dc < 0) dc = -dc;
+      d = d + dr + dc;
+    }}
+  }}
+  return d;
+}}
+
+/* per-tile displacement evidence, combined multiplicatively: the
+   evidential-reasoning core of BPS.  Straight-line on purpose: the
+   original spends its time in register-resident float math. */
+float tile_evidence(int state) {{
+  return (exp(-(((state) & 15) * 0.031))
+        + exp(-(((state >> 4) & 15) * 0.029))
+        + exp(-(((state >> 8) & 15) * 0.027))
+        + exp(-(((state >> 12) & 15) * 0.025))
+        + exp(-(((state >> 16) & 15) * 0.023))
+        + exp(-(((state >> 20) & 15) * 0.021))
+        + exp(-(((state >> 24) & 15) * 0.019))
+        + exp(-(((state >> 28) & 15) * 0.017))
+        + exp(-(((state >> 32) & 15) * 0.015))) / 9.0;
+}}
+
+/* evidence that rows / columns are individually ordered */
+float band_evidence(int state) {{
+  return (exp(-((((state) & 15) * 9 + ((state >> 4) & 15) * 3 + ((state >> 8) & 15)) % 17) * 0.05)
+        * exp(-((((state >> 12) & 15) * 9 + ((state >> 16) & 15) * 3 + ((state >> 20) & 15)) % 17) * 0.05)
+        * exp(-((((state >> 24) & 15) * 9 + ((state >> 28) & 15) * 3 + ((state >> 32) & 15)) % 17) * 0.05)
+        + 0.000001);
+}}
+
+/* Bayesian score: negative log posterior of "this node lies on the
+   best path", combining a distance likelihood, the tile and band
+   evidence terms, and a depth prior */
+float node_score(int depth, int dist, int state) {{
+  float likelihood;
+  float prior;
+  likelihood = exp(-(dist * 1.0) / temperature)
+             * (0.5 + 0.5 * tile_evidence(state))
+             * (0.7 + 0.3 * band_evidence(state));
+  prior = 1.0 / (1.0 + depth * 0.08);
+  return -log(likelihood * prior + 0.0000001);
+}}
+
+/* ---- search nodes: [0] state [1] parent [2] depth [3] score
+       [4] move [5] chain ---- */
+
+int *mk_node(int state, int *parent, int depth, int move) {{
+  int *node;
+  node = malloc(24);
+  node[0] = state;
+  node[1] = parent;
+  node[2] = depth;
+  /* scores are floats; store micro-units so the int field keeps order */
+  node[3] = node_score(depth, manhattan(state), state) * 1000000.0;
+  node[4] = move;
+  node[5] = alloc_chain;
+  alloc_chain = node;
+  n_allocated = n_allocated + 1;
+  return node;
+}}
+
+int score_of(int *node) {{
+  return node[3];
+}}
+
+/* ---- binary min-heap on score ---- */
+
+void heap_push(int *node) {{
+  int i;
+  int parent;
+  int *tmp;
+  if (open_len >= 4095) return;   /* saturated: drop worst candidates */
+  open_heap[open_len] = node;
+  i = open_len;
+  open_len = open_len + 1;
+  while (i > 0) {{
+    parent = (i - 1) / 2;
+    if (score_of(open_heap[parent]) <= score_of(open_heap[i])) break;
+    tmp = open_heap[parent];
+    open_heap[parent] = open_heap[i];
+    open_heap[i] = tmp;
+    i = parent;
+  }}
+}}
+
+int *heap_pop() {{
+  int *top;
+  int *tmp;
+  int i;
+  int child;
+  if (open_len == 0) return 0;
+  top = open_heap[0];
+  open_len = open_len - 1;
+  open_heap[0] = open_heap[open_len];
+  i = 0;
+  while (1) {{
+    child = i * 2 + 1;
+    if (child >= open_len) break;
+    if (child + 1 < open_len) {{
+      if (score_of(open_heap[child + 1]) < score_of(open_heap[child])) {{
+        child = child + 1;
+      }}
+    }}
+    if (score_of(open_heap[i]) <= score_of(open_heap[child])) break;
+    tmp = open_heap[i];
+    open_heap[i] = open_heap[child];
+    open_heap[child] = tmp;
+    i = child;
+  }}
+  return top;
+}}
+
+/* ---- visited table (open addressing, linear probing) ---- */
+
+int visited_insert(int state) {{
+  int slot;
+  int probes;
+  slot = state % {_HASH_SIZE};
+  if (slot < 0) slot = slot + {_HASH_SIZE};
+  probes = 0;
+  while (probes < {_HASH_SIZE}) {{
+    if (visited[slot] == 0) {{
+      visited[slot] = state;
+      n_visited = n_visited + 1;
+      return 1;
+    }}
+    if (visited[slot] == state) return 0;
+    slot = slot + 1;
+    if (slot >= {_HASH_SIZE}) slot = 0;
+    probes = probes + 1;
+  }}
+  return 0;
+}}
+
+/* ---- search ---- */
+
+void expand(int *node) {{
+  int dir;
+  int next;
+  int *child;
+  for (dir = 0; dir < 4; dir = dir + 1) {{
+    next = apply_move(node[0], dir);
+    if (next != -1) {{
+      child = mk_node(next, node, node[2] + 1, dir);
+      heap_push(child);
+    }}
+  }}
+  n_expanded = n_expanded + 1;
+}}
+
+int search(int start, int goal) {{
+  int *node;
+  int *root;
+  root = mk_node(start, 0, 0, -1);
+  heap_push(root);
+  while (open_len > 0 && n_expanded < expansion_budget) {{
+    node = heap_pop();
+    if (node[0] == goal) {{
+      solved = 1;
+      solution_depth = node[2];
+      return 1;
+    }}
+    if (visited_insert(node[0])) {{
+      expand(node);
+    }} else {{
+      n_dup_hits = n_dup_hits + 1;
+    }}
+  }}
+  return 0;
+}}
+
+int scramble(int state, int n) {{
+  int i;
+  int next;
+  int dir;
+  i = 0;
+  while (i < n) {{
+    /* high bits: an LCG's low two bits cycle with period 4, which
+       would walk the blank in a tiny loop straight back to the goal */
+    dir = (rand_next() >> 16) % 4;
+    next = apply_move(state, dir);
+    if (next != -1) {{
+      state = next;
+      i = i + 1;
+    }}
+  }}
+  return state;
+}}
+
+void free_all_nodes() {{
+  int *node;
+  int *next;
+  node = alloc_chain;
+  while (node != 0) {{
+    next = node[5];
+    free(node);
+    node = next;
+  }}
+  alloc_chain = 0;
+}}
+
+void reset_search() {{
+  int i;
+  open_len = 0;
+  for (i = 0; i < {_HASH_SIZE}; i = i + 1) {{
+    visited[i] = 0;
+  }}
+}}
+
+int main() {{
+  int goal;
+  int start;
+  int instance;
+  goal = goal_state();
+  rng_state = rng_seed;
+  instance = 0;
+  /* solve successive scrambles until the expansion budget runs out */
+  while (n_expanded < expansion_budget && instance < 12) {{
+    start = scramble(goal, scramble_moves);
+    reset_search();
+    solved = 0;
+    search(start, goal);
+    if (solved != 0) {{
+      n_solved = n_solved + 1;
+      total_depth = total_depth + solution_depth;
+    }}
+    instance = instance + 1;
+  }}
+  checksum = (n_expanded * 31 + n_allocated * 7 + n_visited * 3
+              + n_dup_hits + total_depth * 101 + n_solved * 4096) & 1048575;
+  free_all_nodes();
+  if (checksum == 0) checksum = 1;
+  return checksum;
+}}
+"""
+
+
+class BpsWorkload(Workload):
+    """Best-first 8-puzzle solver with Bayesian scoring."""
+
+    name = "bps"
+    default_scale = 1500   # node expansion budget
+    smoke_scale = 60
+
+    def source(self, scale: int) -> str:
+        return _SOURCE_TEMPLATE
+
+    def setup(self, memory, image, scale: int) -> None:
+        def poke(name, value):
+            memory.store_word(image.global_var(name).address, value)
+
+        poke("scramble_moves", 160)
+        poke("expansion_budget", scale)
+        poke("rng_seed", 99991)
+        poke("temperature", 9.0)
+
+    def check(self, state, runtime, scale: int) -> None:
+        super().check(state, runtime, scale)
+        # ~2.7 children per expansion; require the heap-churn profile.
+        if runtime.heap.n_allocs < 2 * scale:
+            raise PipelineError(
+                f"bps allocated only {runtime.heap.n_allocs} search nodes"
+            )
+        if runtime.heap.live_bytes() != 0:
+            raise PipelineError("bps leaked search nodes")

@@ -1,0 +1,368 @@
+"""The ``ctex`` workload: TeX-style document formatting.
+
+The paper ran CommonTeX v2.9 over a four-page document with complex
+mathematics.  This workload is a miniature TeX with the same character:
+a paragraph line-breaker (both a greedy first fit and a Knuth-Plass-style
+dynamic program with badness/demerits arithmetic), crude hyphenation,
+and a page builder with club/widow penalties.
+
+Crucially, CommonTeX's Table-1 row shows **zero heap sessions** — the
+formatter works out of static pools — so this workload never calls
+``malloc``: everything lives in globals (CTEX had 230 studied
+OneGlobalStatic sessions, by far the paper's heaviest global user) and
+function statics.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PipelineError
+from repro.workloads.base import Workload
+
+_SOURCE_TEMPLATE = """
+/* mini-tex: paragraph breaking and page building from static pools. */
+
+int words[{words_max}];       /* word widths; 0 terminates a paragraph */
+int n_words;
+
+/* layout parameters (TeX-ish dimens, in scaled units) */
+int line_width;
+int interword_glue;
+int glue_stretch;
+int glue_shrink;
+int page_height;
+int club_penalty;
+int widow_penalty;
+int hyphen_penalty;
+
+/* paragraph working pools */
+int par_words[128];
+int par_prefix[129];          /* prefix sums of word widths */
+int par_len;
+int best_total[129];          /* DP: best demerits up to word i */
+int best_break[129];          /* DP: predecessor break */
+int line_starts[128];
+int n_lines_par;
+
+/* document accumulators */
+int doc_lines[{lines_max}];   /* width used on each typeset line */
+int doc_line_bad[{lines_max}];
+int n_doc_lines;
+int page_first[256];
+int n_pages;
+
+/* statistics */
+int n_paragraphs;
+int n_hyphens;
+int total_demerits;
+int greedy_lines;
+int checksum;
+
+int abs_int(int x) {{
+  if (x < 0) return -x;
+  return x;
+}}
+
+int min_int(int a, int b) {{
+  if (a < b) return a;
+  return b;
+}}
+
+int mix(int h, int v) {{
+  return (h * 33 + v) & 1048575;
+}}
+
+/* badness: TeX's 100 * (excess/stretch)^3 idea in integer arithmetic */
+int line_badness(int natural, int target) {{
+  int delta;
+  int ratio;
+  int cube;
+  delta = target - natural;
+  if (delta >= 0) {{
+    if (glue_stretch == 0) return 10000;
+    ratio = (delta * 64) / glue_stretch;
+  }} else {{
+    if (glue_shrink == 0) return 10000;
+    ratio = (-(delta) * 64) / glue_shrink;
+    if (ratio > 64) return 10000;   /* overfull: can't shrink past glue */
+  }}
+  cube = ((ratio * ratio) / 64) * ratio;
+  return (100 * cube) / (64 * 64);
+}}
+
+int line_demerits(int badness, int penalty) {{
+  int base;
+  base = 10 + badness;
+  return (base * base) / 64 + penalty;
+}}
+
+/* natural width of words [i, j) with interword glue (prefix sums) */
+int measure(int i, int j) {{
+  int w;
+  w = par_prefix[j] - par_prefix[i];
+  if (j > i + 1) w = w + (j - i - 1) * interword_glue;
+  return w;
+}}
+
+void refresh_prefix() {{
+  int k;
+  par_prefix[0] = 0;
+  for (k = 0; k < par_len; k = k + 1) {{
+    par_prefix[k + 1] = par_prefix[k] + par_words[k];
+  }}
+}}
+
+/* crude hyphenation: a long word may split after its "syllable" point */
+int hyphen_point(int width) {{
+  static int calls;
+  calls = calls + 1;
+  if (width <= line_width / 2) return 0;
+  return (width * 3) / 7;
+}}
+
+void maybe_hyphenate(int idx) {{
+  int w;
+  int point;
+  w = par_words[idx];
+  point = hyphen_point(w);
+  if (point > 0 && par_len < 127) {{
+    /* split word idx into two pieces (shift the tail right) */
+    int k;
+    for (k = par_len; k > idx; k = k - 1) {{
+      par_words[k] = par_words[k - 1];
+    }}
+    par_words[idx] = point;
+    par_words[idx + 1] = w - point + interword_glue / 2;
+    par_len = par_len + 1;
+    n_hyphens = n_hyphens + 1;
+  }}
+}}
+
+/* greedy first-fit breaking, for comparison with the optimal DP */
+int greedy_break() {{
+  int i;
+  int cur;
+  int lines;
+  int w;
+  lines = 0;
+  cur = 0;
+  for (i = 0; i < par_len; i = i + 1) {{
+    w = par_words[i];
+    if (cur == 0) {{
+      cur = w;
+    }} else {{
+      if (cur + interword_glue + w <= line_width) {{
+        cur = cur + interword_glue + w;
+      }} else {{
+        lines = lines + 1;
+        cur = w;
+      }}
+    }}
+  }}
+  if (cur > 0) lines = lines + 1;
+  return lines;
+}}
+
+/* Knuth-Plass-style optimal breaking (bounded window DP) */
+void optimal_break() {{
+  int i;
+  int j;
+  int natural;
+  int bad;
+  int dem;
+  int cand;
+  best_total[0] = 0;
+  best_break[0] = 0;
+  for (j = 1; j <= par_len; j = j + 1) {{
+    best_total[j] = 100000000;
+    best_break[j] = j - 1;
+    i = j - 1;
+    while (i >= 0 && j - i <= 24) {{
+      natural = measure(i, j);
+      if (natural > line_width + glue_shrink) {{
+        if (j - i > 1) {{ i = i - 1; continue; }}
+      }}
+      bad = line_badness(natural, line_width);
+      dem = line_demerits(bad, 0);
+      if (j == par_len) dem = dem / 2;    /* last line is allowed loose */
+      cand = best_total[i] + dem;
+      if (cand < best_total[j]) {{
+        best_total[j] = cand;
+        best_break[j] = i;
+      }}
+      i = i - 1;
+    }}
+  }}
+}}
+
+void record_lines() {{
+  int j;
+  int i;
+  int natural;
+  n_lines_par = 0;
+  j = par_len;
+  while (j > 0) {{
+    i = best_break[j];
+    line_starts[n_lines_par] = i;
+    n_lines_par = n_lines_par + 1;
+    j = i;
+  }}
+  /* emit lines in document order */
+  j = par_len;
+  i = n_lines_par - 1;
+  while (i >= 0) {{
+    int start;
+    int end;
+    start = line_starts[i];
+    if (i == 0) end = par_len;
+    else end = line_starts[i - 1];
+    natural = measure(start, end);
+    if (n_doc_lines < {lines_max}) {{
+      doc_lines[n_doc_lines] = natural;
+      doc_line_bad[n_doc_lines] = line_badness(natural, line_width);
+      n_doc_lines = n_doc_lines + 1;
+    }}
+    i = i - 1;
+  }}
+  total_demerits = (total_demerits + best_total[par_len]) & 1048575;
+}}
+
+/* pull the next paragraph out of the input stream; 0 = no more */
+int next_paragraph(int *cursor) {{
+  int pos;
+  pos = *cursor;
+  par_len = 0;
+  while (pos < n_words && words[pos] != 0 && par_len < 100) {{
+    par_words[par_len] = words[pos];
+    par_len = par_len + 1;
+    pos = pos + 1;
+  }}
+  while (pos < n_words && words[pos] == 0) {{
+    pos = pos + 1;
+  }}
+  *cursor = pos;
+  return par_len;
+}}
+
+void typeset_paragraph() {{
+  int k;
+  int limit;
+  limit = par_len;
+  for (k = 0; k < limit; k = k + 1) {{
+    maybe_hyphenate(k);
+  }}
+  refresh_prefix();
+  greedy_lines = greedy_lines + greedy_break();
+  optimal_break();
+  record_lines();
+  n_paragraphs = n_paragraphs + 1;
+}}
+
+/* page building with club/widow penalties */
+void build_pages() {{
+  int line;
+  int used;
+  int cost;
+  int line_h;
+  line_h = 12;
+  used = 0;
+  n_pages = 0;
+  page_first[0] = 0;
+  for (line = 0; line < n_doc_lines; line = line + 1) {{
+    used = used + line_h;
+    if (used > page_height) {{
+      cost = 0;
+      if (line - page_first[n_pages] < 2) cost = cost + club_penalty;
+      if (n_doc_lines - line < 2) cost = cost + widow_penalty;
+      total_demerits = (total_demerits + cost) & 1048575;
+      n_pages = n_pages + 1;
+      if (n_pages < 255) page_first[n_pages] = line;
+      used = line_h;
+    }}
+  }}
+  if (used > 0) n_pages = n_pages + 1;
+}}
+
+int final_checksum() {{
+  int h;
+  int i;
+  h = 11;
+  for (i = 0; i < n_doc_lines; i = i + 1) {{
+    h = mix(h, doc_lines[i]);
+    h = mix(h, doc_line_bad[i]);
+  }}
+  h = mix(h, n_pages);
+  h = mix(h, n_paragraphs);
+  h = mix(h, n_hyphens);
+  h = mix(h, total_demerits);
+  h = mix(h, greedy_lines);
+  return h;
+}}
+
+int main() {{
+  int cursor;
+  cursor = 0;
+  line_width = 4096;
+  interword_glue = 128;
+  glue_stretch = 192;
+  glue_shrink = 96;
+  page_height = 600;
+  club_penalty = 150;
+  widow_penalty = 150;
+  hyphen_penalty = 50;
+  while (next_paragraph(&cursor) > 0) {{
+    typeset_paragraph();
+  }}
+  build_pages();
+  checksum = final_checksum();
+  return checksum;
+}}
+"""
+
+
+def _generate_words(n_paragraphs: int, seed: int = 777) -> list:
+    """Word-width stream; 0 separates paragraphs."""
+    state = seed
+    widths = []
+
+    def rand(bound: int) -> int:
+        nonlocal state
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        return state % bound
+
+    for _ in range(n_paragraphs):
+        for _ in range(20 + rand(60)):
+            # Zipf-ish word widths in scaled units; some very long words
+            # exercise hyphenation.
+            base = 200 + rand(700)
+            if rand(12) == 0:
+                base += 1500 + rand(1200)
+            widths.append(base)
+        widths.append(0)
+    return widths
+
+
+class CtexWorkload(Workload):
+    """Mini TeX: line breaking and page building over a document."""
+
+    name = "ctex"
+    default_scale = 48   # paragraphs
+    smoke_scale = 8
+
+    def source(self, scale: int) -> str:
+        n_words = len(_generate_words(scale))
+        return _SOURCE_TEMPLATE.format(
+            words_max=n_words + 8,
+            lines_max=max(scale * 24, 512),
+        )
+
+    def setup(self, memory, image, scale: int) -> None:
+        widths = _generate_words(scale)
+        memory.store_range(image.global_var("words").address, widths)
+        memory.store_word(image.global_var("n_words").address, len(widths))
+
+    def check(self, state, runtime, scale: int) -> None:
+        super().check(state, runtime, scale)
+        if state.exit_value == 0:
+            raise PipelineError("ctex workload produced a zero checksum")
+        if runtime.heap.n_allocs != 0:
+            raise PipelineError("ctex must not allocate heap objects (paper Table 1)")

@@ -1,0 +1,417 @@
+"""The ``gcc`` workload: a compiler compiling a source input.
+
+The paper ran GCC v1.4 over the 811-line ``rtl.c``.  This workload is a
+miniature compiler with the same shape: it lexes a source text (poked
+into the global segment by the harness, as GCC's input came from a file),
+parses expression statements into heap-allocated AST nodes, runs a
+constant-folding pass, emits stack-machine code, interprets the emitted
+code to update a symbol table, and frees each statement's AST — so the
+trace shows compiler-typical behaviour: many short-lived heap objects,
+deep recursive call chains, and busy parser/lexer globals.
+
+Input language::
+
+    stmt := '$' letter '=' expr ';'
+    expr := term (('+'|'-') term)*        term := factor (('*') factor)*
+    factor := number | '$' letter | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from repro.errors import PipelineError
+from repro.workloads.base import Workload
+
+_SOURCE_TEMPLATE = """
+/* mini-gcc: compile and evaluate expression statements. */
+
+int src[{src_max}];          /* input text (char codes), poked by harness */
+int src_len;
+int src_pos;
+
+/* current token */
+int tok_kind;                /* 0 eof 1 num 2 var 3 + 4 - 5 * 6 / 7 ( 8 ) 9 ; 10 = */
+int tok_value;
+
+/* symbol table: 26 single-letter variables */
+int symval[26];
+int symdef[26];
+
+/* emitted stack-machine code */
+int ecode_op[{ecode_max}];   /* 1 pushnum 2 pushvar 3 add 4 sub 5 mul 6 store */
+int ecode_arg[{ecode_max}];
+int ecode_len;
+
+/* interpreter stack */
+int vstack[64];
+
+/* statistics the compiler keeps (busy globals, like GCC's rtl state) */
+int n_stmts;
+int n_nodes_built;
+int n_folds;
+int n_emitted;
+int checksum;
+
+int is_digit(int c) {{
+  if (c >= '0') {{ if (c <= '9') return 1; }}
+  return 0;
+}}
+
+int is_letter(int c) {{
+  if (c >= 'a') {{ if (c <= 'z') return 1; }}
+  return 0;
+}}
+
+int is_space(int c) {{
+  if (c == ' ') return 1;
+  if (c == 10) return 1;
+  if (c == 9) return 1;
+  return 0;
+}}
+
+void skip_space() {{
+  while (src_pos < src_len && is_space(src[src_pos])) {{
+    src_pos = src_pos + 1;
+  }}
+}}
+
+void next_token() {{
+  int c;
+  int v;
+  skip_space();
+  if (src_pos >= src_len) {{
+    tok_kind = 0;
+    tok_value = 0;
+    return;
+  }}
+  c = src[src_pos];
+  if (is_digit(c)) {{
+    v = 0;
+    while (src_pos < src_len && is_digit(src[src_pos])) {{
+      v = v * 10 + (src[src_pos] - '0');
+      src_pos = src_pos + 1;
+    }}
+    tok_kind = 1;
+    tok_value = v;
+    return;
+  }}
+  if (c == '$') {{
+    src_pos = src_pos + 1;
+    tok_kind = 2;
+    tok_value = src[src_pos] - 'a';
+    src_pos = src_pos + 1;
+    return;
+  }}
+  src_pos = src_pos + 1;
+  if (c == '+') {{ tok_kind = 3; return; }}
+  if (c == '-') {{ tok_kind = 4; return; }}
+  if (c == '*') {{ tok_kind = 5; return; }}
+  if (c == '/') {{ tok_kind = 6; return; }}
+  if (c == '(') {{ tok_kind = 7; return; }}
+  if (c == ')') {{ tok_kind = 8; return; }}
+  if (c == ';') {{ tok_kind = 9; return; }}
+  if (c == '=') {{ tok_kind = 10; return; }}
+  tok_kind = 0;
+}}
+
+/* AST nodes come from a per-statement obstack, as in GCC itself:
+   nodes are carved out of malloc'd chunks and the whole obstack is
+   released when the statement's tree dies. */
+int *ob_chunks[64];
+int ob_n_chunks;
+int ob_cur;           /* index of the chunk being carved */
+int ob_offset;        /* bytes used in the current chunk */
+
+int *ob_alloc() {{
+  int *chunk;
+  if (ob_n_chunks == 0 || ob_offset + 16 > {chunk_size}) {{
+    ob_cur = ob_cur + 1;
+    if (ob_cur >= ob_n_chunks) {{
+      chunk = malloc({chunk_size});
+      ob_chunks[ob_n_chunks] = chunk;
+      ob_n_chunks = ob_n_chunks + 1;
+    }}
+    ob_offset = 0;
+  }}
+  chunk = ob_chunks[ob_cur];
+  ob_offset = ob_offset + 16;
+  return chunk + (ob_offset - 16) / 4;
+}}
+
+void ob_release() {{
+  int i;
+  for (i = 0; i < ob_n_chunks; i = i + 1) {{
+    free(ob_chunks[i]);
+  }}
+  ob_n_chunks = 0;
+  ob_cur = -1;
+  ob_offset = {chunk_size};
+}}
+
+/* AST nodes: [0] kind (0 num, 1 var, 2 binop) [1] op/value [2] left [3] right */
+int *mk_leaf(int kind, int value) {{
+  int *node;
+  node = ob_alloc();
+  node[0] = kind;
+  node[1] = value;
+  node[2] = 0;
+  node[3] = 0;
+  n_nodes_built = n_nodes_built + 1;
+  return node;
+}}
+
+int *mk_binop(int op, int *left, int *right) {{
+  int *node;
+  node = ob_alloc();
+  node[0] = 2;
+  node[1] = op;
+  node[2] = left;
+  node[3] = right;
+  n_nodes_built = n_nodes_built + 1;
+  return node;
+}}
+
+int *parse_expr();
+
+int *parse_factor() {{
+  int *node;
+  int v;
+  if (tok_kind == 1) {{
+    v = tok_value;
+    next_token();
+    return mk_leaf(0, v);
+  }}
+  if (tok_kind == 2) {{
+    v = tok_value;
+    next_token();
+    return mk_leaf(1, v);
+  }}
+  if (tok_kind == 7) {{
+    next_token();
+    node = parse_expr();
+    next_token();           /* consume ')' */
+    return node;
+  }}
+  next_token();
+  return mk_leaf(0, 0);
+}}
+
+int *parse_term() {{
+  int *left;
+  int *right;
+  int op;
+  left = parse_factor();
+  while (tok_kind == 5 || tok_kind == 6) {{
+    op = tok_kind;
+    next_token();
+    right = parse_factor();
+    left = mk_binop(op, left, right);
+  }}
+  return left;
+}}
+
+int *parse_expr() {{
+  int *left;
+  int *right;
+  int op;
+  left = parse_term();
+  while (tok_kind == 3 || tok_kind == 4) {{
+    op = tok_kind;
+    next_token();
+    right = parse_term();
+    left = mk_binop(op, left, right);
+  }}
+  return left;
+}}
+
+/* constant folding: binop over two literal children collapses in place */
+int *fold(int *node) {{
+  int *left;
+  int *right;
+  int a;
+  int b;
+  int r;
+  if (node[0] != 2) return node;
+  left = fold(node[2]);
+  right = fold(node[3]);
+  node[2] = left;
+  node[3] = right;
+  if (left[0] == 0 && right[0] == 0) {{
+    a = left[1];
+    b = right[1];
+    if (node[1] == 3) r = a + b;
+    else {{ if (node[1] == 4) r = a - b; else r = a * b; }}
+    /* folded children stay in the obstack until the statement dies */
+    node[0] = 0;
+    node[1] = r;
+    node[2] = 0;
+    node[3] = 0;
+    n_folds = n_folds + 1;
+  }}
+  return node;
+}}
+
+void emit(int op, int arg) {{
+  ecode_op[ecode_len] = op;
+  ecode_arg[ecode_len] = arg;
+  ecode_len = ecode_len + 1;
+  n_emitted = n_emitted + 1;
+}}
+
+void emit_tree(int *node) {{
+  if (node[0] == 0) {{ emit(1, node[1]); return; }}
+  if (node[0] == 1) {{ emit(2, node[1]); return; }}
+  emit_tree(node[2]);
+  emit_tree(node[3]);
+  if (node[1] == 3) emit(3, 0);
+  else {{ if (node[1] == 4) emit(4, 0); else emit(5, 0); }}
+}}
+
+/* stack-machine interpreter over the emitted code */
+int run_emitted() {{
+  int pc;
+  int sp;
+  int op;
+  int a;
+  int b;
+  sp = 0;
+  for (pc = 0; pc < ecode_len; pc = pc + 1) {{
+    op = ecode_op[pc];
+    if (op == 1) {{ vstack[sp] = ecode_arg[pc]; sp = sp + 1; }}
+    else {{ if (op == 2) {{ vstack[sp] = symval[ecode_arg[pc]]; sp = sp + 1; }}
+    else {{ if (op == 3) {{ b = vstack[sp - 1]; a = vstack[sp - 2]; sp = sp - 1; vstack[sp - 1] = a + b; }}
+    else {{ if (op == 4) {{ b = vstack[sp - 1]; a = vstack[sp - 2]; sp = sp - 1; vstack[sp - 1] = a - b; }}
+    else {{ if (op == 5) {{ b = vstack[sp - 1]; a = vstack[sp - 2]; sp = sp - 1; vstack[sp - 1] = (a * b) & 1048575; }}
+    else {{
+      symval[ecode_arg[pc]] = vstack[sp - 1] & 1048575;
+      symdef[ecode_arg[pc]] = 1;
+      sp = sp - 1;
+    }} }} }} }} }}
+  }}
+  return sp;
+}}
+
+void compile_stmt() {{
+  int target;
+  int *tree;
+  target = tok_value;       /* at '$x' */
+  next_token();             /* consume var */
+  next_token();             /* consume '=' */
+  tree = parse_expr();
+  tree = fold(tree);
+  ecode_len = 0;
+  emit_tree(tree);
+  emit(6, target);
+  run_emitted();
+  ob_release();             /* the statement's tree dies with its obstack */
+  next_token();             /* consume ';' */
+  n_stmts = n_stmts + 1;
+}}
+
+int mix(int h, int v) {{
+  return (h * 31 + v) & 1048575;
+}}
+
+int final_checksum() {{
+  int i;
+  int h;
+  h = 7;
+  for (i = 0; i < 26; i = i + 1) {{
+    h = mix(h, symval[i]);
+    h = mix(h, symdef[i]);
+  }}
+  h = mix(h, n_stmts);
+  h = mix(h, n_nodes_built);
+  h = mix(h, n_folds);
+  return h;
+}}
+
+int main() {{
+  src_pos = 0;
+  ob_cur = -1;
+  ob_offset = {chunk_size};
+  next_token();
+  while (tok_kind == 2) {{
+    compile_stmt();
+  }}
+  checksum = final_checksum();
+  return checksum;
+}}
+"""
+
+
+def _generate_input(n_statements: int, seed: int = 12345) -> str:
+    """Deterministic expression-statement source text."""
+    state = seed
+
+    def rand(bound: int) -> int:
+        nonlocal state
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        return state % bound
+
+    def factor(depth: int) -> str:
+        choice = rand(10)
+        if depth > 2 or choice < 4:
+            return str(rand(97) + 1)
+        if choice < 8:
+            return f"${chr(ord('a') + rand(26))}"
+        return f"( {expr(depth + 1)} )"
+
+    def term(depth: int) -> str:
+        parts = [factor(depth)]
+        for _ in range(rand(2)):
+            parts.append(factor(depth))
+        return " * ".join(parts)
+
+    def expr(depth: int) -> str:
+        parts = [term(depth)]
+        for _ in range(rand(3)):
+            parts.append(term(depth))
+        ops = ["+", "-"]
+        out = parts[0]
+        for part in parts[1:]:
+            out += f" {ops[rand(2)]} {part}"
+        return out
+
+    lines = []
+    for _ in range(n_statements):
+        target = chr(ord("a") + rand(26))
+        lines.append(f"${target} = {expr(0)} ;")
+    return "\n".join(lines)
+
+
+class GccWorkload(Workload):
+    """Mini compiler compiling generated expression statements."""
+
+    name = "gcc"
+    default_scale = 900   # statements compiled
+    smoke_scale = 40
+
+    def _input_text(self, scale: int) -> str:
+        return _generate_input(scale)
+
+    def source(self, scale: int) -> str:
+        text = self._input_text(scale)
+        return _SOURCE_TEMPLATE.format(
+            src_max=len(text) + 16,
+            ecode_max=512,
+            chunk_size=256,
+        )
+
+    def setup(self, memory, image, scale: int) -> None:
+        text = self._input_text(scale)
+        src = image.global_var("src")
+        memory.store_range(src.address, [ord(c) for c in text])
+        src_len = image.global_var("src_len")
+        memory.store_word(src_len.address, len(text))
+
+    def check(self, state, runtime, scale: int) -> None:
+        super().check(state, runtime, scale)
+        if state.exit_value == 0:
+            raise PipelineError("gcc workload produced a zero checksum")
+        # One or two obstack chunks per statement, like GCC's obstacks.
+        if runtime.heap.n_allocs < scale // 2:
+            raise PipelineError(
+                f"gcc workload allocated only {runtime.heap.n_allocs} obstack chunks"
+            )
+        if runtime.heap.live_bytes() != 0:
+            raise PipelineError("gcc workload leaked obstack chunks")

@@ -1,0 +1,264 @@
+"""The ``qcd`` workload: lattice gauge theory sweeps.
+
+The paper's QCD benchmark (the Perfect Club quantum-chromodynamics
+simulation) is a lattice Monte-Carlo code: tight sweeps over large static
+arrays, trigonometry from lookup tables, and a linear-congruential random
+number generator.  Its Table-1 row shows *no heap sessions* and few
+functions, and section 8 notes its expensive NativeHardware sessions
+monitored induction variables — exactly the profile of the Metropolis
+sweep below.
+
+This workload is a compact U(1) gauge model on a 2-D periodic lattice:
+each link carries a phase angle; a Metropolis pass proposes angle updates
+accepted by the local plaquette action; the cosine comes from a table
+with linear interpolation (poked by the harness, as the Perfect-Club
+codes precomputed their trig tables).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import PipelineError
+from repro.workloads.base import Workload
+
+_L = 18          # lattice extent (sites per dimension)
+_COS_TABLE = 512
+
+_SOURCE_TEMPLATE = f"""
+/* mini-qcd: 2-D U(1) lattice gauge theory, Metropolis updates. */
+
+int lattice_l;
+int n_sweeps;
+float beta;
+
+/* link angles in units of table index: link[mu][x][y] */
+float links[{2 * _L * _L}];
+
+/* cosine table over [0, 2*pi), poked by the harness */
+float cos_table[{_COS_TABLE}];
+float two_pi;
+
+/* Monte-Carlo state */
+int rng_state;
+int n_accept;
+int n_reject;
+float plaq_accum;
+int n_measure;
+int checksum;
+
+int rand_next() {{
+  rng_state = (rng_state * 1103515245 + 12345) & 2147483647;
+  return rng_state;
+}}
+
+float rand_uniform() {{
+  float r;
+  r = rand_next() % 1048576;
+  return r / 1048576.0;
+}}
+
+/* table cosine with Catmull-Rom cubic interpolation; angle wrapped to
+   [0, 2pi).  The interpolation is straight-line register math, as in
+   the Perfect-Club kernels. */
+float table_cos(float angle) {{
+  float t;
+  float frac;
+  int idx;
+  while (angle < 0.0) angle = angle + two_pi;
+  while (angle >= two_pi) angle = angle - two_pi;
+  t = angle * {_COS_TABLE}.0 / two_pi;
+  idx = t;
+  frac = t - idx;
+  if (idx < 1 || idx >= {_COS_TABLE - 2}) {{
+    if (idx >= {_COS_TABLE - 1}) return cos_table[{_COS_TABLE - 1}];
+    return cos_table[idx] + frac * (cos_table[idx + 1] - cos_table[idx]);
+  }}
+  return cos_table[idx]
+       + 0.5 * frac * ((cos_table[idx + 1] - cos_table[idx - 1])
+       + frac * ((2.0 * cos_table[idx - 1] - 5.0 * cos_table[idx]
+                  + 4.0 * cos_table[idx + 1] - cos_table[idx + 2])
+       + frac * (3.0 * (cos_table[idx] - cos_table[idx + 1])
+                 + cos_table[idx + 2] - cos_table[idx - 1])));
+}}
+
+int site(int x, int y) {{
+  return x * lattice_l + y;
+}}
+
+int wrap(int v) {{
+  if (v < 0) return v + lattice_l;
+  if (v >= lattice_l) return v - lattice_l;
+  return v;
+}}
+
+int link_index(int mu, int x, int y) {{
+  return mu * lattice_l * lattice_l + site(x, y);
+}}
+
+/* plaquette angle with this link at its base, going forward in nu */
+float plaq_forward(int mu, int x, int y) {{
+  int nu;
+  int x_mu;
+  int y_mu;
+  int x_nu;
+  int y_nu;
+  nu = 1 - mu;
+  if (mu == 0) {{ x_mu = wrap(x + 1); y_mu = y; }} else {{ x_mu = x; y_mu = wrap(y + 1); }}
+  if (nu == 0) {{ x_nu = wrap(x + 1); y_nu = y; }} else {{ x_nu = x; y_nu = wrap(y + 1); }}
+  return links[link_index(mu, x, y)]
+       + links[link_index(nu, x_mu, y_mu)]
+       - links[link_index(mu, x_nu, y_nu)]
+       - links[link_index(nu, x, y)];
+}}
+
+/* plaquette whose base sits one step backward in nu, so that the
+   link (mu, x, y) appears on its upper edge: with b = (x,y) - nu,
+   P = U_mu(b) + U_nu(b+mu) - U_mu(b+nu) - U_nu(b), and b+nu = (x,y). */
+float plaq_backward(int mu, int x, int y) {{
+  int nu;
+  int xb;
+  int yb;
+  int x_mu;
+  int y_mu;
+  nu = 1 - mu;
+  if (nu == 0) {{ xb = wrap(x - 1); yb = y; }} else {{ xb = x; yb = wrap(y - 1); }}
+  if (mu == 0) {{ x_mu = wrap(xb + 1); y_mu = yb; }} else {{ x_mu = xb; y_mu = wrap(yb + 1); }}
+  return links[link_index(mu, xb, yb)]
+       + links[link_index(nu, x_mu, y_mu)]
+       - links[link_index(mu, x, y)]
+       - links[link_index(nu, xb, yb)];
+}}
+
+/* 2x1 rectangle loop through the link, for the Symanzik-improved
+   action term.  Indexing is inlined (register-only) as the Perfect
+   Club codes hand-inline their hot loops. */
+float rect_forward(int mu, int x, int y) {{
+  int nu;
+  nu = 1 - mu;
+  if (mu == 0) {{
+    return links[x * lattice_l + y]
+         + links[wrap(x + 1) * lattice_l + y]
+         + links[lattice_l * lattice_l + wrap(x + 2) * lattice_l + y]
+         - links[wrap(x + 1) * lattice_l + wrap(y + 1)]
+         - links[x * lattice_l + wrap(y + 1)]
+         - links[lattice_l * lattice_l + x * lattice_l + y];
+  }}
+  return links[lattice_l * lattice_l + x * lattice_l + y]
+       + links[lattice_l * lattice_l + x * lattice_l + wrap(y + 1)]
+       + links[x * lattice_l + wrap(y + 2)]
+       - links[lattice_l * lattice_l + wrap(x + 1) * lattice_l + wrap(y + 1)]
+       - links[lattice_l * lattice_l + wrap(x + 1) * lattice_l + y]
+       - links[x * lattice_l + y];
+}}
+
+/* local action difference for proposing angle -> angle + delta,
+   plaquette term plus a Symanzik-improved rectangle correction */
+float delta_action(int mu, int x, int y, float delta) {{
+  float before;
+  float after;
+  float p1;
+  float p2;
+  float r1;
+  /* the link enters p1 with +, p2 with - (upper edge runs backward) */
+  p1 = plaq_forward(mu, x, y);
+  p2 = plaq_backward(mu, x, y);
+  r1 = rect_forward(mu, x, y);
+  before = table_cos(p1) + table_cos(p2) - 0.05 * table_cos(r1);
+  after = table_cos(p1 + delta) + table_cos(p2 - delta)
+        - 0.05 * table_cos(r1 + delta);
+  return beta * (before - after);
+}}
+
+void update_link(int mu, int x, int y) {{
+  float delta;
+  float ds;
+  float r;
+  int idx;
+  delta = (rand_uniform() - 0.5) * 2.0;
+  ds = delta_action(mu, x, y, delta);
+  if (ds <= 0.0) {{
+    idx = link_index(mu, x, y);
+    links[idx] = links[idx] + delta;
+    n_accept = n_accept + 1;
+  }} else {{
+    r = rand_uniform();
+    if (r < exp(-ds)) {{
+      idx = link_index(mu, x, y);
+      links[idx] = links[idx] + delta;
+      n_accept = n_accept + 1;
+    }} else {{
+      n_reject = n_reject + 1;
+    }}
+  }}
+}}
+
+void sweep() {{
+  int x;
+  int y;
+  int mu;
+  for (x = 0; x < lattice_l; x = x + 1) {{
+    for (y = 0; y < lattice_l; y = y + 1) {{
+      for (mu = 0; mu < 2; mu = mu + 1) {{
+        update_link(mu, x, y);
+      }}
+    }}
+  }}
+}}
+
+float measure_plaquette() {{
+  int x;
+  int y;
+  float sum;
+  sum = 0.0;
+  for (x = 0; x < lattice_l; x = x + 1) {{
+    for (y = 0; y < lattice_l; y = y + 1) {{
+      sum = sum + table_cos(plaq_forward(0, x, y));
+    }}
+  }}
+  return sum / (lattice_l * lattice_l);
+}}
+
+int main() {{
+  int s;
+  float plaq;
+  rng_state = 4242;
+  for (s = 0; s < n_sweeps; s = s + 1) {{
+    sweep();
+    plaq = measure_plaquette();
+    plaq_accum = plaq_accum + plaq;
+    n_measure = n_measure + 1;
+  }}
+  checksum = plaq_accum * 100000.0;
+  checksum = (checksum + n_accept * 7 + n_reject * 13) & 1048575;
+  if (checksum == 0) checksum = n_accept;
+  return checksum;
+}}
+"""
+
+
+class QcdWorkload(Workload):
+    """Mini lattice gauge simulation: Metropolis sweeps + measurement."""
+
+    name = "qcd"
+    default_scale = 8   # sweeps
+    smoke_scale = 1
+
+    def source(self, scale: int) -> str:
+        return _SOURCE_TEMPLATE
+
+    def setup(self, memory, image, scale: int) -> None:
+        def poke(name, value):
+            memory.store_word(image.global_var(name).address, value)
+
+        poke("lattice_l", _L)
+        poke("n_sweeps", scale)
+        poke("beta", 1.8)
+        poke("two_pi", 2 * math.pi)
+        table = [math.cos(2 * math.pi * i / _COS_TABLE) for i in range(_COS_TABLE)]
+        memory.store_range(image.global_var("cos_table").address, table)
+
+    def check(self, state, runtime, scale: int) -> None:
+        super().check(state, runtime, scale)
+        if runtime.heap.n_allocs != 0:
+            raise PipelineError("qcd must not allocate heap objects (paper Table 1)")

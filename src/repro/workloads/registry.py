@@ -1,0 +1,38 @@
+"""Workload registry: the paper's five benchmarks by name."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import PipelineError
+from repro.workloads.base import Workload
+from repro.workloads.bps import BpsWorkload
+from repro.workloads.ctex import CtexWorkload
+from repro.workloads.gcc import GccWorkload
+from repro.workloads.qcd import QcdWorkload
+from repro.workloads.spice import SpiceWorkload
+
+
+def _build_registry() -> Dict[str, Workload]:
+    registry: Dict[str, Workload] = {}
+    for workload in (
+        GccWorkload(),
+        CtexWorkload(),
+        SpiceWorkload(),
+        QcdWorkload(),
+        BpsWorkload(),
+    ):
+        registry[workload.name] = workload
+    return registry
+
+
+#: All workloads, in the paper's Table-1 order.
+WORKLOADS: Dict[str, Workload] = _build_registry()
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload by name."""
+    workload = WORKLOADS.get(name)
+    if workload is None:
+        raise PipelineError(f"unknown workload {name!r}; known: {sorted(WORKLOADS)}")
+    return workload

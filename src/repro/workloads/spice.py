@@ -1,0 +1,295 @@
+"""The ``spice`` workload: transient analysis of a nonlinear circuit.
+
+The paper ran Spice v3c1 computing a 20ns transient analysis of a simple
+differential pair.  This workload is a miniature circuit simulator with
+the same structure: modified nodal analysis over an RC ladder with a
+diode (nonlinear, so every timestep runs a Newton loop), backward-Euler
+integration, and a dense LU solve per Newton iteration.
+
+Matching Spice's heap profile (416 OneHeap sessions, 68 AllHeapInFunc),
+the matrix rows and solution vectors live on the heap, and each timestep
+allocates and frees scratch vectors.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PipelineError
+from repro.workloads.base import Workload
+
+_SOURCE_TEMPLATE = """
+/* mini-spice: RC ladder + diode, backward Euler, Newton + dense LU. */
+
+int n_nodes;
+int n_steps;
+
+/* device parameters (poked by the harness as floats) */
+float r_series;        /* series resistance between neighbours */
+float c_ground;        /* capacitance to ground per node */
+float dt;              /* timestep */
+float v_source;        /* driving source voltage */
+float g_source;        /* source Norton conductance */
+float diode_is;        /* diode saturation current */
+float diode_vt;        /* diode thermal voltage */
+
+/* circuit state (pointers into the heap) */
+float **matrix;        /* conductance matrix rows */
+float *voltage;        /* node voltages (current solution) */
+float *prev_voltage;   /* voltages at the previous timestep */
+float *rhs;
+
+/* statistics */
+int newton_iters;
+int lu_solves;
+int total_allocs;
+float wave_accum;
+int checksum;
+
+float fmax(float a, float b) {{
+  if (a > b) return a;
+  return b;
+}}
+
+float *alloc_vector(int n) {{
+  float *v;
+  int i;
+  v = malloc(n * 4);
+  for (i = 0; i < n; i = i + 1) v[i] = 0.0;
+  total_allocs = total_allocs + 1;
+  return v;
+}}
+
+float **alloc_matrix(int n) {{
+  float **m;
+  int i;
+  m = malloc(n * 4);
+  for (i = 0; i < n; i = i + 1) {{
+    m[i] = alloc_vector(n);
+  }}
+  return m;
+}}
+
+void clear_system() {{
+  int i;
+  int j;
+  for (i = 0; i < n_nodes; i = i + 1) {{
+    for (j = 0; j < n_nodes; j = j + 1) {{
+      matrix[i][j] = 0.0;
+    }}
+    rhs[i] = 0.0;
+  }}
+}}
+
+/* stamps, exactly as a MNA-based simulator applies them */
+void stamp_conductance(int a, int b, float g) {{
+  if (a >= 0) matrix[a][a] = matrix[a][a] + g;
+  if (b >= 0) matrix[b][b] = matrix[b][b] + g;
+  if (a >= 0 && b >= 0) {{
+    matrix[a][b] = matrix[a][b] - g;
+    matrix[b][a] = matrix[b][a] - g;
+  }}
+}}
+
+void stamp_current(int node, float i_in) {{
+  if (node >= 0) rhs[node] = rhs[node] + i_in;
+}}
+
+/* capacitor by backward Euler: geq = C/dt, ieq = geq * v_prev */
+void stamp_capacitor(int node, float cap) {{
+  float geq;
+  geq = cap / dt;
+  stamp_conductance(node, -1, geq);
+  stamp_current(node, geq * prev_voltage[node]);
+}}
+
+float diode_current(float v) {{
+  float x;
+  x = v / diode_vt;
+  if (x > 40.0) x = 40.0;
+  if (x < -40.0) x = -40.0;
+  return diode_is * (exp(x) - 1.0);
+}}
+
+float diode_conductance(float v) {{
+  float x;
+  x = v / diode_vt;
+  if (x > 40.0) x = 40.0;
+  if (x < -40.0) x = -40.0;
+  return (diode_is / diode_vt) * exp(x);
+}}
+
+/* linearized diode at the last node: i = I(v0) + g*(v - v0) */
+void stamp_diode(int node) {{
+  float v0;
+  float g;
+  float ieq;
+  v0 = voltage[node];
+  g = diode_conductance(v0);
+  ieq = diode_current(v0) - g * v0;
+  stamp_conductance(node, -1, g);
+  stamp_current(node, -ieq);
+}}
+
+void build_system(float vsrc) {{
+  int k;
+  clear_system();
+  /* Norton source into node 0 */
+  stamp_conductance(0, -1, g_source);
+  stamp_current(0, vsrc * g_source);
+  for (k = 0; k < n_nodes - 1; k = k + 1) {{
+    stamp_conductance(k, k + 1, 1.0 / r_series);
+  }}
+  for (k = 0; k < n_nodes; k = k + 1) {{
+    stamp_capacitor(k, c_ground);
+  }}
+  stamp_diode(n_nodes - 1);
+}}
+
+/* in-place LU decomposition without pivoting (diagonally dominant) */
+void lu_decompose() {{
+  int k;
+  int i;
+  int j;
+  float factor;
+  for (k = 0; k < n_nodes; k = k + 1) {{
+    for (i = k + 1; i < n_nodes; i = i + 1) {{
+      factor = matrix[i][k] / matrix[k][k];
+      matrix[i][k] = factor;
+      for (j = k + 1; j < n_nodes; j = j + 1) {{
+        matrix[i][j] = matrix[i][j] - factor * matrix[k][j];
+      }}
+    }}
+  }}
+}}
+
+/* solve L U x = rhs into x */
+void lu_solve(float *x) {{
+  int i;
+  int j;
+  float acc;
+  for (i = 0; i < n_nodes; i = i + 1) {{
+    acc = rhs[i];
+    for (j = 0; j < i; j = j + 1) {{
+      acc = acc - matrix[i][j] * x[j];
+    }}
+    x[i] = acc;
+  }}
+  for (i = n_nodes - 1; i >= 0; i = i - 1) {{
+    acc = x[i];
+    for (j = i + 1; j < n_nodes; j = j + 1) {{
+      acc = acc - matrix[i][j] * x[j];
+    }}
+    x[i] = acc / matrix[i][i];
+  }}
+  lu_solves = lu_solves + 1;
+}}
+
+/* one Newton iteration; returns max |delta v| scaled by 1e6 as int */
+int newton_step(float vsrc) {{
+  float *new_v;
+  float delta;
+  float worst;
+  int i;
+  new_v = alloc_vector(n_nodes);
+  build_system(vsrc);
+  lu_decompose();
+  lu_solve(new_v);
+  worst = 0.0;
+  for (i = 0; i < n_nodes; i = i + 1) {{
+    delta = fabs(new_v[i] - voltage[i]);
+    worst = fmax(worst, delta);
+    voltage[i] = new_v[i];
+  }}
+  free(new_v);
+  newton_iters = newton_iters + 1;
+  return f2i_scaled(worst);
+}}
+
+int f2i_scaled(float x) {{
+  return x * 1000000.0;
+}}
+
+/* source waveform: ramp up then sinusoid-ish triangle */
+float source_at(int step) {{
+  int phase;
+  phase = step % 40;
+  if (phase < 20) return v_source * phase / 20.0;
+  return v_source * (40 - phase) / 20.0;
+}}
+
+void transient() {{
+  int step;
+  int iter;
+  int moved;
+  int i;
+  float vsrc;
+  for (step = 0; step < n_steps; step = step + 1) {{
+    vsrc = source_at(step);
+    iter = 0;
+    moved = 1000000000;
+    while (iter < 8 && moved > 5) {{
+      moved = newton_step(vsrc);
+      iter = iter + 1;
+    }}
+    for (i = 0; i < n_nodes; i = i + 1) {{
+      prev_voltage[i] = voltage[i];
+    }}
+    wave_accum = wave_accum + voltage[n_nodes - 1];
+  }}
+}}
+
+int main() {{
+  int i;
+  matrix = alloc_matrix(n_nodes);
+  voltage = alloc_vector(n_nodes);
+  prev_voltage = alloc_vector(n_nodes);
+  rhs = alloc_vector(n_nodes);
+  transient();
+  checksum = f2i_scaled(wave_accum) & 1048575;
+  if (checksum == 0) checksum = newton_iters;
+  for (i = 0; i < n_nodes; i = i + 1) free(matrix[i]);
+  free(matrix);
+  free(voltage);
+  free(prev_voltage);
+  free(rhs);
+  return checksum;
+}}
+"""
+
+
+class SpiceWorkload(Workload):
+    """Mini circuit simulator: RC ladder + diode transient analysis."""
+
+    name = "spice"
+    default_scale = 80   # timesteps
+    smoke_scale = 12
+    n_nodes = 12
+
+    def source(self, scale: int) -> str:
+        return _SOURCE_TEMPLATE
+
+    def setup(self, memory, image, scale: int) -> None:
+        def poke(name, value):
+            memory.store_word(image.global_var(name).address, value)
+
+        poke("n_nodes", self.n_nodes)
+        poke("n_steps", scale)
+        poke("r_series", 100.0)
+        poke("c_ground", 1e-12)
+        poke("dt", 5e-10)
+        poke("v_source", 3.0)
+        poke("g_source", 0.05)
+        poke("diode_is", 1e-14)
+        poke("diode_vt", 0.02585)
+
+    def check(self, state, runtime, scale: int) -> None:
+        super().check(state, runtime, scale)
+        if state.exit_value == 0:
+            raise PipelineError("spice workload produced a zero checksum")
+        # Every timestep should allocate (and free) at least one scratch
+        # vector, giving Spice's heap-churn profile.
+        if runtime.heap.n_allocs < scale:
+            raise PipelineError(
+                f"spice allocated only {runtime.heap.n_allocs} heap objects"
+            )
+        if runtime.heap.live_bytes() != 0:
+            raise PipelineError("spice leaked heap objects")

@@ -1,0 +1,150 @@
+"""Tests for statistics, table/figure rendering, and comparison."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import (
+    OverheadStats,
+    compute_stats,
+    render_bar_chart,
+    render_table,
+    trimmed_mean,
+)
+from repro.analysis.compare import compare_table4, shape_checks
+from repro.analysis.figures import FigureSeries, figure_from_table4
+from repro.analysis.stats import percentile
+from repro.analysis.tables import render_table1, render_table4
+from repro.errors import PipelineError
+from repro.models.paper_data import TABLE_4
+
+
+class TestStats:
+    def test_basic_summary(self):
+        stats = compute_stats([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert stats.min == 1.0
+        assert stats.max == 5.0
+        assert stats.mean == 3.0
+        assert stats.n_sessions == 5
+
+    def test_t_mean_excludes_tails(self):
+        values = [0.0] + [10.0] * 98 + [1000.0]
+        stats = compute_stats(values)
+        assert stats.t_mean == pytest.approx(10.0)
+        assert stats.mean > 10.0
+
+    def test_t_mean_degenerate_small_sample(self):
+        assert trimmed_mean([5.0, 7.0]) == 6.0
+
+    def test_t_mean_constant_distribution(self):
+        assert trimmed_mean([3.0] * 50) == 3.0
+
+    def test_percentiles_ordered(self):
+        stats = compute_stats(list(range(100)))
+        assert stats.p90 <= stats.p98 <= stats.max
+
+    def test_empty_rejected(self):
+        with pytest.raises(PipelineError):
+            compute_stats([])
+        with pytest.raises(PipelineError):
+            trimmed_mean([])
+        with pytest.raises(PipelineError):
+            percentile([], 50)
+
+    @given(st.lists(st.floats(0, 1e6), min_size=3, max_size=200))
+    def test_t_mean_between_min_and_max(self, values):
+        t = trimmed_mean(values)
+        assert min(values) - 1e-9 <= t <= max(values) + 1e-9
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=200))
+    def test_stats_invariants(self, values):
+        stats = compute_stats(values)
+        ulp = 1e-9 * max(abs(stats.max), 1.0)  # summation rounding slack
+        assert stats.min - ulp <= stats.mean <= stats.max + ulp
+        assert stats.min - ulp <= stats.p90 <= stats.p98 <= stats.max + ulp
+
+
+class TestTableRendering:
+    def test_generic_table_alignment(self):
+        text = render_table(["A", "Long"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines[:1] + lines[2:]}) == 1
+
+    def test_table1_contains_programs(self):
+        rows = {
+            "gcc": {
+                "OneLocalAuto": 1, "AllLocalInFunc": 2, "OneGlobalStatic": 3,
+                "OneHeap": 4, "AllHeapInFunc": 5, "execution_ms": 123.4,
+            }
+        }
+        text = render_table1(rows)
+        assert "gcc" in text and "123.4" in text
+
+    def test_table4_layout(self):
+        stats = OverheadStats(10, 0.0, 5.0, 1.0, 2.0, 3.0, 4.0)
+        text = render_table4({"gcc": {"NH": stats, "CP": stats}})
+        assert "Min | Max" in text
+        assert "T-Mean | Mean" in text
+        assert text.count("gcc") == 1
+
+
+class TestFigures:
+    def test_bar_chart_renders_all_values(self):
+        series = FigureSeries("Figure X")
+        series.values["gcc"] = {"NH": 0.5, "CP": 100.0}
+        text = render_bar_chart(series)
+        assert "0.50x" in text and "100.00x" in text
+
+    def test_log_scale_monotone(self):
+        series = FigureSeries("F")
+        series.values["p"] = {"A": 1.0, "B": 10.0, "C": 100.0}
+        text = render_bar_chart(series)
+        lengths = [line.count("#") for line in text.splitlines() if "#" in line]
+        assert lengths == sorted(lengths)
+
+    def test_empty_series(self):
+        assert "(no data)" in render_bar_chart(FigureSeries("F"))
+
+    def test_figure_from_table4(self):
+        stats = OverheadStats(10, 0.0, 5.0, 1.0, 2.0, 3.0, 4.0)
+        series = figure_from_table4({"gcc": {"NH": stats}}, "max", "t")
+        assert series.values["gcc"]["NH"] == 5.0
+
+
+def _paper_as_stats():
+    return {
+        program: {
+            label: OverheadStats(
+                n_sessions=0, min=s.min, max=s.max, t_mean=s.t_mean,
+                mean=s.mean, p90=s.p90, p98=s.p98,
+            )
+            for label, s in row.items()
+        }
+        for program, row in TABLE_4.items()
+    }
+
+
+class TestCompare:
+    def test_shape_checks_pass_on_papers_own_table4(self):
+        """The qualitative claims must hold on the paper's published data
+        (this is what calibrates the thresholds)."""
+        for check in shape_checks(_paper_as_stats()):
+            assert check.holds, check.claim
+
+    def test_identical_data_gives_unit_ratios(self):
+        rows = compare_table4(_paper_as_stats())
+        nonzero = [row for row in rows if row.paper != 0]
+        assert nonzero
+        assert all(row.ratio == pytest.approx(1.0) for row in nonzero)
+
+    def test_zero_paper_cells_handled(self):
+        rows = compare_table4(_paper_as_stats())
+        zero_cells = [row for row in rows if row.paper == 0]
+        for row in zero_cells:
+            assert row.ratio == 1.0 or math.isinf(row.ratio)
+
+    def test_unknown_program_skipped(self):
+        stats = OverheadStats(1, 0, 0, 0, 0, 0, 0)
+        rows = compare_table4({"mystery": {"NH": stats}})
+        assert rows == []

@@ -1,0 +1,45 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import Cpu, Memory, load_program
+from repro.machine.layout import MemoryLayout
+from repro.minic.compiler import compile_source
+from repro.minic.runtime import Runtime
+
+
+class MiniCRunner:
+    """Compile-and-run helper: the workhorse of the behavioral tests."""
+
+    def __init__(self) -> None:
+        self.runtime = None
+        self.cpu = None
+        self.image = None
+
+    def run(self, source: str, entry: str = "main", args=(), max_instructions: int = 5_000_000):
+        """Compile ``source``, run ``entry``, return the exit value."""
+        program = compile_source(source, "test")
+        self.image = load_program(program)
+        self.cpu = Cpu(Memory())
+        self.runtime = Runtime(self.cpu)
+        self.runtime.install()
+        self.cpu.attach(self.image)
+        state = self.cpu.run(entry, args, max_instructions)
+        return state.exit_value
+
+    @property
+    def output(self):
+        return self.runtime.output
+
+
+@pytest.fixture
+def minic():
+    """Fresh MiniC compile-and-run helper."""
+    return MiniCRunner()
+
+
+def run_minic(source: str, entry: str = "main", args=()):
+    """Function-style helper for tests that need several programs."""
+    return MiniCRunner().run(source, entry, args)

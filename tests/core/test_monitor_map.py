@@ -1,0 +1,141 @@
+"""Tests for the address->monitor mapping structures (Appendix A.5)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.monitor_map import BitmapMonitorMap, IntervalMonitorMap
+from repro.core.wms import Monitor
+from repro.errors import MonitorNotFound, WmsError
+
+MAPS = [BitmapMonitorMap, IntervalMonitorMap]
+
+
+@pytest.mark.parametrize("map_cls", MAPS)
+class TestBasics:
+    def test_empty_map_misses(self, map_cls):
+        assert map_cls().lookup(0x100, 0x104) == ()
+
+    def test_install_then_hit(self, map_cls):
+        mmap = map_cls()
+        monitor = Monitor(0x100, 0x110)
+        mmap.install(monitor)
+        assert mmap.lookup(0x104, 0x108) == (monitor,)
+
+    def test_miss_outside(self, map_cls):
+        mmap = map_cls()
+        mmap.install(Monitor(0x100, 0x110))
+        assert mmap.lookup(0x110, 0x114) == ()
+        assert mmap.lookup(0x0FC, 0x100) == ()
+
+    def test_remove_then_miss(self, map_cls):
+        mmap = map_cls()
+        monitor = Monitor(0x100, 0x110)
+        mmap.install(monitor)
+        mmap.remove(monitor)
+        assert mmap.lookup(0x100, 0x104) == ()
+        assert len(mmap) == 0
+
+    def test_remove_unknown_raises(self, map_cls):
+        with pytest.raises(MonitorNotFound):
+            map_cls().remove(Monitor(0x100, 0x104))
+
+    def test_overlapping_monitors_both_reported(self, map_cls):
+        mmap = map_cls()
+        first = Monitor(0x100, 0x120)
+        second = Monitor(0x110, 0x130)
+        mmap.install(first)
+        mmap.install(second)
+        hits = mmap.lookup(0x110, 0x114)
+        assert set(hits) == {first, second}
+
+    def test_identical_ranges_distinct_monitors(self, map_cls):
+        mmap = map_cls()
+        first = Monitor(0x100, 0x104)
+        second = Monitor(0x100, 0x104)
+        mmap.install(first)
+        mmap.install(second)
+        mmap.remove(first)
+        assert mmap.lookup(0x100, 0x104) == (second,)
+
+    def test_multi_word_write_single_report(self, map_cls):
+        mmap = map_cls()
+        monitor = Monitor(0x100, 0x120)
+        mmap.install(monitor)
+        hits = mmap.lookup(0x100, 0x118)
+        assert hits.count(monitor) == 1
+
+    def test_len_counts_monitors(self, map_cls):
+        mmap = map_cls()
+        mmap.install(Monitor(0x100, 0x104))
+        mmap.install(Monitor(0x200, 0x204))
+        assert len(mmap) == 2
+
+
+class TestMonitorDescriptor:
+    def test_empty_range_rejected(self):
+        with pytest.raises(WmsError):
+            Monitor(0x100, 0x100)
+
+    def test_intersects(self):
+        monitor = Monitor(0x100, 0x110)
+        assert monitor.intersects(0x10C, 0x110)
+        assert not monitor.intersects(0x110, 0x114)
+
+    def test_size(self):
+        assert Monitor(0x100, 0x110).size_bytes == 16
+
+    def test_identity_semantics(self):
+        assert Monitor(0x100, 0x104) != Monitor(0x100, 0x104)
+
+
+class TestBitmapSpecifics:
+    def test_covered_words(self):
+        mmap = BitmapMonitorMap()
+        mmap.install(Monitor(0x100, 0x110))  # 4 words
+        assert mmap.covered_words() == 4
+
+    def test_unaligned_monitor_rounds_to_words(self):
+        """Footnote 7: monitors are word-aligned; clients compensate."""
+        mmap = BitmapMonitorMap()
+        monitor = Monitor(0x101, 0x103)
+        mmap.install(monitor)
+        assert mmap.lookup(0x100, 0x104) == (monitor,)
+
+
+# ---------------------------------------------------------------------------
+# Property test: both structures agree with a naive oracle.
+# ---------------------------------------------------------------------------
+
+_ranges = st.tuples(st.integers(0, 120), st.integers(1, 12)).map(
+    lambda pair: (pair[0] * 4, pair[0] * 4 + pair[1] * 4)
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["install", "remove", "lookup"]), _ranges),
+        min_size=1,
+        max_size=50,
+    )
+)
+@pytest.mark.parametrize("map_cls", MAPS)
+def test_against_naive_oracle(map_cls, operations):
+    """Random install/remove/lookup sequences match a brute-force list."""
+    mmap = map_cls()
+    oracle = []
+    for op, (begin, end) in operations:
+        if op == "install":
+            monitor = Monitor(begin, end)
+            mmap.install(monitor)
+            oracle.append(monitor)
+        elif op == "remove" and oracle:
+            victim = oracle.pop(len(oracle) // 2)
+            mmap.remove(victim)
+        else:
+            expected = {m for m in oracle if m.intersects(begin, end)}
+            assert set(mmap.lookup(begin, end)) == expected
+    # Final sweep: every word of every live monitor is found.
+    for monitor in oracle:
+        for word in range(monitor.begin & ~3, monitor.end, 4):
+            assert monitor in mmap.lookup(word, word + 4)

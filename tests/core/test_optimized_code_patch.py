@@ -1,0 +1,153 @@
+"""Tests for the section-9 loop-optimized CodePatch WMS.
+
+The optimization caches per-site miss results; correctness hinges on two
+invalidation rules: a site's cache only applies while the write target
+is unchanged (loop-invariant case), and *any* install/remove bumps the
+epoch, re-enabling full checks everywhere.
+"""
+
+import pytest
+
+from repro.core import CodePatchWms, OptimizedCodePatchWms
+from repro.machine import Cpu, Memory, load_program
+from repro.minic.compiler import compile_source
+from repro.minic.instrument import apply_code_patch
+from repro.minic.runtime import Runtime
+
+SOURCE = """
+int watched;
+int other;
+int arr[8];
+
+int main() {
+  int i;
+  for (i = 0; i < 10; i = i + 1) {
+    other = i;            /* same site, same target: cacheable miss */
+    arr[i % 8] = i;       /* same site, moving target: not cacheable */
+  }
+  watched = 42;
+  return watched;
+}
+"""
+
+
+def build(wms_cls):
+    program = apply_code_patch(compile_source(SOURCE, "opt-test"))
+    image = load_program(program)
+    cpu = Cpu(Memory())
+    runtime = Runtime(cpu)
+    runtime.install()
+    cpu.attach(image)
+    wms = wms_cls(cpu)
+    return cpu, wms, image
+
+
+class TestCorrectness:
+    def test_same_notifications_as_plain(self):
+        plain_cpu, plain_wms, plain_image = build(CodePatchWms)
+        var = plain_image.global_var("watched")
+        plain_wms.install_monitor(var.address, var.address + 4)
+        plain_cpu.run("main")
+
+        opt_cpu, opt_wms, opt_image = build(OptimizedCodePatchWms)
+        var = opt_image.global_var("watched")
+        opt_wms.install_monitor(var.address, var.address + 4)
+        opt_cpu.run("main")
+
+        assert [(n.begin, n.value) for n in opt_wms.notifications] == [
+            (n.begin, n.value) for n in plain_wms.notifications
+        ]
+
+    def test_cheaper_than_plain(self):
+        plain_cpu, plain_wms, plain_image = build(CodePatchWms)
+        var = plain_image.global_var("watched")
+        plain_wms.install_monitor(var.address, var.address + 4)
+        plain_cpu.run("main")
+
+        opt_cpu, opt_wms, opt_image = build(OptimizedCodePatchWms)
+        var = opt_image.global_var("watched")
+        opt_wms.install_monitor(var.address, var.address + 4)
+        opt_cpu.run("main")
+
+        assert opt_cpu.cycles < plain_cpu.cycles
+        assert opt_wms.stats_cached_misses > 0
+        assert opt_wms.stats.checks == plain_wms.stats.checks
+
+    def test_hits_never_cached(self):
+        """A hit site keeps notifying on every iteration."""
+        source = """
+        int watched;
+        int main() {
+          int i;
+          for (i = 0; i < 6; i = i + 1) { watched = i; }
+          return watched;
+        }
+        """
+        program = apply_code_patch(compile_source(source, "hits"))
+        image = load_program(program)
+        cpu = Cpu(Memory())
+        Runtime(cpu).install()
+        cpu.attach(image)
+        wms = OptimizedCodePatchWms(cpu)
+        var = image.global_var("watched")
+        wms.install_monitor(var.address, var.address + 4)
+        cpu.run("main")
+        assert [n.value for n in wms.notifications] == [0, 1, 2, 3, 4, 5]
+
+    def test_install_invalidates_cached_misses(self):
+        """A monitor installed mid-run must catch writes whose site had a
+        cached miss from before the install — the 'dynamically patch the
+        loop body' correctness requirement of section 9."""
+        source = """
+        int target;
+        int phase;
+        int main() {
+          int i;
+          for (i = 0; i < 10; i = i + 1) {
+            target = i;                 /* miss until monitor installed */
+            if (i == 4) phase = 1;      /* debugger installs here */
+          }
+          return target;
+        }
+        """
+        program = apply_code_patch(compile_source(source, "mid"))
+        image = load_program(program)
+        cpu = Cpu(Memory())
+        Runtime(cpu).install()
+        cpu.attach(image)
+        wms = OptimizedCodePatchWms(cpu)
+
+        target = image.global_var("target")
+        phase = image.global_var("phase")
+
+        # Install the real monitor from a callback on `phase` — i.e. while
+        # the loop is mid-flight and `target`'s site has a cached miss.
+        sentinel = wms.install_monitor(phase.address, phase.address + 4)
+        installed = []
+
+        def on_phase(notification):
+            if not installed:
+                installed.append(
+                    wms.install_monitor(target.address, target.address + 4)
+                )
+
+        wms.callback = on_phase
+        cpu.run("main")
+        target_hits = [
+            n.value for n in wms.notifications if n.begin == target.address
+        ]
+        # Writes i=5..9 happen after the install and must all notify.
+        assert target_hits == [5, 6, 7, 8, 9]
+
+    def test_remove_invalidates_too(self):
+        cpu, wms, image = build(OptimizedCodePatchWms)
+        var = image.global_var("watched")
+        monitor = wms.install_monitor(var.address, var.address + 4)
+        epoch_before = wms._epoch
+        wms.remove_monitor(monitor)
+        assert wms._epoch > epoch_before
+
+    def test_detach_restores_cpu(self):
+        cpu, wms, image = build(OptimizedCodePatchWms)
+        wms.detach()
+        assert cpu.check_hook is None

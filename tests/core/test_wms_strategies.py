@@ -1,0 +1,245 @@
+"""Behavioral tests for the four live WMS implementations.
+
+Every strategy must deliver the same notifications for the same program
+and monitors — they differ only in mechanism and cost.  These tests run
+one program under all four and compare.
+"""
+
+import pytest
+
+from repro.core import (
+    CodePatchWms,
+    NativeHardwareWms,
+    TrapPatchWms,
+    VirtualMemoryWms,
+)
+from repro.errors import MonitorRegisterExhausted
+from repro.machine import Cpu, Memory, load_program
+from repro.machine.monitor_registers import MonitorRegisterFile
+from repro.machine.paging import PageTable
+from repro.minic.compiler import compile_source
+from repro.minic.instrument import apply_code_patch, apply_trap_patch
+from repro.minic.runtime import Runtime
+from repro.sim_os import SimOs
+from repro.units import us_to_cycles
+
+SOURCE = """
+int watched;
+int other;
+int main() {
+  int i;
+  for (i = 0; i < 5; i = i + 1) {
+    watched = i * 10;
+    other = i;
+  }
+  return watched;
+}
+"""
+
+STRATEGIES = ["native", "vm", "trap", "code"]
+
+
+def build(strategy: str, n_registers: int = 4, page_size: int = 4096):
+    """Assemble machine + OS + runtime + WMS for one strategy."""
+    program = compile_source(SOURCE, "wms-test")
+    if strategy == "trap":
+        program = apply_trap_patch(program)
+    elif strategy == "code":
+        program = apply_code_patch(program)
+    image = load_program(program)
+    cpu = Cpu(Memory(), PageTable(page_size), MonitorRegisterFile(n_registers))
+    os = SimOs(cpu)
+    runtime = Runtime(cpu)
+    runtime.install()
+    cpu.attach(image)
+    if strategy == "native":
+        wms = NativeHardwareWms(cpu, os)
+    elif strategy == "vm":
+        wms = VirtualMemoryWms(cpu, os)
+    elif strategy == "trap":
+        wms = TrapPatchWms(cpu, os)
+    else:
+        wms = CodePatchWms(cpu)
+    return cpu, os, wms, image
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestAllStrategies:
+    def test_hits_watched_variable(self, strategy):
+        cpu, os, wms, image = build(strategy)
+        var = image.global_var("watched")
+        wms.install_monitor(var.address, var.address + var.size_bytes)
+        state = cpu.run("main")
+        assert state.exit_value == 40
+        assert wms.stats.hits == 5
+        assert len(wms.notifications) == 5
+
+    def test_notification_payload(self, strategy):
+        cpu, os, wms, image = build(strategy)
+        var = image.global_var("watched")
+        monitor = wms.install_monitor(var.address, var.address + 4)
+        cpu.run("main")
+        values = [n.value for n in wms.notifications]
+        assert values == [0, 10, 20, 30, 40]
+        for notification in wms.notifications:
+            assert notification.begin == var.address
+            assert notification.monitors == (monitor,)
+            assert 0 <= notification.pc < len(image.code)
+
+    def test_memory_state_correct_after_run(self, strategy):
+        """Monitoring must never change program semantics."""
+        cpu, os, wms, image = build(strategy)
+        var = image.global_var("watched")
+        wms.install_monitor(var.address, var.address + 4)
+        cpu.run("main")
+        assert cpu.memory.load_word(var.address) == 40
+        assert cpu.memory.load_word(image.global_var("other").address) == 4
+
+    def test_no_monitor_no_notifications(self, strategy):
+        cpu, os, wms, image = build(strategy)
+        state = cpu.run("main")
+        assert state.exit_value == 40
+        assert wms.notifications == []
+
+    def test_remove_monitor_stops_notifications(self, strategy):
+        cpu, os, wms, image = build(strategy)
+        var = image.global_var("watched")
+        monitor = wms.install_monitor(var.address, var.address + 4)
+        wms.remove_monitor(monitor)
+        cpu.run("main")
+        assert wms.notifications == []
+
+    def test_callback_invoked(self, strategy):
+        cpu, os, wms, image = build(strategy)
+        var = image.global_var("watched")
+        wms.install_monitor(var.address, var.address + 4)
+        seen = []
+        wms.callback = lambda n: seen.append(n.value)
+        cpu.run("main")
+        assert seen == [0, 10, 20, 30, 40]
+
+    def test_overhead_charged_to_clock(self, strategy):
+        plain_cpu, _, _, plain_image = build("code")  # baseline machine
+        # Baseline: unpatched, no WMS.
+        baseline_program = compile_source(SOURCE, "baseline")
+        baseline_image = load_program(baseline_program)
+        cpu0 = Cpu(Memory())
+        runtime0 = Runtime(cpu0)
+        runtime0.install()
+        cpu0.attach(baseline_image)
+        base_cycles = cpu0.run("main").cycles
+
+        cpu, os, wms, image = build(strategy)
+        var = image.global_var("watched")
+        wms.install_monitor(var.address, var.address + 4)
+        cpu.run("main")
+        assert cpu.cycles > base_cycles
+
+
+class TestNativeHardwareSpecifics:
+    def test_register_exhaustion(self):
+        cpu, os, wms, image = build("native", n_registers=2)
+        base = image.global_var("watched").address
+        wms.install_monitor(base, base + 4)
+        wms.install_monitor(base + 4, base + 8)
+        with pytest.raises(MonitorRegisterExhausted):
+            wms.install_monitor(base + 8, base + 12)
+
+    def test_release_allows_reuse(self):
+        cpu, os, wms, image = build("native", n_registers=1)
+        base = image.global_var("watched").address
+        monitor = wms.install_monitor(base, base + 4)
+        wms.remove_monitor(monitor)
+        wms.install_monitor(base + 4, base + 8)  # must not raise
+
+    def test_per_hit_cost_is_nh_fault_handler(self):
+        cpu, os, wms, image = build("native")
+        var = image.global_var("watched")
+
+        cpu_plain, _, _, image_plain = build("native")
+        base_cycles = cpu_plain.run("main").cycles
+
+        wms.install_monitor(var.address, var.address + 4)
+        cycles = cpu.run("main").cycles
+        assert cycles - base_cycles == 5 * us_to_cycles(131)
+
+
+class TestVirtualMemorySpecifics:
+    def test_misses_on_active_page_fault_too(self):
+        """`other` shares a page with `watched`: its writes fault as misses."""
+        cpu, os, wms, image = build("vm")
+        var = image.global_var("watched")
+        wms.install_monitor(var.address, var.address + 4)
+        cpu.run("main")
+        # 10 faults total (5 hits + 5 active-page misses), 5 notifications.
+        assert wms.stats.checks == 10
+        assert wms.stats.hits == 5
+
+    def test_page_reprotected_after_each_fault(self):
+        cpu, os, wms, image = build("vm")
+        var = image.global_var("watched")
+        wms.install_monitor(var.address, var.address + 4)
+        cpu.run("main")
+        assert cpu.page_table.is_write_protected(var.address)
+
+    def test_detach_unprotects(self):
+        cpu, os, wms, image = build("vm")
+        var = image.global_var("watched")
+        wms.install_monitor(var.address, var.address + 4)
+        wms.detach()
+        assert not cpu.page_table.is_write_protected(var.address)
+
+    def test_per_fault_cost_matches_model(self):
+        cpu, os, wms, image = build("vm")
+        var = image.global_var("watched")
+
+        cpu_plain, _, _, _ = build("vm")
+        base_cycles = cpu_plain.run("main").cycles
+
+        monitor = wms.install_monitor(var.address, var.address + 4)
+        install_cycles = cpu.cycles  # cost of the install itself
+        cycles = cpu.run("main").cycles
+        per_fault = us_to_cycles(561) + us_to_cycles(2.75)
+        assert cycles - base_cycles - install_cycles == 10 * per_fault
+
+
+class TestTrapPatchSpecifics:
+    def test_every_store_traps_hit_or_miss(self):
+        cpu, os, wms, image = build("trap")
+        var = image.global_var("watched")
+        wms.install_monitor(var.address, var.address + 4)
+
+        cpu_plain, _, _, _ = build("code")
+        baseline_program = compile_source(SOURCE, "b")
+        stores = None
+        image0 = load_program(baseline_program)
+        cpu0 = Cpu(Memory())
+        Runtime(cpu0).install()
+        cpu0.attach(image0)
+        stores = cpu0.run("main").stores
+
+        cpu.run("main")
+        assert wms.stats.checks == stores
+
+
+class TestCodePatchSpecifics:
+    def test_checks_equal_stores_with_no_kernel_faults(self):
+        cpu, os, wms, image = build("code")
+        var = image.global_var("watched")
+        wms.install_monitor(var.address, var.address + 4)
+        state = cpu.run("main")
+        assert wms.stats.checks == state.stores
+        assert os.counters["faults_delivered"] == 0
+
+    def test_per_check_cost_is_software_lookup(self):
+        cpu, os, wms, image = build("code")
+        cpu_plain, _, wms_plain, _ = build("code")
+
+        # Same patched image, no monitors: the delta versus a run with a
+        # monitor on an *untouched* address must be zero; every check
+        # costs the same whether monitors exist or not.
+        base = cpu_plain.run("main").cycles
+        heap_addr = cpu.layout.heap_base
+        wms.install_monitor(heap_addr, heap_addr + 4)
+        cycles = cpu.run("main").cycles
+        assert cycles - base == wms.timing.software_update_cycles

@@ -1,0 +1,167 @@
+"""Tests for the command shell over the debugger."""
+
+import pytest
+
+from repro.debugger.shell import DebuggerShell, _parse_condition, _parse_number, ShellError
+
+SOURCE = """
+int total;
+int limit = 25;
+
+void add(int v) {
+  total = total + v;
+}
+
+int main() {
+  int i;
+  for (i = 1; i <= 6; i = i + 1) {
+    add(i);
+  }
+  return total;
+}
+"""
+
+
+@pytest.fixture
+def shell():
+    return DebuggerShell.from_source(SOURCE, strategy="code")
+
+
+class TestParsing:
+    def test_parse_number_forms(self):
+        assert _parse_number("42") == 42
+        assert _parse_number("0x10") == 16
+        assert _parse_number("2.5") == 2.5
+
+    def test_parse_number_rejects_garbage(self):
+        with pytest.raises(ShellError):
+            _parse_number("banana")
+
+    def test_parse_condition_consumes_clause(self):
+        tokens = ["total", "if", ">", "10"]
+        cond = _parse_condition(tokens)
+        assert tokens == ["total"]
+        assert cond(11) and not cond(10)
+
+    def test_parse_condition_absent(self):
+        tokens = ["total"]
+        assert _parse_condition(tokens) is None
+
+    def test_parse_condition_bad_operator(self):
+        with pytest.raises(ShellError):
+            _parse_condition(["x", "if", "~", "3"])
+
+
+class TestCommands:
+    def test_empty_line(self, shell):
+        assert shell.execute("") == ""
+
+    def test_unknown_command(self, shell):
+        assert "unknown command" in shell.execute("teleport")
+
+    def test_help(self, shell):
+        text = shell.execute("help")
+        assert "watch" in text and "backtrace" in text
+
+    def test_watch_and_run(self, shell):
+        responses = shell.run_script(["watch total", "run"])
+        assert "data breakpoint #1" in responses[0]
+        assert "program exited with 21" in responses[1]
+
+    def test_watch_local(self, shell):
+        shell.execute("watch add.v")
+        out = shell.execute("run")
+        assert "exited with 21" in out
+        info = shell.execute("info breakpoints")
+        assert "hits=6" in info
+
+    def test_conditional_stop_and_continue(self, shell):
+        shell.execute("watch total if >= 10 stop")
+        out = shell.execute("run")
+        assert "stopped" in out
+        assert "value 10" in out
+        # CodePatch checks run *before* the store (the CHK precedes the
+        # ST), so at the stop memory still holds the old value; the event
+        # carries the value being written.  The write lands on continue.
+        assert shell.execute("print total") == "total = 6"
+        out = shell.execute("continue")
+        assert "stopped" in out and "value 15" in out
+        assert shell.execute("print total") == "total = 10"
+        out = shell.execute("continue")
+        assert "stopped" in out and "value 21" in out
+        out = shell.execute("continue")
+        assert "exited with 21" in out
+        assert "already exited" in shell.execute("continue")
+
+    def test_conditional_stop_post_write_under_trap_patch(self):
+        """TrapPatch emulates the store before notifying, so memory shows
+        the new value at the stop — the write-monitor (post-write)
+        semantics of the paper's section 1."""
+        shell = DebuggerShell.from_source(SOURCE, strategy="trap")
+        shell.execute("watch total if >= 10 stop")
+        out = shell.execute("run")
+        assert "stopped" in out and "value 10" in out
+        assert shell.execute("print total") == "total = 10"
+
+    def test_backtrace_at_stop(self, shell):
+        shell.execute("break add")
+        shell.execute("run")
+        trace = shell.execute("backtrace")
+        assert trace.splitlines()[0] == "#0  add"
+        assert "main" in trace
+
+    def test_print_global_and_initialized(self, shell):
+        shell.execute("run")
+        assert shell.execute("print limit") == "limit = 25"
+        assert "error" in shell.execute("print nonsense")
+
+    def test_disable_enable(self, shell):
+        shell.execute("watch total")
+        assert "disabled" in shell.execute("disable 1")
+        shell.execute("run")
+        assert "hits=0" in shell.execute("info breakpoints")
+        assert "enabled" in shell.execute("enable 1")
+
+    def test_disable_unknown_number(self, shell):
+        assert "error" in shell.execute("disable 9")
+        assert "error" in shell.execute("disable x")
+
+    def test_info_events(self, shell):
+        shell.execute("watch total")
+        shell.execute("run")
+        events = shell.execute("info events")
+        assert "value 21" in events
+
+    def test_stats(self, shell):
+        shell.execute("watch total")
+        shell.execute("run")
+        stats = shell.execute("stats")
+        assert "strategy=code" in stats and "hits=6" in stats
+
+    def test_output_command(self):
+        shell = DebuggerShell.from_source(
+            "int main() { print_int(7); return 0; }"
+        )
+        shell.execute("run")
+        assert shell.execute("output") == "7"
+
+    def test_watch_heap_command(self):
+        source = """
+        int main() {
+          int *p;
+          p = malloc(8);
+          p[0] = 5;
+          free(p);
+          return 0;
+        }
+        """
+        shell = DebuggerShell.from_source(source)
+        shell.execute("watch-heap main 0")
+        shell.execute("run")
+        assert "hits=1" in shell.execute("info breakpoints")
+
+    def test_interact_quits(self, shell):
+        lines = iter(["watch total", "quit"])
+        outputs = []
+        shell.interact(input_fn=lambda prompt: next(lines), output_fn=outputs.append)
+        assert any("data breakpoint" in text for text in outputs)

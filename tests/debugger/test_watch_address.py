@@ -1,0 +1,58 @@
+"""Tests for raw-address data breakpoints."""
+
+import pytest
+
+from repro.debugger import Debugger
+from repro.errors import DebuggerError
+
+SOURCE = """
+int a;
+int b;
+int main() {
+  a = 1;
+  b = 2;
+  a = 3;
+  return a + b;
+}
+"""
+
+
+class TestWatchAddress:
+    def test_watch_exact_word(self):
+        debugger = Debugger.from_source(SOURCE, strategy="code")
+        begin, end = debugger.symbols.global_range("a")
+        bp = debugger.watch_address(begin, end)
+        outcome = debugger.run()
+        assert outcome.finished
+        assert [event.value for event in bp.events] == [1, 3]
+
+    def test_watch_range_spanning_variables(self):
+        debugger = Debugger.from_source(SOURCE, strategy="code")
+        a_begin, _ = debugger.symbols.global_range("a")
+        _, b_end = debugger.symbols.global_range("b")
+        bp = debugger.watch_address(min(a_begin, b_end - 4), max(a_begin + 4, b_end))
+        debugger.run()
+        assert bp.hit_count == 3
+
+    def test_stop_action(self):
+        debugger = Debugger.from_source(SOURCE, strategy="code")
+        begin, end = debugger.symbols.global_range("b")
+        debugger.watch_address(begin, end, action="stop")
+        outcome = debugger.run()
+        assert outcome.stopped
+        assert "0x" in outcome.stop.event.breakpoint.describe()
+        assert debugger.cont().finished
+
+    def test_empty_range_rejected(self):
+        debugger = Debugger.from_source(SOURCE, strategy="code")
+        with pytest.raises(DebuggerError):
+            debugger.watch_address(0x100, 0x100)
+
+    @pytest.mark.parametrize("strategy", ["native", "vm", "trap"])
+    def test_other_strategies(self, strategy):
+        debugger = Debugger.from_source(SOURCE, strategy=strategy)
+        begin, end = debugger.symbols.global_range("a")
+        bp = debugger.watch_address(begin, end)
+        outcome = debugger.run()
+        assert outcome.finished
+        assert bp.hit_count == 2

@@ -1,0 +1,111 @@
+"""Tests for only-changes watchpoints and ignore counts."""
+
+import pytest
+
+from repro.debugger import Debugger
+from repro.debugger.shell import DebuggerShell
+
+SOURCE = """
+int value;
+int main() {
+  value = 5;
+  value = 5;      /* rewrite, same value */
+  value = 7;
+  value = 7;      /* rewrite, same value */
+  value = 5;
+  return value;
+}
+"""
+
+
+class TestOnlyChanges:
+    def test_plain_watch_sees_every_write(self):
+        debugger = Debugger.from_source(SOURCE, strategy="code")
+        bp = debugger.watch_global("value")
+        debugger.run()
+        assert [event.value for event in bp.events] == [5, 5, 7, 7, 5]
+
+    def test_only_changes_filters_rewrites(self):
+        debugger = Debugger.from_source(SOURCE, strategy="code")
+        bp = debugger.watch_global("value", only_changes=True)
+        debugger.run()
+        assert [event.value for event in bp.events] == [5, 7, 5]
+
+    @pytest.mark.parametrize("strategy", ["native", "vm", "trap"])
+    def test_other_strategies(self, strategy):
+        debugger = Debugger.from_source(SOURCE, strategy=strategy)
+        bp = debugger.watch_global("value", only_changes=True)
+        debugger.run()
+        assert [event.value for event in bp.events] == [5, 7, 5]
+
+    def test_local_only_changes(self):
+        source = """
+        int f(int x) {
+          int seen;
+          seen = x;
+          seen = x;
+          seen = x + 1;
+          return seen;
+        }
+        int main() { return f(9); }
+        """
+        debugger = Debugger.from_source(source, strategy="code")
+        bp = debugger.watch_local("f", "seen", only_changes=True)
+        debugger.run()
+        assert [event.value for event in bp.events] == [9, 10]
+
+    def test_combines_with_condition(self):
+        debugger = Debugger.from_source(SOURCE, strategy="code")
+        bp = debugger.watch_global(
+            "value", only_changes=True, condition=lambda v: v > 5
+        )
+        debugger.run()
+        assert [event.value for event in bp.events] == [7]
+
+    def test_shell_changed_flag(self):
+        shell = DebuggerShell.from_source(SOURCE, strategy="code")
+        shell.execute("watch value changed")
+        shell.execute("run")
+        assert "hits=3" in shell.execute("info breakpoints")
+
+
+class TestIgnoreCount:
+    def test_ignores_first_n_triggers(self):
+        debugger = Debugger.from_source(SOURCE, strategy="code")
+        bp = debugger.watch_global("value")
+        bp.ignore_count = 3
+        debugger.run()
+        assert [event.value for event in bp.events] == [7, 5]
+        assert bp.ignore_count == 0
+
+    def test_ignore_applies_after_condition(self):
+        """gdb semantics: the ignore count only counts triggers that
+        would otherwise fire (condition already satisfied)."""
+        debugger = Debugger.from_source(SOURCE, strategy="code")
+        bp = debugger.watch_global("value", condition=lambda v: v == 7)
+        bp.ignore_count = 1
+        debugger.run()
+        assert [event.value for event in bp.events] == [7]
+
+    def test_ignore_with_stop(self):
+        debugger = Debugger.from_source(SOURCE, strategy="code")
+        bp = debugger.watch_global("value", action="stop")
+        bp.ignore_count = 4
+        outcome = debugger.run()
+        assert outcome.stopped
+        assert outcome.stop.event.value == 5
+        assert debugger.cont().finished
+
+    def test_shell_ignore_command(self):
+        shell = DebuggerShell.from_source(SOURCE, strategy="code")
+        shell.execute("watch value")
+        response = shell.execute("ignore 1 4")
+        assert "next 4" in response
+        shell.execute("run")
+        assert "hits=1" in shell.execute("info breakpoints")
+
+    def test_shell_ignore_bad_args(self):
+        shell = DebuggerShell.from_source(SOURCE, strategy="code")
+        shell.execute("watch value")
+        assert "error" in shell.execute("ignore 1")
+        assert "error" in shell.execute("ignore 1 lots")

@@ -1,0 +1,73 @@
+"""Tests for the what-if sensitivity analysis (smoke scale)."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, load_experiment_data
+from repro.experiments.whatif import (
+    nh_win_fraction,
+    render_whatif_report,
+    trap_breakeven_factor,
+    trap_cost_sweep,
+    vm_fault_sweep,
+)
+from repro.models.timing import SPARCSTATION_2_TIMING
+
+
+@pytest.fixture(scope="module")
+def data(tmp_path_factory):
+    config = ExperimentConfig(
+        programs=("gcc", "bps"),
+        scale="smoke",
+        cache_dir=tmp_path_factory.mktemp("whatif-cache"),
+    )
+    return load_experiment_data(config)
+
+
+class TestTrapSweep:
+    def test_factor_one_is_real_platform(self, data):
+        sweep = trap_cost_sweep(data, factors=(1.0,))
+        for ratio in sweep[1.0].values():
+            # TP per write = (102 + 2.75) / 2.75 ~ 38x CP, minus the
+            # shared install/remove term.
+            assert 15 < ratio < 45
+
+    def test_monotone_in_factor(self, data):
+        sweep = trap_cost_sweep(data, factors=(1.0, 0.5, 0.1))
+        for program in data:
+            assert sweep[1.0][program] > sweep[0.5][program] > sweep[0.1][program]
+
+    def test_never_below_one(self, data):
+        sweep = trap_cost_sweep(data, factors=(0.001,))
+        for ratio in sweep[0.001].values():
+            assert ratio >= 1.0
+
+
+class TestBreakeven:
+    def test_closed_form(self):
+        factor = trap_breakeven_factor(SPARCSTATION_2_TIMING)
+        assert factor == pytest.approx(2.75 / 102.0)
+
+
+class TestVmSweep:
+    def test_scaling_reduces_ratio(self, data):
+        sweep = vm_fault_sweep(data, factors=(1.0, 0.25))
+        for program in data:
+            assert sweep[0.25][program] < sweep[1.0][program]
+
+
+class TestNhWins:
+    def test_fractions_in_range(self, data):
+        wins = nh_win_fraction(data)
+        for fraction in wins.values():
+            assert 0.0 <= fraction <= 1.0
+
+    def test_heap_programs_mostly_nh_wins(self, data):
+        # bps sessions are heap objects with tiny hit counts: NH nearly free.
+        assert nh_win_fraction(data)["bps"] > 0.8
+
+
+class TestReport:
+    def test_renders(self, data):
+        text = render_whatif_report(data)
+        assert "TP/CP t-mean ratio" in text
+        assert "NativeHardware vs CodePatch" in text

@@ -1,0 +1,48 @@
+"""Tests for the address-space layout."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.layout import DEFAULT_LAYOUT, MemoryLayout
+
+
+class TestDefaults:
+    def test_segments_ordered(self):
+        layout = DEFAULT_LAYOUT
+        assert layout.global_base < layout.heap_base < layout.stack_limit < layout.stack_top
+
+    def test_heap_limit_is_stack_limit(self):
+        assert DEFAULT_LAYOUT.heap_limit == DEFAULT_LAYOUT.stack_limit
+
+    def test_global_limit_is_heap_base(self):
+        assert DEFAULT_LAYOUT.global_limit == DEFAULT_LAYOUT.heap_base
+
+
+class TestSegmentClassification:
+    @pytest.mark.parametrize(
+        "address,segment",
+        [
+            (0x0000_1000, "reserved"),
+            (0x0010_0000, "global"),
+            (0x0020_0000, "heap"),
+            (0x00F8_0000, "stack"),
+            (0x00E0_0000, "stack"),
+            (0x00DF_FFFC, "heap"),
+        ],
+    )
+    def test_segment_of(self, address, segment):
+        assert DEFAULT_LAYOUT.segment_of(address) == segment
+
+
+class TestValidation:
+    def test_rejects_misaligned_boundary(self):
+        with pytest.raises(MachineError):
+            MemoryLayout(global_base=0x0010_0002)
+
+    def test_rejects_out_of_order_segments(self):
+        with pytest.raises(MachineError):
+            MemoryLayout(heap_base=0x0008_0000)  # below global_base
+
+    def test_rejects_non_power_of_two_size(self):
+        with pytest.raises(MachineError):
+            MemoryLayout(memory_size=0x00F0_0000)

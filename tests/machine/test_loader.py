@@ -1,0 +1,107 @@
+"""Tests for the loader and the flat program image."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine import isa
+from repro.machine.loader import load_program
+from repro.minic.compiler import compile_source
+
+SOURCE = """
+int g = 5;
+int table[3] = {1, 2, 3};
+
+int add(int a, int b) { return a + b; }
+
+int main() {
+  int x;
+  x = add(g, 2);
+  return x;
+}
+"""
+
+
+@pytest.fixture
+def image():
+    return load_program(compile_source(SOURCE, "loader-test"))
+
+
+class TestFunctionLayout:
+    def test_functions_contiguous(self, image):
+        offset = 0
+        for func in image.functions:
+            assert func.entry_pc == offset
+            offset = func.end_pc
+        assert offset == len(image.code)
+
+    def test_function_index_lookup(self, image):
+        assert image.functions[image.function_index("main")].name == "main"
+
+    def test_unknown_function_raises(self, image):
+        with pytest.raises(MachineError):
+            image.function_index("nope")
+
+    def test_function_at_pc(self, image):
+        add = image.function("add")
+        assert image.function_at_pc(add.entry_pc).name == "add"
+        assert image.function_at_pc(add.end_pc - 1).name == "add"
+
+    def test_function_at_bad_pc_is_none(self, image):
+        assert image.function_at_pc(len(image.code) + 10) is None
+
+
+class TestBranchRetargeting:
+    def test_all_branch_targets_inside_owner_function(self, image):
+        for func in image.functions:
+            for pc in range(func.entry_pc, func.end_pc):
+                instr = image.code[pc]
+                if instr[0] == isa.JMP:
+                    target = instr[1]
+                elif instr[0] in (isa.BF, isa.BT):
+                    target = instr[2]
+                else:
+                    continue
+                assert func.entry_pc <= target <= func.end_pc
+
+
+class TestGlobals:
+    def test_global_lookup(self, image):
+        var = image.global_var("g")
+        assert var.size_bytes == 4
+
+    def test_unknown_global_raises(self, image):
+        with pytest.raises(MachineError):
+            image.global_var("nope")
+
+    def test_init_words_cover_initializers(self, image):
+        table = image.global_var("table")
+        initialized = {addr: val for addr, val in image.global_init_words}
+        assert initialized[image.global_var("g").address] == 5
+        assert initialized[table.address] == 1
+        assert initialized[table.address + 8] == 3
+
+
+class TestIntrospection:
+    def test_static_store_count_positive(self, image):
+        assert image.static_store_count() > 0
+
+    def test_disassemble_whole_image(self, image):
+        text = image.disassemble()
+        assert "main:" in text
+        assert len(text.splitlines()) == len(image.code)
+
+    def test_disassemble_one_function(self, image):
+        text = image.disassemble("add")
+        add = image.function("add")
+        assert len(text.splitlines()) == add.end_pc - add.entry_pc
+
+    def test_duplicate_function_rejected(self):
+        program = compile_source(SOURCE, "dup")
+        program.functions.append(program.functions[0])
+        with pytest.raises(MachineError):
+            load_program(program)
+
+    def test_line_map_points_into_source(self, image):
+        lines = SOURCE.count("\n") + 1
+        for pc, line in image.line_map.items():
+            assert 0 < line <= lines

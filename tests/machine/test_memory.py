@@ -1,0 +1,83 @@
+"""Tests for the word-addressed simulated memory."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AlignmentFault, MemoryFault
+from repro.machine.layout import MemoryLayout
+from repro.machine.memory import Memory
+
+
+@pytest.fixture
+def memory():
+    return Memory()
+
+
+class TestBasicAccess:
+    def test_initially_zero(self, memory):
+        assert memory.load_word(0x0010_0000) == 0
+
+    def test_store_load_roundtrip(self, memory):
+        memory.store_word(0x0010_0000, 42)
+        assert memory.load_word(0x0010_0000) == 42
+
+    def test_store_float_value(self, memory):
+        memory.store_word(0x0010_0004, 3.25)
+        assert memory.load_word(0x0010_0004) == 3.25
+
+    def test_adjacent_words_independent(self, memory):
+        memory.store_word(0x0010_0000, 1)
+        memory.store_word(0x0010_0004, 2)
+        assert memory.load_word(0x0010_0000) == 1
+        assert memory.load_word(0x0010_0004) == 2
+
+    def test_negative_values(self, memory):
+        memory.store_word(0x0010_0000, -123456)
+        assert memory.load_word(0x0010_0000) == -123456
+
+
+class TestFaults:
+    def test_misaligned_load(self, memory):
+        with pytest.raises(AlignmentFault):
+            memory.load_word(0x0010_0001)
+
+    def test_misaligned_store(self, memory):
+        with pytest.raises(AlignmentFault):
+            memory.store_word(0x0010_0002, 1)
+
+    def test_load_past_end(self, memory):
+        with pytest.raises(MemoryFault):
+            memory.load_word(memory.layout.memory_size)
+
+    def test_store_negative_address(self, memory):
+        with pytest.raises(MemoryFault):
+            memory.store_word(-4, 1)
+
+    def test_range_past_end(self, memory):
+        with pytest.raises(MemoryFault):
+            memory.load_range(memory.layout.memory_size - 4, 2)
+
+
+class TestRangeOps:
+    def test_store_load_range(self, memory):
+        memory.store_range(0x0010_0000, [1, 2, 3, 4])
+        assert memory.load_range(0x0010_0000, 4) == [1, 2, 3, 4]
+
+    def test_fill(self, memory):
+        memory.fill(0x0010_0000, 8, 7)
+        assert memory.load_range(0x0010_0000, 8) == [7] * 8
+
+    def test_clear(self, memory):
+        memory.store_word(0x0010_0000, 5)
+        memory.clear()
+        assert memory.load_word(0x0010_0000) == 0
+
+
+@given(
+    address=st.integers(min_value=0, max_value=(0x0100_0000 // 4) - 1).map(lambda w: w * 4),
+    value=st.one_of(st.integers(-2**40, 2**40), st.floats(allow_nan=False, allow_infinity=False)),
+)
+def test_roundtrip_property(address, value):
+    memory = Memory()
+    memory.store_word(address, value)
+    assert memory.load_word(address) == value

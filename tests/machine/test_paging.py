@@ -1,0 +1,85 @@
+"""Tests for the paging unit."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MachineError
+from repro.machine.paging import PageTable, Protection
+
+
+class TestConstruction:
+    def test_default_page_size(self):
+        assert PageTable().page_size == 4096
+
+    def test_page_shift(self):
+        assert PageTable(4096).page_shift == 12
+        assert PageTable(8192).page_shift == 13
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(MachineError):
+            PageTable(3000)
+
+
+class TestProtection:
+    def test_pages_start_writable(self):
+        table = PageTable()
+        assert not table.is_write_protected(0x0010_0000)
+        assert table.protection_of(table.page_of(0x0010_0000)) is Protection.READ_WRITE
+
+    def test_protect_and_check(self):
+        table = PageTable()
+        page = table.page_of(0x0010_0000)
+        table.protect([page])
+        assert table.is_write_protected(0x0010_0000)
+        assert table.is_write_protected(0x0010_0FFC)  # same page
+        assert not table.is_write_protected(0x0010_1000)  # next page
+
+    def test_unprotect(self):
+        table = PageTable()
+        page = table.page_of(0x0010_0000)
+        table.protect([page])
+        table.unprotect([page])
+        assert not table.is_write_protected(0x0010_0000)
+
+    def test_unprotect_not_protected_is_noop(self):
+        table = PageTable()
+        table.unprotect([5])  # must not raise
+
+    def test_clear(self):
+        table = PageTable()
+        table.protect([1, 2, 3])
+        table.clear()
+        assert not table.write_protected
+
+
+class TestPageRanges:
+    def test_single_page_range(self):
+        table = PageTable(4096)
+        assert list(table.pages_of_range(0, 4)) == [0]
+
+    def test_range_spanning_two_pages(self):
+        table = PageTable(4096)
+        assert list(table.pages_of_range(4092, 4100)) == [0, 1]
+
+    def test_range_exactly_one_page(self):
+        table = PageTable(4096)
+        assert list(table.pages_of_range(4096, 8192)) == [1]
+
+    def test_empty_range_yields_nothing(self):
+        table = PageTable(4096)
+        assert list(table.pages_of_range(100, 100)) == []
+        assert list(table.pages_of_range(100, 50)) == []
+
+
+@given(
+    begin=st.integers(0, 2**22),
+    length=st.integers(1, 70000),
+    page_size=st.sampled_from([1024, 4096, 8192, 65536]),
+)
+def test_pages_of_range_covers_every_byte(begin, length, page_size):
+    """Every byte of the range falls in exactly one returned page."""
+    table = PageTable(page_size)
+    pages = list(table.pages_of_range(begin, begin + length))
+    assert pages[0] == begin // page_size
+    assert pages[-1] == (begin + length - 1) // page_size
+    assert pages == list(range(pages[0], pages[-1] + 1))

@@ -1,0 +1,33 @@
+"""Tests for trap kinds and fault frames."""
+
+from repro.machine.traps import TrapFrame, TrapKind
+
+
+class TestTrapFrame:
+    def test_monitor_fault_needs_no_emulation(self):
+        """Write monitors notify *after* the write (paper section 1)."""
+        frame = TrapFrame(TrapKind.MONITOR_FAULT, pc=5, address=0x100, value=1)
+        assert not frame.needs_emulation
+
+    def test_write_fault_needs_emulation(self):
+        frame = TrapFrame(
+            TrapKind.WRITE_FAULT, pc=5, address=0x100, value=1,
+            store_operands=(0x100, 1),
+        )
+        assert frame.needs_emulation
+
+    def test_trap_instr_needs_emulation(self):
+        frame = TrapFrame(
+            TrapKind.TRAP_INSTR, pc=5, address=0x100, value=1,
+            store_operands=(0x100, 1),
+        )
+        assert frame.needs_emulation
+
+    def test_breakpoint_carries_no_store(self):
+        frame = TrapFrame(TrapKind.BREAKPOINT, pc=9)
+        assert frame.address is None
+        assert frame.store_operands is None
+        assert not frame.needs_emulation
+
+    def test_kinds_are_distinct(self):
+        assert len({kind.value for kind in TrapKind}) == len(list(TrapKind))

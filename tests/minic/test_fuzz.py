@@ -1,0 +1,214 @@
+"""Differential fuzzing of the MiniC toolchain.
+
+Two oracles over randomly generated programs:
+
+1. **Semantics oracle** — every generated MiniC program is also emitted
+   as Python with C-exact integer semantics (truncating division,
+   dividend-sign remainder, 0/1 comparisons); compiled-and-simulated
+   results must match the Python evaluation exactly.
+
+2. **Instrumentation equivalence** — the same program run plain,
+   trap-patched, and code-patched must produce identical results and
+   identical store counts (the rewrites may never change observable
+   behaviour).
+
+The generator covers assignments, compound assignment, ++/--, ternaries,
+nested ifs, and bounded for-loops, over int variables and an int array.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import Cpu, Memory, load_program
+from repro.machine.cpu import _c_div, _c_mod
+from repro.minic.compiler import compile_source
+from repro.minic.instrument import apply_code_patch, apply_trap_patch
+from repro.minic.runtime import Runtime
+from repro.sim_os import Signal, SimOs
+
+VARS = ("a", "b", "c", "d")
+ARRAY = "arr"
+ARRAY_LEN = 5
+
+
+class _Gen:
+    """Builds a MiniC body and a semantically identical Python body."""
+
+    def __init__(self, draw) -> None:
+        self.draw = draw
+        self.c_lines = []
+        self.py_lines = []
+        self.depth = 0
+        self.loop_id = 0
+
+    # -- emission ----------------------------------------------------------
+
+    def emit(self, c_text: str, py_text: str) -> None:
+        pad = "  " * (self.depth + 1)
+        py_pad = "    " * (self.depth + 1)
+        self.c_lines.append(pad + c_text)
+        self.py_lines.append(py_pad + py_text)
+
+    # -- expressions ----------------------------------------------------------
+
+    def expr(self, depth: int = 0):
+        """Returns (c_text, py_text); both evaluate to the same int."""
+        choice = self.draw(st.integers(0, 7 if depth < 2 else 2))
+        if choice == 0:
+            value = self.draw(st.integers(-30, 30))
+            return (str(value) if value >= 0 else f"({value})",) * 2
+        if choice == 1:
+            name = self.draw(st.sampled_from(VARS))
+            return name, name
+        if choice == 2:
+            index = self.draw(st.integers(0, ARRAY_LEN - 1))
+            return f"{ARRAY}[{index}]", f"{ARRAY}[{index}]"
+        if choice in (3, 4):
+            op = self.draw(st.sampled_from(["+", "-", "*"]))
+            lc, lp = self.expr(depth + 1)
+            rc, rp = self.expr(depth + 1)
+            return f"({lc} {op} {rc})", f"({lp} {op} {rp})"
+        if choice == 5:
+            # Division/remainder by a nonzero constant, C semantics.
+            op = self.draw(st.sampled_from(["/", "%"]))
+            lc, lp = self.expr(depth + 1)
+            denom = self.draw(st.integers(1, 9))
+            fn = "_c_div" if op == "/" else "_c_mod"
+            return f"({lc} {op} {denom})", f"{fn}({lp}, {denom})"
+        if choice == 6:
+            op = self.draw(st.sampled_from(["<", "<=", ">", ">=", "==", "!="]))
+            lc, lp = self.expr(depth + 1)
+            rc, rp = self.expr(depth + 1)
+            return f"({lc} {op} {rc})", f"(1 if {lp} {op} {rp} else 0)"
+        cc, cp = self.expr(depth + 1)
+        tc, tp = self.expr(depth + 1)
+        ec, ep = self.expr(depth + 1)
+        return (
+            f"({cc} ? {tc} : {ec})",
+            f"({tp} if {cp} != 0 else {ep})",
+        )
+
+    # -- statements ----------------------------------------------------------
+
+    def statement(self) -> None:
+        choice = self.draw(st.integers(0, 6 if self.depth < 2 else 3))
+        if choice in (0, 1):
+            target = self.draw(st.sampled_from(VARS))
+            c_expr, py_expr = self.expr()
+            self.emit(f"{target} = {c_expr};", f"{target} = {py_expr}")
+        elif choice == 2:
+            target = self.draw(st.sampled_from(VARS))
+            op = self.draw(st.sampled_from(["+", "-", "*"]))
+            c_expr, py_expr = self.expr()
+            self.emit(f"{target} {op}= {c_expr};", f"{target} = {target} {op} ({py_expr})")
+        elif choice == 3:
+            target = self.draw(st.sampled_from(VARS))
+            op = self.draw(st.sampled_from(["++", "--"]))
+            sign = "+" if op == "++" else "-"
+            prefix = self.draw(st.booleans())
+            c_text = f"{op}{target};" if prefix else f"{target}{op};"
+            self.emit(c_text, f"{target} = {target} {sign} 1")
+        elif choice == 4:
+            index = self.draw(st.integers(0, ARRAY_LEN - 1))
+            c_expr, py_expr = self.expr()
+            self.emit(f"{ARRAY}[{index}] = {c_expr};", f"{ARRAY}[{index}] = {py_expr}")
+        elif choice == 5:
+            c_cond, py_cond = self.expr()
+            self.emit(f"if ({c_cond}) {{", f"if ({py_cond}) != 0:")
+            self.depth += 1
+            self.block(max_statements=3)
+            self.depth -= 1
+            self.emit("}", "pass")
+        else:
+            count = self.draw(st.integers(1, 4))
+            loop_var = f"i{self.loop_id}"
+            self.loop_id += 1
+            self.emit(
+                f"for ({loop_var} = 0; {loop_var} < {count}; {loop_var}++) {{",
+                f"for {loop_var} in range({count}):",
+            )
+            self.depth += 1
+            self.block(max_statements=3)
+            self.depth -= 1
+            self.emit("}", "pass")
+
+    def block(self, max_statements: int) -> None:
+        for _ in range(self.draw(st.integers(1, max_statements))):
+            self.statement()
+
+
+def _generate(draw):
+    gen = _Gen(draw)
+    init = [draw(st.integers(-10, 10)) for _ in VARS]
+    gen.block(max_statements=8)
+    n_loops = gen.loop_id
+
+    decls = "\n".join(f"  int {name};" for name in VARS)
+    loop_decls = "\n".join(f"  int i{index};" for index in range(n_loops))
+    inits = "\n".join(f"  {name} = {value};" for name, value in zip(VARS, init))
+    body = "\n".join(gen.c_lines)
+    result = " + ".join(f"{name} * {weight}" for name, weight in zip(VARS, (1, 7, 13, 31)))
+    array_sum = " + ".join(f"{ARRAY}[{i}] * {i + 3}" for i in range(ARRAY_LEN))
+    c_source = f"""
+int {ARRAY}[{ARRAY_LEN}];
+int main() {{
+{decls}
+{loop_decls}
+{inits}
+{body}
+  return ({result} + {array_sum}) & 1048575;
+}}
+"""
+    py_body = "\n".join(gen.py_lines) or "    pass"
+    py_inits = "\n".join(
+        f"    {name} = {value}" for name, value in zip(VARS, init)
+    )
+    py_source = f"""
+def run(_c_div, _c_mod):
+    {ARRAY} = [0] * {ARRAY_LEN}
+{py_inits}
+{py_body}
+    return ({result} + {array_sum}) & 1048575
+"""
+    return c_source, py_source
+
+
+def _run_compiled(program) -> tuple:
+    image = load_program(program)
+    cpu = Cpu(Memory())
+    runtime = Runtime(cpu)
+    runtime.install()
+    cpu.attach(image)
+    os = SimOs(cpu)
+    os.sigaction(Signal.SIGTRAP, lambda frame, c: os.emulate(frame, c))
+    cpu.check_hook = lambda addr, pc, c: None
+    state = cpu.run("main", max_instructions=2_000_000)
+    return state.exit_value, state.stores
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.data())
+def test_compiler_matches_python_oracle(data):
+    c_source, py_source = _generate(data.draw)
+    namespace = {}
+    exec(py_source, namespace)  # noqa: S102 - test-local generated code
+    expected = namespace["run"](_c_div, _c_mod)
+
+    program = compile_source(c_source, "fuzz")
+    got, _stores = _run_compiled(program)
+    assert got == expected, f"\n--- C ---\n{c_source}\n--- py ---\n{py_source}"
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_instrumentation_preserves_behaviour(data):
+    c_source, _py_source = _generate(data.draw)
+    program = compile_source(c_source, "fuzz")
+    plain_result, plain_stores = _run_compiled(program)
+    trap_result, trap_stores = _run_compiled(apply_trap_patch(program))
+    code_result, code_stores = _run_compiled(apply_code_patch(program))
+    assert trap_result == plain_result
+    assert code_result == plain_result
+    assert trap_stores == plain_stores
+    assert code_stores == plain_stores

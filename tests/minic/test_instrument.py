@@ -1,0 +1,158 @@
+"""Tests for the instrumentation passes: trap patching and code patching."""
+
+import pytest
+
+from repro.machine import Cpu, Memory, isa, load_program
+from repro.minic.compiler import compile_source
+from repro.minic.instrument import (
+    apply_code_patch,
+    apply_trap_patch,
+    code_expansion_estimate,
+    write_instruction_stats,
+)
+from repro.minic.runtime import Runtime
+
+SOURCE = """
+int g;
+int accumulate(int *a, int n) {
+  int i;
+  int s;
+  s = 0;
+  for (i = 0; i < n; i = i + 1) {
+    s = s + a[i];
+  }
+  return s;
+}
+int main() {
+  int data[6];
+  int i;
+  for (i = 0; i < 6; i = i + 1) data[i] = i * i;
+  g = accumulate(data, 6);
+  return g;
+}
+"""
+
+
+def _execute(program):
+    image = load_program(program)
+    cpu = Cpu(Memory())
+    runtime = Runtime(cpu)
+    runtime.install()
+    cpu.attach(image)
+
+    # Patched programs need handlers; provide the trivial ones.
+    from repro.machine.traps import TrapKind
+    from repro.sim_os import Signal, SimOs
+
+    os = SimOs(cpu)
+    os.sigaction(Signal.SIGTRAP, lambda frame, c: os.emulate(frame, c))
+    cpu.check_hook = lambda addr, pc, c: None
+    state = cpu.run("main")
+    return state
+
+
+@pytest.fixture
+def program():
+    return compile_source(SOURCE, "instr-test")
+
+
+class TestTrapPatch:
+    def test_no_stores_remain(self, program):
+        patched = apply_trap_patch(program)
+        for func in patched.functions:
+            assert all(instr[0] != isa.ST for instr in func.code)
+
+    def test_one_for_one_replacement(self, program):
+        patched = apply_trap_patch(program)
+        for before, after in zip(program.functions, patched.functions):
+            assert len(before.code) == len(after.code)
+            for b, a in zip(before.code, after.code):
+                if b[0] == isa.ST:
+                    assert a == (isa.TRAP, b[1], b[2], b[3])
+                else:
+                    assert a == b
+
+    def test_original_program_unmodified(self, program):
+        stores_before = sum(
+            1 for f in program.functions for i in f.code if i[0] == isa.ST
+        )
+        apply_trap_patch(program)
+        stores_after = sum(
+            1 for f in program.functions for i in f.code if i[0] == isa.ST
+        )
+        assert stores_before == stores_after > 0
+
+    def test_patched_program_computes_same_result(self, program):
+        plain = _execute(program)
+        patched = _execute(apply_trap_patch(program))
+        assert patched.exit_value == plain.exit_value
+
+    def test_every_write_traps(self, program):
+        from repro.machine.traps import TrapKind
+
+        plain = _execute(program)
+        patched = _execute(apply_trap_patch(program))
+        assert patched.trap_counts.get(TrapKind.TRAP_INSTR, 0) == plain.stores
+
+
+class TestCodePatch:
+    def test_chk_precedes_every_store(self, program):
+        patched = apply_code_patch(program)
+        for func in patched.functions:
+            for index, instr in enumerate(func.code):
+                if instr[0] == isa.ST:
+                    previous = func.code[index - 1]
+                    assert previous == (isa.CHK, instr[1], instr[2])
+
+    def test_branches_land_on_check_not_store(self, program):
+        patched = apply_code_patch(program)
+        for func in patched.functions:
+            for instr in func.code:
+                if instr[0] == isa.JMP:
+                    assert func.code[instr[1]][0] != isa.ST
+                elif instr[0] in (isa.BF, isa.BT):
+                    assert func.code[instr[2]][0] != isa.ST
+
+    def test_patched_program_computes_same_result(self, program):
+        plain = _execute(program)
+        patched = _execute(apply_code_patch(program))
+        assert patched.exit_value == plain.exit_value
+
+    def test_every_store_checked(self, program):
+        plain = _execute(program)
+        checked = []
+        patched_program = apply_code_patch(program)
+        image = load_program(patched_program)
+        cpu = Cpu(Memory())
+        runtime = Runtime(cpu)
+        runtime.install()
+        cpu.attach(image)
+        cpu.check_hook = lambda addr, pc, c: checked.append(addr)
+        state = cpu.run("main")
+        assert len(checked) == plain.stores == state.stores
+
+
+class TestExpansionEstimate:
+    def test_stats_count_stores(self, program):
+        stats = write_instruction_stats(program)
+        direct = sum(1 for f in program.functions for i in f.code if i[0] == isa.ST)
+        assert stats.write_instructions == direct
+        assert stats.total_instructions == program.total_instructions()
+
+    def test_expansion_formula(self, program):
+        stats = write_instruction_stats(program)
+        assert code_expansion_estimate(program) == pytest.approx(
+            2 * stats.write_fraction
+        )
+
+    def test_expansion_in_plausible_range(self, program):
+        # The paper found 12-15% for real programs; a toy program lands
+        # in the same broad regime (writes are 5-15% of instructions).
+        expansion = code_expansion_estimate(program)
+        assert 0.05 < expansion < 0.40
+
+    def test_empty_program_zero_expansion(self):
+        trivial = compile_source("int main() { return 0; }")
+        stats = write_instruction_stats(trivial)
+        assert stats.write_instructions == 0
+        assert stats.expansion() == 0.0

@@ -1,0 +1,129 @@
+"""Structural invariants of generated IR, checked across real programs.
+
+A static validator over compiled functions: register indices stay inside
+the declared register file, branch targets stay inside the function,
+frame offsets stay inside the frame, and the code ends in control
+transfer.  Applied to every workload benchmark (the biggest MiniC
+programs in the repository) and to the instrumented variants.
+"""
+
+import pytest
+
+from repro.machine import isa
+from repro.minic.codegen import CompiledFunction
+from repro.minic.compiler import CompiledProgram, compile_source
+from repro.minic.instrument import apply_code_patch, apply_trap_patch
+from repro.workloads import WORKLOADS
+
+
+def _used_registers(instr):
+    """Register operands read or written by one instruction."""
+    op = instr[0]
+    if op in (isa.LDI, isa.LEAF):
+        return [instr[1]]
+    if op in (isa.MOV, isa.NEG, isa.FNEG, isa.NOT, isa.BNOT, isa.I2F, isa.F2I):
+        return [instr[1], instr[2]]
+    if op in (
+        isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.MOD,
+        isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV,
+        isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR,
+        isa.EQ, isa.NE, isa.LT, isa.LE, isa.GT, isa.GE,
+    ):
+        return [instr[1], instr[2], instr[3]]
+    if op == isa.LD:
+        return [instr[1], instr[2]]
+    if op in (isa.ST, isa.TRAP):
+        return [instr[1], instr[3]]
+    if op == isa.CHK:
+        return [instr[1]]
+    if op in (isa.BF, isa.BT):
+        return [instr[1]]
+    if op in (isa.CALL, isa.CALLB):
+        regs = list(instr[3])
+        if instr[2] is not None:
+            regs.append(instr[2])
+        return regs
+    if op == isa.RET:
+        return [] if instr[1] is None else [instr[1]]
+    return []
+
+
+def validate_function(func: CompiledFunction) -> None:
+    assert func.code, f"{func.name}: empty body"
+    n = len(func.code)
+    for index, instr in enumerate(func.code):
+        assert instr[0] in isa.OPCODE_NAMES, f"{func.name}@{index}: opcode {instr[0]}"
+        for reg in _used_registers(instr):
+            assert 0 <= reg < func.n_regs, (
+                f"{func.name}@{index}: register r{reg} outside file of {func.n_regs}"
+            )
+        op = instr[0]
+        if op == isa.JMP:
+            assert 0 <= instr[1] <= n, f"{func.name}@{index}: jump target {instr[1]}"
+        elif op in (isa.BF, isa.BT):
+            assert 0 <= instr[2] <= n, f"{func.name}@{index}: branch target {instr[2]}"
+        elif op == isa.LEAF:
+            assert 0 <= instr[2] < func.frame_size, (
+                f"{func.name}@{index}: frame offset {instr[2]} outside "
+                f"{func.frame_size}-byte frame"
+            )
+    # Control must not fall off the end of the function.
+    assert func.code[-1][0] in (isa.RET, isa.JMP, isa.HALT), (
+        f"{func.name}: falls off the end with {isa.format_instr(func.code[-1])}"
+    )
+    # Frame variables must not overlap and must fit.
+    spans = sorted(
+        (var.offset, var.offset + var.size_bytes)
+        for var in list(func.params) + list(func.local_vars)
+    )
+    for (_, end), (begin, _) in zip(spans, spans[1:]):
+        assert end <= begin, f"{func.name}: overlapping frame variables"
+    if spans:
+        assert spans[-1][1] <= func.frame_size
+
+
+def validate_program(program: CompiledProgram) -> None:
+    for func in program.functions:
+        validate_function(func)
+    for instr in (i for f in program.functions for i in f.code):
+        if instr[0] == isa.CALL:
+            assert 0 <= instr[1] < len(program.functions)
+    # Globals disjoint.
+    spans = sorted((var.address, var.end_address) for var in program.globals)
+    for (_, end), (begin, _) in zip(spans, spans[1:]):
+        assert end <= begin, "overlapping globals"
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_workload_ir_is_well_formed(name):
+    workload = WORKLOADS[name]
+    program = workload.compile(workload.smoke_scale)
+    validate_program(program)
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+@pytest.mark.parametrize("patch", [apply_trap_patch, apply_code_patch])
+def test_patched_workload_ir_is_well_formed(name, patch):
+    workload = WORKLOADS[name]
+    program = patch(workload.compile(workload.smoke_scale))
+    validate_program(program)
+
+
+def test_validator_catches_bad_register():
+    program = compile_source("int main() { return 1 + 2; }")
+    func = program.functions[0]
+    func.code[0] = (isa.LDI, func.n_regs + 5, 0)  # out-of-file register
+    with pytest.raises(AssertionError):
+        validate_function(func)
+
+
+def test_validator_catches_bad_branch():
+    program = compile_source("int main() { while (1) { } return 0; }")
+    func = program.functions[0]
+    bad = [list(i) for i in func.code]
+    for instr in bad:
+        if instr[0] == isa.JMP:
+            instr[1] = len(func.code) + 99
+    func.code = [tuple(i) for i in bad]
+    with pytest.raises(AssertionError):
+        validate_function(func)

@@ -1,0 +1,259 @@
+"""Tests for the C-flavored language extensions: compound assignment,
+increment/decrement, do-while, and the ternary operator."""
+
+import pytest
+
+from repro.errors import MiniCError, TypeError_
+from repro.minic.parser import parse
+from repro.minic.semantics import analyze
+
+from tests.conftest import run_minic
+
+
+def rejects(source):
+    with pytest.raises((TypeError_, MiniCError)):
+        analyze(parse(source))
+
+
+class TestCompoundAssignment:
+    @pytest.mark.parametrize(
+        "op,start,operand,expected",
+        [
+            ("+=", 10, 3, 13),
+            ("-=", 10, 3, 7),
+            ("*=", 10, 3, 30),
+            ("/=", 10, 3, 3),
+            ("%=", 10, 3, 1),
+        ],
+    )
+    def test_int_ops(self, op, start, operand, expected):
+        source = f"int main() {{ int x; x = {start}; x {op} {operand}; return x; }}"
+        assert run_minic(source) == expected
+
+    def test_value_of_expression(self):
+        assert run_minic("int main() { int x; x = 5; return (x += 2) * 10; }") == 70
+
+    def test_float_compound(self):
+        source = "int main() { float f; f = 2.0; f *= 2.5; return f; }"
+        assert run_minic(source) == 5
+
+    def test_int_target_float_operand_truncates_sum(self):
+        """C computes in float and truncates on store: 1 += -0.5 -> 0."""
+        source = "int main() { int x; x = 1; x += -0.5; return x; }"
+        assert run_minic(source) == 0
+
+    def test_pointer_compound(self):
+        source = """
+        int main() {
+          int a[5]; int *p;
+          a[3] = 42;
+          p = a;
+          p += 3;
+          return *p;
+        }
+        """
+        assert run_minic(source) == 42
+
+    def test_address_evaluated_once(self):
+        """`a[next()] += 1` must call next() exactly once."""
+        source = """
+        int calls;
+        int next() { calls = calls + 1; return 2; }
+        int main() {
+          int a[4];
+          a[2] = 10;
+          a[next()] += 1;
+          return calls * 100 + a[2];
+        }
+        """
+        assert run_minic(source) == 111
+
+    def test_on_global_and_deref(self):
+        source = """
+        int g;
+        int main() { int *p; g = 4; p = &g; *p += 6; return g; }
+        """
+        assert run_minic(source) == 10
+
+    def test_mod_on_float_rejected(self):
+        rejects("int main() { float f; f = 1.0; f %= 2; return 0; }")
+
+    def test_pointer_mul_rejected(self):
+        rejects("int main() { int a[2]; int *p; p = a; p *= 2; return 0; }")
+
+    def test_rvalue_target_rejected(self):
+        rejects("int main() { 1 += 2; return 0; }")
+
+
+class TestIncDec:
+    def test_postfix_returns_old(self):
+        assert run_minic("int main() { int i; i = 5; return i++ * 10 + i; }") == 56
+
+    def test_prefix_returns_new(self):
+        assert run_minic("int main() { int i; i = 5; return ++i * 10 + i; }") == 66
+
+    def test_decrement(self):
+        assert run_minic("int main() { int i; i = 5; i--; --i; return i; }") == 3
+
+    def test_pointer_increment_walks_words(self):
+        source = """
+        int main() {
+          int a[3]; int *p; int s;
+          a[0] = 1; a[1] = 2; a[2] = 4;
+          s = 0;
+          p = a;
+          s += *p++;
+          s += *p++;
+          s += *p;
+          return s;
+        }
+        """
+        assert run_minic(source) == 7
+
+    def test_float_increment(self):
+        assert run_minic("int main() { float f; f = 1.25; f++; return f * 4.0; }") == 9
+
+    def test_in_for_loop_idiom(self):
+        source = """
+        int main() {
+          int i; int s;
+          s = 0;
+          for (i = 0; i < 5; i++) s += i;
+          return s;
+        }
+        """
+        assert run_minic(source) == 10
+
+    def test_array_element(self):
+        source = "int main() { int a[2]; a[1] = 7; a[1]++; return a[1]; }"
+        assert run_minic(source) == 8
+
+    def test_rvalue_rejected(self):
+        rejects("int main() { return 5++; }")
+
+    def test_writes_visible_to_data_breakpoints(self):
+        """x++ is a store like any other; the WMS must see it."""
+        from repro.debugger import Debugger
+
+        source = "int g; int main() { g++; g++; return g; }"
+        debugger = Debugger.from_source(source, strategy="code")
+        watch = debugger.watch_global("g")
+        outcome = debugger.run()
+        assert outcome.finished
+        assert [event.value for event in watch.events] == [1, 2]
+
+
+class TestDoWhile:
+    def test_executes_body_at_least_once(self):
+        source = """
+        int main() {
+          int n; int count;
+          n = 0; count = 0;
+          do { count++; } while (n > 0);
+          return count;
+        }
+        """
+        assert run_minic(source) == 1
+
+    def test_loops_until_false(self):
+        source = """
+        int main() {
+          int i;
+          i = 0;
+          do { i++; } while (i < 7);
+          return i;
+        }
+        """
+        assert run_minic(source) == 7
+
+    def test_break_and_continue(self):
+        source = """
+        int main() {
+          int i; int s;
+          i = 0; s = 0;
+          do {
+            i++;
+            if (i == 3) continue;
+            if (i == 6) break;
+            s += i;
+          } while (i < 100);
+          return s;
+        }
+        """
+        assert run_minic(source) == 1 + 2 + 4 + 5
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(MiniCError):
+            parse("int main() { do { } while (1) return 0; }")
+
+
+class TestTernary:
+    def test_selects_arm(self):
+        assert run_minic("int main() { return 1 ? 10 : 20; }") == 10
+        assert run_minic("int main() { return 0 ? 10 : 20; }") == 20
+
+    def test_only_taken_arm_evaluated(self):
+        source = """
+        int side;
+        int mark(int v) { side = side + 1; return v; }
+        int main() {
+          int r;
+          r = 1 ? 5 : mark(9);
+          return side * 10 + r;
+        }
+        """
+        assert run_minic(source) == 5
+
+    def test_nested_right_associative(self):
+        source = "int main() { int x; x = 2; return x == 1 ? 10 : x == 2 ? 20 : 30; }"
+        assert run_minic(source) == 20
+
+    def test_mixed_numeric_promotes_to_float(self):
+        source = "int main() { float f; f = 1 ? 1 : 2.5; return f * 2.0; }"
+        assert run_minic(source) == 2
+
+    def test_in_condition_position(self):
+        source = "int main() { int a; a = 7; if (a > 5 ? 1 : 0) return 1; return 0; }"
+        assert run_minic(source) == 1
+
+    def test_incompatible_arms_rejected(self):
+        rejects("void v() { } int main() { return 1 ? v() : 2; }")
+
+
+class TestInteraction:
+    def test_everything_together(self):
+        source = """
+        int total;
+        int bump(int v) { total += v; return total; }
+        int main() {
+          int i;
+          int best;
+          best = 0;
+          i = 0;
+          do {
+            int now;
+            now = bump(i++);
+            best = now > best ? now : best;
+          } while (i < 6);
+          return best;
+        }
+        """
+        assert run_minic(source) == 15
+
+    def test_tracer_counts_compound_stores(self):
+        """Each compound assignment is one write event in the trace."""
+        from repro.minic.compiler import compile_source
+        from repro.trace import trace_program
+
+        source = """
+        int g;
+        int main() {
+          int i;
+          for (i = 0; i < 4; i++) g += i;
+          return g;
+        }
+        """
+        trace, registry, state = trace_program(compile_source(source))
+        assert trace.meta.n_writes == state.stores
+        # i init + 4 x (g +=, i++) + nothing else on globals/locals
+        assert state.stores == 1 + 8

@@ -1,0 +1,106 @@
+"""Tests for the MiniC lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.minic.lexer import tokenize
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def values(source):
+    return [token.value for token in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source_yields_eof(self):
+        assert kinds("") == ["eof"]
+
+    def test_identifiers_and_keywords(self):
+        assert kinds("int x while whale")[:4] == ["int", "ident", "while", "ident"]
+
+    def test_underscore_identifiers(self):
+        tokens = tokenize("_foo bar_baz x_1")
+        assert [t.value for t in tokens[:-1]] == ["_foo", "bar_baz", "x_1"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n\nc")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 4]
+
+
+class TestNumbers:
+    def test_decimal_int(self):
+        assert values("12345") == [12345]
+
+    def test_hex_int(self):
+        assert values("0xFF 0x10") == [255, 16]
+
+    def test_float_literal(self):
+        assert values("3.25") == [3.25]
+
+    def test_float_with_exponent(self):
+        assert values("1e3 2.5e-2") == [1000.0, 0.025]
+
+    def test_int_then_dot_not_float_without_digit(self):
+        # "3." is lexed as int 3 then an unexpected '.', which errors.
+        with pytest.raises(LexError):
+            tokenize("3.")
+
+    def test_bad_hex_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("0x")
+
+
+class TestCharLiterals:
+    def test_plain_char(self):
+        assert values("'a'") == [97]
+
+    def test_escapes(self):
+        assert values(r"'\n' '\t' '\0' '\\'") == [10, 9, 0, 92]
+
+    def test_unterminated_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("'a")
+
+    def test_bad_escape_rejected(self):
+        with pytest.raises(LexError):
+            tokenize(r"'\q'")
+
+
+class TestOperators:
+    def test_multi_char_operators_greedy(self):
+        assert kinds("<= >= == != && || << >>")[:-1] == [
+            "<=", ">=", "==", "!=", "&&", "||", "<<", ">>",
+        ]
+
+    def test_adjacent_single_chars(self):
+        assert kinds("a=b+c;")[:-1] == ["ident", "=", "ident", "+", "ident", ";"]
+
+    def test_ambiguous_less_then_assign(self):
+        # "<=" must not lex as "<", "="
+        assert kinds("a<=b")[1] == "<="
+
+    def test_unknown_character_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // comment\nb")[:-1] == ["ident", "ident"]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b")[:-1] == ["ident", "ident"]
+
+    def test_block_comment_tracks_lines(self):
+        tokens = tokenize("/* one\ntwo */ x")
+        assert tokens[0].line == 2
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+    def test_division_not_comment(self):
+        assert kinds("a / b")[1] == "/"

@@ -1,0 +1,143 @@
+"""Tests for the MiniC parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.minic import mc_ast as A
+from repro.minic.parser import parse
+
+
+class TestTopLevel:
+    def test_global_and_function(self):
+        unit = parse("int g; int main() { return 0; }")
+        assert len(unit.globals) == 1
+        assert len(unit.functions) == 1
+        assert unit.functions[0].name == "main"
+
+    def test_forward_declaration_skipped(self):
+        unit = parse("int f(int x); int f(int x) { return x; } int main() { return f(1); }")
+        assert [func.name for func in unit.functions] == ["f", "main"]
+
+    def test_params(self):
+        unit = parse("int f(int a, float *b) { return a; } int main() { return 0; }")
+        params = unit.functions[0].params
+        assert [p.name for p in params] == ["a", "b"]
+        assert params[1].pointer_depth == 1
+
+    def test_void_param_list(self):
+        unit = parse("int f(void) { return 1; } int main() { return 0; }")
+        assert unit.functions[0].params == []
+
+    def test_void_typed_param_rejected(self):
+        with pytest.raises(ParseError):
+            parse("int f(void x) { return 1; }")
+
+    def test_global_array_with_initializer(self):
+        unit = parse("int a[3] = {1, 2, 3}; int main() { return 0; }")
+        decl = unit.globals[0]
+        assert decl.array_size == 3
+        assert len(decl.init_list) == 3
+
+    def test_too_many_initializers_rejected(self):
+        with pytest.raises(ParseError):
+            parse("int a[2] = {1, 2, 3}; int main() { return 0; }")
+
+    def test_zero_size_array_rejected(self):
+        with pytest.raises(ParseError):
+            parse("int a[0]; int main() { return 0; }")
+
+
+class TestStatements:
+    def _body(self, body_src):
+        unit = parse("int main() { " + body_src + " }")
+        return unit.functions[0].body.statements
+
+    def test_if_else_chain(self):
+        (stmt,) = self._body("if (1) return 1; else if (2) return 2; else return 3;")
+        assert isinstance(stmt, A.If)
+        assert isinstance(stmt.else_body, A.If)
+
+    def test_for_with_empty_clauses(self):
+        (stmt,) = self._body("for (;;) break;")
+        assert isinstance(stmt, A.For)
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_empty_statement(self):
+        (stmt,) = self._body(";")
+        assert isinstance(stmt, A.Block) and not stmt.statements
+
+    def test_nested_blocks(self):
+        (outer,) = self._body("{ { int x; x = 1; } }")
+        assert isinstance(outer, A.Block)
+
+    def test_static_local(self):
+        (decl,) = self._body("static int n;")
+        assert isinstance(decl, A.VarDecl) and decl.is_static
+
+    def test_unterminated_block_rejected(self):
+        with pytest.raises(ParseError):
+            parse("int main() { return 0;")
+
+
+class TestExpressions:
+    def _expr(self, expr_src):
+        unit = parse(f"int main() {{ return {expr_src}; }}")
+        return unit.functions[0].body.statements[0].value
+
+    def test_precedence_mul_over_add(self):
+        expr = self._expr("1 + 2 * 3")
+        assert isinstance(expr, A.Binary) and expr.op == "+"
+        assert isinstance(expr.right, A.Binary) and expr.right.op == "*"
+
+    def test_left_associativity(self):
+        expr = self._expr("10 - 3 - 2")
+        assert expr.op == "-" and isinstance(expr.left, A.Binary)
+
+    def test_comparison_below_logic(self):
+        expr = self._expr("a < b && c > d")
+        assert expr.op == "&&"
+
+    def test_shift_between_add_and_compare(self):
+        expr = self._expr("1 + 2 << 3 < 4")
+        assert expr.op == "<"
+        assert expr.left.op == "<<"
+
+    def test_unary_chains(self):
+        expr = self._expr("- - x")
+        assert isinstance(expr, A.Unary) and isinstance(expr.operand, A.Unary)
+
+    def test_deref_and_index_postfix(self):
+        expr = self._expr("*p[2]")
+        # '*' binds the whole postfix expression: *(p[2])
+        assert isinstance(expr, A.Unary) and expr.op == "*"
+        assert isinstance(expr.operand, A.Index)
+
+    def test_chained_assignment_right_associative(self):
+        unit = parse("int main() { int a; int b; a = b = 1; return a; }")
+        assign = unit.functions[0].body.statements[2].expr
+        assert isinstance(assign, A.Assign)
+        assert isinstance(assign.value, A.Assign)
+
+    def test_call_with_args(self):
+        expr = self._expr("f(1, g(2), x)")
+        assert isinstance(expr, A.Call) and len(expr.args) == 3
+        assert isinstance(expr.args[1], A.Call)
+
+    def test_missing_paren_rejected(self):
+        with pytest.raises(ParseError):
+            parse("int main() { return (1 + 2; }")
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(ParseError):
+            parse("int main() { return 1 }")
+
+    def test_stray_token_rejected(self):
+        with pytest.raises(ParseError):
+            parse("int main() { return ]; }")
+
+
+class TestErrorLocations:
+    def test_error_reports_line(self):
+        with pytest.raises(ParseError) as exc_info:
+            parse("int main() {\n  return 1\n}")
+        assert "line 3" in str(exc_info.value)

@@ -1,0 +1,83 @@
+"""Tests for the AST/IR pretty-printers."""
+
+import pytest
+
+from repro.minic.compiler import compile_source
+from repro.minic.parser import parse
+from repro.minic.pretty import dump_ast, format_function, format_program
+
+SOURCE = """
+int g = 3;
+int table[2] = {1, 2};
+
+int f(int x) {
+  static int calls;
+  calls++;
+  return x > 0 ? x : -x;
+}
+
+int main() {
+  int i;
+  do { g += f(i++); } while (i < 4);
+  for (; g < 100; g *= 2) { }
+  while (0) break;
+  if (g) continue_free();
+  return g;
+}
+
+void continue_free() { }
+"""
+
+
+class TestDumpAst:
+    def test_every_construct_named(self):
+        text = dump_ast(parse(SOURCE))
+        for marker in (
+            "TranslationUnit", "FuncDef f(int x) -> int", "VarDecl int g",
+            "VarDecl static int calls", "Ternary", "IncDec '++' (postfix)",
+            "CompoundAssign '+='", "DoWhile", "For", "While", "Break",
+            "If", "Call continue_free", "Return", "Unary '-'",
+        ):
+            assert marker in text, marker
+
+    def test_indentation_reflects_nesting(self):
+        text = dump_ast(parse("int main() { if (1) { if (2) return 3; } return 0; }"))
+        lines = text.splitlines()
+        first_if = next(l for l in lines if l.strip() == "If")
+        second_if = next(l for l in lines if l.strip() == "If" and l != first_if)
+        assert len(second_if) - len(second_if.lstrip()) > len(first_if) - len(first_if.lstrip())
+
+    def test_subtree_dump(self):
+        unit = parse("int main() { return 1 + 2; }")
+        text = dump_ast(unit.functions[0].body.statements[0])
+        assert text.splitlines()[0] == "Return"
+
+
+class TestFormatFunction:
+    def test_header_and_variables(self):
+        program = compile_source(SOURCE, "pp")
+        text = format_function(program.function("f"))
+        assert text.startswith("f:")
+        assert "param x: int at fp+0" in text
+        assert "static calls: int" in text
+
+    def test_every_instruction_listed(self):
+        program = compile_source(SOURCE, "pp")
+        func = program.function("main")
+        text = format_function(func)
+        body_lines = [l for l in text.splitlines() if l.startswith("  ") and not l.startswith("    ;")]
+        assert len(body_lines) == len(func.code)
+
+    def test_line_annotations_present(self):
+        program = compile_source(SOURCE, "pp")
+        assert "; line" in format_function(program.function("main"))
+
+
+class TestFormatProgram:
+    def test_lists_globals_and_functions(self):
+        program = compile_source(SOURCE, "pp")
+        text = format_program(program)
+        assert "; global g: int" in text
+        assert "(static of f)" in text
+        assert "main:" in text
+        assert f"{program.total_instructions()} instructions" in text

@@ -1,0 +1,315 @@
+"""Whole-program behavioral tests: classic algorithms in MiniC.
+
+Each test is a complete program with a known answer — the kind of
+coverage that catches codegen bugs no unit test of a single construct
+would (register pressure, loop nests, recursion + heap interplay).
+"""
+
+from tests.conftest import run_minic
+
+
+class TestSorting:
+    def test_insertion_sort(self):
+        source = """
+        int data[8];
+        int main() {
+          int i; int j; int key;
+          int seed;
+          seed = 13;
+          for (i = 0; i < 8; i++) {
+            seed = (seed * 31 + 7) % 101;
+            data[i] = seed;
+          }
+          for (i = 1; i < 8; i++) {
+            key = data[i];
+            j = i - 1;
+            while (j >= 0 && data[j] > key) {
+              data[j + 1] = data[j];
+              j--;
+            }
+            data[j + 1] = key;
+          }
+          for (i = 1; i < 8; i++) {
+            if (data[i - 1] > data[i]) return -1;
+          }
+          return data[0] * 1000 + data[7];
+        }
+        """
+        result = run_minic(source)
+        assert result > 0
+        low, high = result // 1000, result % 1000
+        assert low <= high
+
+    def test_quicksort_recursive(self):
+        source = """
+        int a[12];
+        void swap(int i, int j) {
+          int t;
+          t = a[i]; a[i] = a[j]; a[j] = t;
+        }
+        void qsort_range(int lo, int hi) {
+          int pivot; int i; int j;
+          if (lo >= hi) return;
+          pivot = a[(lo + hi) / 2];
+          i = lo; j = hi;
+          while (i <= j) {
+            while (a[i] < pivot) i++;
+            while (a[j] > pivot) j--;
+            if (i <= j) { swap(i, j); i++; j--; }
+          }
+          qsort_range(lo, j);
+          qsort_range(i, hi);
+        }
+        int main() {
+          int i; int sorted;
+          for (i = 0; i < 12; i++) a[i] = (i * 7919 + 13) % 97;
+          qsort_range(0, 11);
+          sorted = 1;
+          for (i = 1; i < 12; i++) {
+            if (a[i - 1] > a[i]) sorted = 0;
+          }
+          return sorted;
+        }
+        """
+        assert run_minic(source) == 1
+
+
+class TestNumberTheory:
+    def test_euclid_gcd(self):
+        source = """
+        int gcd(int a, int b) {
+          while (b != 0) {
+            int t;
+            t = b;
+            b = a % b;
+            a = t;
+          }
+          return a;
+        }
+        int main() { return gcd(1071, 462) * 100 + gcd(17, 5); }
+        """
+        assert run_minic(source) == 21 * 100 + 1
+
+    def test_sieve_of_eratosthenes(self):
+        source = """
+        int composite[50];
+        int main() {
+          int i; int j; int count;
+          for (i = 2; i * i < 50; i++) {
+            if (!composite[i]) {
+              for (j = i * i; j < 50; j += i) composite[j] = 1;
+            }
+          }
+          count = 0;
+          for (i = 2; i < 50; i++) {
+            if (!composite[i]) count++;
+          }
+          return count;   /* 15 primes below 50 */
+        }
+        """
+        assert run_minic(source) == 15
+
+    def test_collatz_steps(self):
+        source = """
+        int main() {
+          int n; int steps;
+          n = 27;
+          steps = 0;
+          while (n != 1) {
+            n = n % 2 == 0 ? n / 2 : 3 * n + 1;
+            steps++;
+          }
+          return steps;
+        }
+        """
+        assert run_minic(source) == 111
+
+
+class TestDataStructures:
+    def test_singly_linked_list_on_heap(self):
+        source = """
+        /* node: [0] value, [1] next */
+        int *push(int *head, int value) {
+          int *node;
+          node = malloc(8);
+          node[0] = value;
+          node[1] = head;
+          return node;
+        }
+        int sum_and_free(int *head) {
+          int total;
+          int *next;
+          total = 0;
+          while (head != 0) {
+            total += head[0];
+            next = head[1];
+            free(head);
+            head = next;
+          }
+          return total;
+        }
+        int main() {
+          int *list; int i;
+          list = 0;
+          for (i = 1; i <= 10; i++) list = push(list, i * i);
+          return sum_and_free(list);
+        }
+        """
+        assert run_minic(source) == sum(i * i for i in range(1, 11))
+
+    def test_binary_search(self):
+        source = """
+        int table[16];
+        int bsearch(int want) {
+          int lo; int hi; int mid;
+          lo = 0; hi = 15;
+          while (lo <= hi) {
+            mid = (lo + hi) / 2;
+            if (table[mid] == want) return mid;
+            if (table[mid] < want) lo = mid + 1;
+            else hi = mid - 1;
+          }
+          return -1;
+        }
+        int main() {
+          int i;
+          for (i = 0; i < 16; i++) table[i] = i * 3 + 1;
+          return bsearch(1) * 10000 + bsearch(46) * 100 + (bsearch(47) + 1);
+        }
+        """
+        assert run_minic(source) == 0 * 10000 + 15 * 100 + 0
+
+    def test_ring_buffer_with_statics(self):
+        source = """
+        int ring_put(int v) {
+          static int buffer[4];
+          static int head;
+          static int count;
+          int dropped;
+          dropped = 0;
+          if (count == 4) dropped = buffer[head % 4];
+          buffer[(head + count) % 4] = v;
+          if (count == 4) head++;
+          else count++;
+          return dropped;
+        }
+        int main() {
+          int i; int dropped_sum;
+          dropped_sum = 0;
+          for (i = 1; i <= 7; i++) dropped_sum += ring_put(i);
+          return dropped_sum;   /* 1 + 2 + 3 dropped */
+        }
+        """
+        assert run_minic(source) == 6
+
+
+class TestNumerics:
+    def test_matrix_multiply(self):
+        source = """
+        float a[9];
+        float b[9];
+        float c[9];
+        void matmul() {
+          int i; int j; int k;
+          for (i = 0; i < 3; i++) {
+            for (j = 0; j < 3; j++) {
+              float acc;
+              acc = 0.0;
+              for (k = 0; k < 3; k++) acc += a[i * 3 + k] * b[k * 3 + j];
+              c[i * 3 + j] = acc;
+            }
+          }
+        }
+        int main() {
+          int i;
+          for (i = 0; i < 9; i++) { a[i] = i + 1; b[i] = i % 3 == i / 3 ? 1.0 : 0.0; }
+          matmul();   /* b is the identity: c == a */
+          for (i = 0; i < 9; i++) {
+            if (c[i] != a[i]) return -1;
+          }
+          return c[8];
+        }
+        """
+        assert run_minic(source) == 9
+
+    def test_newton_sqrt(self):
+        source = """
+        float my_sqrt(float x) {
+          float guess;
+          int i;
+          guess = x / 2.0;
+          for (i = 0; i < 20; i++) guess = (guess + x / guess) / 2.0;
+          return guess;
+        }
+        int main() {
+          float r;
+          r = my_sqrt(1764.0);    /* 42 */
+          return r * 100.0;
+        }
+        """
+        assert run_minic(source) == 4200
+
+    def test_horner_polynomial(self):
+        source = """
+        int coeffs[4] = {2, -6, 2, -1};   /* 2x^3 - 6x^2 + 2x - 1 */
+        int eval(int x) {
+          int acc; int i;
+          acc = 0;
+          for (i = 0; i < 4; i++) acc = acc * x + coeffs[i];
+          return acc;
+        }
+        int main() { return eval(3); }
+        """
+        assert run_minic(source) == 2 * 27 - 6 * 9 + 2 * 3 - 1
+
+    def test_fixed_point_iteration_convergence(self):
+        source = """
+        int main() {
+          float x;
+          float prev;
+          int rounds;
+          x = 1.0;
+          prev = 0.0;
+          rounds = 0;
+          while (fabs(x - prev) > 0.000001 && rounds < 100) {
+            prev = x;
+            x = exp(-x);        /* converges to the omega constant */
+            rounds++;
+          }
+          return x * 1000000.0;
+        }
+        """
+        assert abs(run_minic(source) - 567143) <= 1
+
+
+class TestStringyInts:
+    def test_reverse_digits(self):
+        source = """
+        int main() {
+          int n; int out;
+          n = 123456;
+          out = 0;
+          while (n > 0) {
+            out = out * 10 + n % 10;
+            n /= 10;
+          }
+          return out;
+        }
+        """
+        assert run_minic(source) == 654321
+
+    def test_roman_numeral_value(self):
+        source = """
+        /* MCMXCII == 1992, the paper's year */
+        int digits[7] = {1000, 100, 1000, 10, 100, 1, 1};
+        int main() {
+          int total; int i;
+          total = 0;
+          for (i = 0; i < 7; i++) {
+            total += i + 1 < 7 && digits[i] < digits[i + 1]
+                       ? -digits[i] : digits[i];
+          }
+          return total;
+        }
+        """
+        assert run_minic(source) == 1992

@@ -1,0 +1,189 @@
+"""Tests for the MiniC runtime: heap allocator and builtins."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MiniCRuntimeError
+from repro.machine import Cpu, Memory
+from repro.minic.runtime import HeapAllocator, Runtime
+
+from tests.conftest import MiniCRunner
+
+
+@pytest.fixture
+def heap():
+    return HeapAllocator(Memory())
+
+
+class TestMalloc:
+    def test_returns_word_aligned(self, heap):
+        for size in (1, 3, 4, 5, 17):
+            assert heap.malloc(size) % 4 == 0
+
+    def test_zero_request_returns_null(self, heap):
+        assert heap.malloc(0) == 0
+        assert heap.malloc(-8) == 0
+
+    def test_blocks_disjoint(self, heap):
+        a = heap.malloc(16)
+        b = heap.malloc(16)
+        assert abs(a - b) >= 16
+
+    def test_tracks_allocations(self, heap):
+        address = heap.malloc(10)
+        assert heap.allocations[address] == 12  # rounded up
+        assert heap.live_bytes() == 12
+
+    def test_exhaustion_raises(self, heap):
+        with pytest.raises(MiniCRuntimeError):
+            heap.malloc(heap.layout.heap_limit - heap.layout.heap_base + 4)
+
+
+class TestFree:
+    def test_free_null_is_noop(self, heap):
+        heap.free(0)
+
+    def test_free_unallocated_raises(self, heap):
+        with pytest.raises(MiniCRuntimeError):
+            heap.free(0x0020_0000)
+
+    def test_double_free_raises(self, heap):
+        address = heap.malloc(8)
+        heap.free(address)
+        with pytest.raises(MiniCRuntimeError):
+            heap.free(address)
+
+    def test_freed_block_recycled_same_size(self, heap):
+        address = heap.malloc(24)
+        heap.free(address)
+        assert heap.malloc(24) == address
+
+
+class TestRealloc:
+    def test_null_realloc_is_malloc(self, heap):
+        address = heap.realloc(0, 16)
+        assert heap.allocations[address] == 16
+
+    def test_zero_size_is_free(self, heap):
+        address = heap.malloc(16)
+        assert heap.realloc(address, 0) == 0
+        assert address not in heap.allocations
+
+    def test_same_rounded_size_keeps_address(self, heap):
+        address = heap.malloc(16)
+        assert heap.realloc(address, 14) == address
+
+    def test_grow_copies_contents(self, heap):
+        address = heap.malloc(8)
+        heap.memory.store_word(address, 111)
+        heap.memory.store_word(address + 4, 222)
+        new_address = heap.realloc(address, 32)
+        assert heap.memory.load_word(new_address) == 111
+        assert heap.memory.load_word(new_address + 4) == 222
+
+    def test_listener_sees_single_realloc_event(self, heap):
+        events = []
+
+        class Listener:
+            def on_alloc(self, a, s):
+                events.append(("alloc", a, s))
+
+            def on_free(self, a, s):
+                events.append(("free", a, s))
+
+            def on_realloc(self, old, old_size, new, new_size):
+                events.append(("realloc", old, new))
+
+        address = heap.malloc(8)
+        heap.listeners.append(Listener())
+        heap.realloc(address, 64)
+        kinds = [event[0] for event in events]
+        assert kinds == ["realloc"]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["malloc", "free", "realloc"]), st.integers(1, 200)),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_allocator_invariants(ops):
+    """Live blocks never overlap and live_bytes always balances."""
+    heap = HeapAllocator(Memory())
+    live = []
+    for op, size in ops:
+        if op == "malloc":
+            live.append(heap.malloc(size))
+        elif op == "free" and live:
+            heap.free(live.pop(0))
+        elif op == "realloc" and live:
+            live[0] = heap.realloc(live[0], size)
+    spans = sorted((a, a + heap.allocations[a]) for a in live)
+    for (_, end), (begin, _) in zip(spans, spans[1:]):
+        assert end <= begin
+    assert heap.live_bytes() == sum(heap.allocations[a] for a in live)
+    assert set(heap.allocations) == set(live)
+
+
+class TestBuiltinsFromMiniC:
+    def test_malloc_free_roundtrip(self, minic):
+        source = """
+        int main() {
+          int *p;
+          p = malloc(12);
+          p[0] = 1; p[1] = 2; p[2] = 3;
+          free(p);
+          return 0;
+        }
+        """
+        assert minic.run(source) == 0
+        assert minic.runtime.heap.n_allocs == 1
+        assert minic.runtime.heap.n_frees == 1
+
+    def test_realloc_preserves_data(self, minic):
+        source = """
+        int main() {
+          int *p;
+          p = malloc(8);
+          p[0] = 42;
+          p = realloc(p, 400);
+          return p[0];
+        }
+        """
+        assert minic.run(source) == 42
+
+    def test_print_builtins(self, minic):
+        source = """
+        int main() {
+          print_int(123);
+          print_float(1.5);
+          print_char('x');
+          return 0;
+        }
+        """
+        minic.run(source)
+        assert minic.output == ["123", "1.5", "x"]
+
+    def test_math_builtins(self, minic):
+        source = """
+        int main() {
+          float a;
+          a = sqrt(16.0) + fabs(-2.0) + log(exp(3.0));
+          return a;
+        }
+        """
+        assert minic.run(source) == 9
+
+    def test_math_domain_error(self, minic):
+        with pytest.raises(MiniCRuntimeError):
+            minic.run("int main() { float x; x = sqrt(-1.0); return 0; }")
+
+    def test_builtins_charge_cycles(self):
+        cpu = Cpu(Memory())
+        runtime = Runtime(cpu)
+        runtime.install()
+        before = cpu.cycles
+        cpu.builtins[0](cpu, [64])  # malloc
+        assert cpu.cycles > before

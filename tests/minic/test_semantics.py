@@ -1,0 +1,162 @@
+"""Tests for MiniC semantic analysis: scoping, typing, layout."""
+
+import pytest
+
+from repro.errors import MiniCError, TypeError_
+from repro.minic.parser import parse
+from repro.minic.semantics import analyze
+from repro.minic.mc_types import INT, FLOAT, PointerType
+
+
+def check(source):
+    return analyze(parse(source))
+
+
+def rejects(source):
+    with pytest.raises(TypeError_):
+        check(source)
+
+
+class TestScoping:
+    def test_undeclared_identifier(self):
+        rejects("int main() { return nope; }")
+
+    def test_duplicate_local(self):
+        rejects("int main() { int x; int x; return 0; }")
+
+    def test_duplicate_global(self):
+        rejects("int g; int g; int main() { return 0; }")
+
+    def test_duplicate_function(self):
+        rejects("int f() { return 1; } int f() { return 2; } int main() { return 0; }")
+
+    def test_shadowing_in_nested_block_allowed(self):
+        check("int main() { int x; x = 1; { int x; x = 2; } return x; }")
+
+    def test_local_shadows_global(self):
+        unit = check("int x; int main() { int x; x = 1; return x; }")
+        assert unit.functions[0].local_vars[0].storage == "frame"
+
+    def test_block_scope_ends(self):
+        rejects("int main() { { int y; y = 1; } return y; }")
+
+    def test_param_visible_in_body(self):
+        check("int f(int a) { return a; } int main() { return f(1); }")
+
+    def test_builtin_cannot_be_redefined(self):
+        rejects("int malloc(int n) { return 0; } int main() { return 0; }")
+
+    def test_main_required(self):
+        rejects("int f() { return 1; }")
+
+
+class TestTyping:
+    def test_void_variable_rejected(self):
+        # Rejected at parse time (declarator rule), still a MiniC error.
+        with pytest.raises(MiniCError):
+            check("int main() { void x; return 0; }")
+
+    def test_assign_to_rvalue_rejected(self):
+        rejects("int main() { 1 = 2; return 0; }")
+
+    def test_assign_to_array_rejected(self):
+        rejects("int main() { int a[3]; int b[3]; a = b; return 0; }")
+
+    def test_index_requires_pointer(self):
+        rejects("int main() { int x; return x[0]; }")
+
+    def test_index_must_be_int(self):
+        rejects("int main() { int a[3]; float f; f = 0.0; return a[f]; }")
+
+    def test_deref_requires_pointer(self):
+        rejects("int main() { int x; return *x; }")
+
+    def test_addr_of_rvalue_rejected(self):
+        rejects("int main() { int *p; p = &(1 + 2); return 0; }")
+
+    def test_mod_requires_ints(self):
+        rejects("int main() { float f; f = 1.0; return f % 2; }")
+
+    def test_shift_requires_ints(self):
+        rejects("int main() { return 1.5 << 2; }")
+
+    def test_call_arity_checked(self):
+        rejects("int f(int a) { return a; } int main() { return f(1, 2); }")
+
+    def test_call_to_undefined(self):
+        rejects("int main() { return mystery(); }")
+
+    def test_return_value_in_void_function(self):
+        rejects("void f() { return 1; } int main() { return 0; }")
+
+    def test_missing_return_value(self):
+        rejects("int f() { return; } int main() { return 0; }")
+
+    def test_break_outside_loop(self):
+        rejects("int main() { break; return 0; }")
+
+    def test_continue_outside_loop(self):
+        rejects("int main() { continue; return 0; }")
+
+    def test_brace_initializer_on_local_rejected(self):
+        rejects("int main() { int a[2] = {1, 2}; return 0; }")
+
+    def test_nonconstant_global_initializer_rejected(self):
+        rejects("int f() { return 1; } int g = f(); int main() { return 0; }")
+
+    def test_kr_pointer_int_mixing_allowed(self):
+        # 1992 C: storing pointers in int fields and vice versa.
+        check("int main() { int x; int *p; p = &x; x = p; p = x; return 0; }")
+
+    def test_numeric_conversion_allowed(self):
+        check("int main() { float f; int i; f = 1; i = f; return i; }")
+
+
+class TestLayout:
+    def test_frame_offsets_disjoint(self):
+        unit = check("int main() { int a; int b; int c[4]; int d; return 0; }")
+        func = unit.functions[0]
+        spans = [
+            (var.offset, var.offset + var.size_bytes) for var in func.local_vars
+        ]
+        spans.sort()
+        for (_, end), (begin, _) in zip(spans, spans[1:]):
+            assert end <= begin
+
+    def test_frame_size_covers_locals(self):
+        unit = check("int main() { int a; int buffer[10]; return 0; }")
+        func = unit.functions[0]
+        assert func.frame_size >= 44
+
+    def test_frame_rounded_to_8(self):
+        unit = check("int main() { int a; return 0; }")
+        assert unit.functions[0].frame_size % 8 == 0
+
+    def test_params_precede_locals(self):
+        unit = check("int f(int p, int q) { int x; return x; } int main() { return 0; }")
+        func = unit.functions[0]
+        assert [p.offset for p in func.params] == [0, 4]
+        assert func.local_vars[0].offset == 8
+
+    def test_globals_get_distinct_addresses(self):
+        unit = check("int a; int b[5]; float c; int main() { return 0; }")
+        spans = [(g.address, g.end_address) for g in unit.globals]
+        spans.sort()
+        for (_, end), (begin, _) in zip(spans, spans[1:]):
+            assert end <= begin
+
+    def test_static_lives_in_global_segment(self):
+        unit = check("int f() { static int n; return n; } int main() { return 0; }")
+        static = unit.functions[0].static_vars[0]
+        assert static.owner_function == "f"
+        assert static.address >= 0x0010_0000
+
+    def test_types_annotated_on_expressions(self):
+        unit = check("int main() { float f; f = 1.5; return f > 1.0; }")
+        ret = unit.functions[0].definition.body.statements[2]
+        assert ret.value.ctype == INT
+
+    def test_pointer_type_resolution(self):
+        unit = check("int main() { int x; int *p; p = &x; return *p; }")
+        assign = unit.functions[0].definition.body.statements[2].expr
+        assert assign.value.ctype == PointerType(INT)

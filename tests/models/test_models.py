@@ -1,0 +1,193 @@
+"""Tests for the analytical models (paper Figures 3-6).
+
+The crown-jewel test here is cross-validation against the paper itself:
+feeding the paper's published mean counting variables (Table 3) and base
+times (Table 1) through our model implementations must reproduce the
+paper's published mean relative overheads (Table 4) — the models are
+linear, so means map to means.
+"""
+
+import pytest
+
+from repro.models import (
+    CodePatchModel,
+    NativeHardwareModel,
+    TrapPatchModel,
+    VirtualMemoryModel,
+    get_model,
+    overhead_breakdown,
+    paper_approaches,
+    relative_overhead,
+)
+from repro.models.base import Overhead
+from repro.models.paper_data import TABLE_1, TABLE_3, TABLE_4
+from repro.models.timing import SPARCSTATION_2_TIMING, TimingVariables
+from repro.simulate.counting import CountingVariables, VmPageCounts
+
+
+def make_counts(installs=0, removes=0, hits=0, misses=0, protects=0,
+                unprotects=0, apm=0, page_size=4096):
+    counts = CountingVariables(installs=installs, removes=removes, hits=hits, misses=misses)
+    counts.vm[page_size] = VmPageCounts(protects, unprotects, apm)
+    return counts
+
+
+T = SPARCSTATION_2_TIMING
+
+
+class TestNativeHardware:
+    def test_only_hits_cost(self):
+        model = NativeHardwareModel(T)
+        overhead = model.overhead(make_counts(installs=10, removes=10, hits=3, misses=1000))
+        assert overhead.monitor_hit == 3 * 131.0
+        assert overhead.monitor_miss == 0
+        assert overhead.install_monitor == 0
+        assert overhead.remove_monitor == 0
+        assert overhead.total_us == 393.0
+
+    def test_zero_hits_zero_overhead(self):
+        model = NativeHardwareModel(T)
+        assert model.overhead(make_counts(misses=10**6)).total_us == 0
+
+
+class TestCodePatch:
+    def test_every_write_pays_lookup(self):
+        model = CodePatchModel(T)
+        overhead = model.overhead(make_counts(hits=2, misses=8, installs=1, removes=1))
+        assert overhead.monitor_hit == 2 * 2.75
+        assert overhead.monitor_miss == 8 * 2.75
+        assert overhead.install_monitor == 22.0
+        assert overhead.remove_monitor == 22.0
+
+
+class TestTrapPatch:
+    def test_every_write_pays_trap_plus_lookup(self):
+        model = TrapPatchModel(T)
+        overhead = model.overhead(make_counts(hits=2, misses=8))
+        assert overhead.total_us == pytest.approx(10 * (102 + 2.75))
+
+    def test_tp_is_cp_plus_trap_cost(self):
+        counts = make_counts(hits=5, misses=95, installs=3, removes=3)
+        tp = TrapPatchModel(T).overhead(counts).total_us
+        cp = CodePatchModel(T).overhead(counts).total_us
+        assert tp - cp == pytest.approx(100 * 102.0)
+
+
+class TestVirtualMemory:
+    def test_figure4_formula(self):
+        model = VirtualMemoryModel(T)
+        counts = make_counts(
+            installs=2, removes=2, hits=3, misses=100, protects=4, unprotects=4, apm=10
+        )
+        overhead = model.overhead(counts)
+        fault = 561 + 2.75
+        dance = 299 + 22 + 80
+        assert overhead.monitor_hit == pytest.approx(3 * fault)
+        assert overhead.monitor_miss == pytest.approx(10 * fault)
+        assert overhead.install_monitor == pytest.approx(2 * dance + 4 * 80)
+        assert overhead.remove_monitor == pytest.approx(2 * dance + 4 * 299)
+
+    def test_page_size_selects_counts(self):
+        model = VirtualMemoryModel(T)
+        counts = make_counts(hits=1, apm=5, page_size=4096)
+        counts.vm[8192] = VmPageCounts(0, 0, 50)
+        small = model.overhead(counts, 4096).total_us
+        large = model.overhead(counts, 8192).total_us
+        assert large > small
+
+    def test_breakdown_sums_to_total(self):
+        model = VirtualMemoryModel(T)
+        counts = make_counts(
+            installs=7, removes=7, hits=13, misses=1000, protects=5, unprotects=5, apm=40
+        )
+        overhead = model.overhead(counts)
+        assert sum(overhead.by_timing_variable.values()) == pytest.approx(overhead.total_us)
+
+
+class TestEveryModelBreakdownConsistent:
+    @pytest.mark.parametrize("abbrev", ["NH", "VM", "TP", "CP"])
+    def test_breakdown_sums_to_total(self, abbrev):
+        model = get_model(abbrev, T)
+        counts = make_counts(
+            installs=3, removes=3, hits=9, misses=500, protects=2, unprotects=2, apm=17
+        )
+        overhead = model.overhead(counts)
+        assert sum(overhead.by_timing_variable.values()) == pytest.approx(
+            overhead.total_us
+        )
+
+
+class TestRegistry:
+    def test_lookup_by_abbrev_and_name(self):
+        assert isinstance(get_model("NH", T), NativeHardwareModel)
+        assert isinstance(get_model("VirtualMemory", T), VirtualMemoryModel)
+
+    def test_unknown_model(self):
+        from repro.errors import PipelineError
+
+        with pytest.raises(PipelineError):
+            get_model("XYZ", T)
+
+    def test_paper_approaches_order(self):
+        labels = [approach.label for approach in paper_approaches()]
+        assert labels == ["NH", "VM-4K", "VM-8K", "TP", "CP"]
+
+
+class TestRelativeOverhead:
+    def test_normalization(self):
+        overhead = Overhead(monitor_hit=500.0)
+        assert relative_overhead(overhead, 1000.0) == 0.5
+
+    def test_zero_base_rejected(self):
+        with pytest.raises(ValueError):
+            relative_overhead(Overhead(), 0.0)
+
+
+class TestBreakdownAggregation:
+    def test_mean_of_percentages(self):
+        overheads = [
+            Overhead(monitor_hit=90, monitor_miss=10,
+                     by_timing_variable={"A": 90.0, "B": 10.0}),
+            Overhead(monitor_hit=50, monitor_miss=50,
+                     by_timing_variable={"A": 50.0, "B": 50.0}),
+        ]
+        shares = overhead_breakdown(overheads)
+        assert shares["A"] == pytest.approx(70.0)
+        assert shares["B"] == pytest.approx(30.0)
+
+    def test_zero_overhead_sessions_skipped(self):
+        shares = overhead_breakdown([Overhead()])
+        assert shares == {}
+
+
+class TestCrossValidationAgainstPaper:
+    """Paper Table 3 x our models == paper Table 4 mean column."""
+
+    def _mean_counts(self, program):
+        row = TABLE_3[program]
+        counts = CountingVariables(
+            installs=row.install_remove,
+            removes=row.install_remove,
+            hits=row.hits,
+            misses=row.misses,
+        )
+        counts.vm[4096] = VmPageCounts(
+            row.vm4k_protects, row.vm4k_protects, row.vm4k_active_page_misses
+        )
+        counts.vm[8192] = VmPageCounts(
+            row.vm8k_protects, row.vm8k_protects, row.vm8k_active_page_misses
+        )
+        return counts
+
+    @pytest.mark.parametrize("program", sorted(TABLE_1))
+    @pytest.mark.parametrize("label", ["NH", "VM-4K", "VM-8K", "TP", "CP"])
+    def test_mean_relative_overhead_matches_paper(self, program, label):
+        counts = self._mean_counts(program)
+        base_us = TABLE_1[program].execution_ms * 1000.0
+        approach = next(a for a in paper_approaches() if a.label == label)
+        rel = relative_overhead(
+            approach.model.overhead(counts, approach.page_size), base_us
+        )
+        paper_mean = TABLE_4[program][label].mean
+        # Published values are rounded to two decimals; allow 5% + rounding.
+        assert rel == pytest.approx(paper_mean, rel=0.05, abs=0.02)

@@ -1,0 +1,84 @@
+"""Tests for monitor-session definitions and discovery."""
+
+import pytest
+
+from repro.errors import SessionError
+from repro.sessions import SessionDef, discover_sessions
+from repro.sessions.types import (
+    ALL_HEAP_IN_FUNC,
+    ALL_LOCAL_IN_FUNC,
+    ONE_GLOBAL_STATIC,
+    ONE_HEAP,
+    ONE_LOCAL_AUTO,
+)
+from repro.trace import ObjectRegistry
+
+
+@pytest.fixture
+def registry():
+    reg = ObjectRegistry()
+    reg.local("f", "x", 4, False)           # 0
+    reg.local("f", "y", 8, False)           # 1
+    reg.local("g", "x", 4, True)            # 2 (param)
+    reg.static("f", "count", 4)             # 3
+    reg.global_("glob", 4)                  # 4
+    reg.heap("g", ("main", "g"), 16)        # 5
+    reg.heap("g", ("main", "h", "g"), 16)   # 6
+    return reg
+
+
+class TestDefinitions:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SessionError):
+            SessionDef(0, "Bogus", "x", (1,))
+
+    def test_empty_members_rejected(self):
+        with pytest.raises(SessionError):
+            SessionDef(0, ONE_HEAP, "x", ())
+
+    def test_n_members(self):
+        session = SessionDef(0, ALL_LOCAL_IN_FUNC, "f.*", (1, 2, 3))
+        assert session.n_members == 3
+
+
+class TestDiscovery:
+    def test_indexes_dense_and_ordered(self, registry):
+        sessions = discover_sessions(registry)
+        assert [s.index for s in sessions] == list(range(len(sessions)))
+
+    def test_one_local_auto_per_local(self, registry):
+        sessions = [s for s in discover_sessions(registry) if s.kind == ONE_LOCAL_AUTO]
+        assert {s.label for s in sessions} == {"f.x", "f.y", "g.x"}
+        assert all(s.n_members == 1 for s in sessions)
+
+    def test_all_local_in_func_includes_statics(self, registry):
+        sessions = {
+            s.label: s
+            for s in discover_sessions(registry)
+            if s.kind == ALL_LOCAL_IN_FUNC
+        }
+        assert set(sessions) == {"f.*", "g.*"}
+        assert set(sessions["f.*"].member_ids) == {0, 1, 3}
+        assert set(sessions["g.*"].member_ids) == {2}
+
+    def test_one_global_static_excludes_function_statics(self, registry):
+        sessions = [s for s in discover_sessions(registry) if s.kind == ONE_GLOBAL_STATIC]
+        assert [s.label for s in sessions] == ["glob"]
+
+    def test_one_heap_per_allocation(self, registry):
+        sessions = [s for s in discover_sessions(registry) if s.kind == ONE_HEAP]
+        assert len(sessions) == 2
+
+    def test_all_heap_in_func_uses_dynamic_context(self, registry):
+        sessions = {
+            s.label: set(s.member_ids)
+            for s in discover_sessions(registry)
+            if s.kind == ALL_HEAP_IN_FUNC
+        }
+        # main contains both allocations; h only the second; g both.
+        assert sessions["heap@main"] == {5, 6}
+        assert sessions["heap@g"] == {5, 6}
+        assert sessions["heap@h"] == {6}
+
+    def test_empty_registry_yields_nothing(self):
+        assert discover_sessions(ObjectRegistry()) == []

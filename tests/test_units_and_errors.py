@@ -1,0 +1,80 @@
+"""Tests for the units/conversion helpers and the error hierarchy."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import errors
+from repro.units import (
+    CLOCK_HZ,
+    CYCLES_PER_US,
+    align_down,
+    align_up,
+    cycles_to_ms,
+    cycles_to_us,
+    is_power_of_two,
+    ms_to_cycles,
+    us_to_cycles,
+)
+
+
+class TestConversions:
+    def test_clock_is_40mhz(self):
+        assert CLOCK_HZ == 40_000_000
+        assert CYCLES_PER_US == 40
+
+    @pytest.mark.parametrize("us,cycles", [(131, 5240), (561, 22440), (2.75, 110)])
+    def test_table2_conversions(self, us, cycles):
+        assert us_to_cycles(us) == cycles
+        assert cycles_to_us(cycles) == pytest.approx(us)
+
+    def test_ms_roundtrip(self):
+        assert cycles_to_ms(ms_to_cycles(3.5)) == pytest.approx(3.5)
+
+    @given(st.integers(0, 10**6))
+    def test_us_roundtrip_integer(self, us):
+        assert cycles_to_us(us_to_cycles(us)) == us
+
+
+class TestAlignment:
+    @given(st.integers(0, 2**30), st.sampled_from([4, 8, 4096, 8192]))
+    def test_align_bounds(self, address, alignment):
+        down = align_down(address, alignment)
+        up = align_up(address, alignment)
+        assert down <= address <= up
+        assert down % alignment == 0
+        assert up % alignment == 0
+        assert up - down in (0, alignment)
+
+    def test_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(4096)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(12)
+        assert not is_power_of_two(-8)
+
+
+class TestErrorHierarchy:
+    def test_everything_is_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_memory_fault_formats_address(self):
+        fault = errors.MemoryFault(0xDEAD0, "poked")
+        assert "0xdead0" in str(fault)
+        assert fault.reason == "poked"
+
+    def test_alignment_is_memory_fault(self):
+        assert issubclass(errors.AlignmentFault, errors.MemoryFault)
+
+    def test_minic_error_carries_line(self):
+        error = errors.ParseError("oops", line=12)
+        assert "line 12" in str(error)
+        assert error.line == 12
+
+    def test_subsystem_bases(self):
+        assert issubclass(errors.StackOverflow, errors.MachineError)
+        assert issubclass(errors.MonitorNotFound, errors.WmsError)
+        assert issubclass(errors.SymbolNotFound, errors.DebuggerError)
+        assert issubclass(errors.TraceFormatError, errors.PipelineError)

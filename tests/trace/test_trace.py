@@ -1,0 +1,187 @@
+"""Tests for trace events, object registry, tracer, and persistence."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.minic.compiler import compile_source
+from repro.trace import (
+    EventKind,
+    EventTrace,
+    ObjectRegistry,
+    load_trace,
+    save_trace,
+    trace_program,
+)
+
+SOURCE = """
+int g;
+int visits;
+
+int leaf(int x) {
+  int local;
+  local = x * 2;
+  visits = visits + 1;
+  return local;
+}
+
+int main() {
+  int i;
+  int *block;
+  block = malloc(8);
+  for (i = 0; i < 3; i = i + 1) {
+    g = leaf(i);
+    block[0] = g;
+  }
+  block = realloc(block, 64);
+  block[10] = 99;
+  free(block);
+  return g;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def traced():
+    return trace_program(compile_source(SOURCE, "trace-test"))
+
+
+class TestEventTrace:
+    def test_append_and_iterate(self):
+        trace = EventTrace("t")
+        trace.append_install(1, 0x100, 0x110)
+        trace.append_write(0x104, 0x108)
+        trace.append_remove(1, 0x100, 0x110)
+        events = list(trace)
+        assert events[0] == (EventKind.INSTALL, 1, 0x100, 0x110)
+        assert events[1] == (EventKind.WRITE, 0x104, 0x108, 0)
+        assert events[2] == (EventKind.REMOVE, 1, 0x100, 0x110)
+
+    def test_meta_counts(self):
+        trace = EventTrace("t")
+        trace.append_write(0, 4)
+        trace.append_write(4, 8)
+        trace.append_install(0, 0, 4)
+        assert trace.meta.n_writes == 2
+        assert trace.meta.n_installs == 1
+        trace.validate()
+
+    def test_validate_catches_corruption(self):
+        trace = EventTrace("t")
+        trace.append_write(0, 4)
+        trace.meta.n_writes = 5
+        with pytest.raises(TraceFormatError):
+            trace.validate()
+
+
+class TestObjectRegistry:
+    def test_local_descriptor_shared_across_instantiations(self):
+        registry = ObjectRegistry()
+        first = registry.local("f", "x", 4, False)
+        second = registry.local("f", "x", 4, False)
+        assert first is second
+
+    def test_distinct_functions_distinct_locals(self):
+        registry = ObjectRegistry()
+        assert registry.local("f", "x", 4, False) is not registry.local("g", "x", 4, False)
+
+    def test_heap_objects_always_fresh(self):
+        registry = ObjectRegistry()
+        first = registry.heap("f", ("main", "f"), 16)
+        second = registry.heap("f", ("main", "f"), 16)
+        assert first is not second
+        assert first.name != second.name
+
+    def test_qualified_names(self):
+        registry = ObjectRegistry()
+        assert registry.local("f", "x", 4, False).qualified_name == "f.x"
+        assert registry.global_("g", 4).qualified_name == "g"
+
+    def test_by_kind(self):
+        registry = ObjectRegistry()
+        registry.local("f", "x", 4, False)
+        registry.global_("g", 4)
+        registry.heap("f", ("f",), 8)
+        assert len(registry.by_kind("local")) == 1
+        assert len(registry.by_kind("heap")) == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TraceFormatError):
+            ObjectRegistry().by_kind("martian")
+
+
+class TestTracer:
+    def test_all_writes_recorded(self, traced):
+        trace, registry, state = traced
+        assert trace.meta.n_writes == state.stores
+
+    def test_install_remove_balanced(self, traced):
+        trace, registry, state = traced
+        assert trace.meta.n_installs == trace.meta.n_removes
+
+    def test_every_object_kind_present(self, traced):
+        trace, registry, state = traced
+        kinds = {obj.kind for obj in registry.objects}
+        assert kinds == {"local", "global", "heap"}
+
+    def test_local_installs_per_call(self, traced):
+        trace, registry, state = traced
+        leaf_local = next(
+            obj for obj in registry.objects
+            if obj.kind == "local" and obj.function == "leaf" and obj.name == "local"
+        )
+        installs = sum(
+            1 for kind, a, b, c in trace
+            if kind == EventKind.INSTALL and a == leaf_local.id
+        )
+        assert installs == 3  # leaf called three times
+
+    def test_heap_context_captured(self, traced):
+        trace, registry, state = traced
+        heap_objects = registry.by_kind("heap")
+        assert len(heap_objects) == 1  # realloc keeps identity
+        assert heap_objects[0].context == ("main",)
+
+    def test_realloc_reinstalls_same_object(self, traced):
+        trace, registry, state = traced
+        heap_id = registry.by_kind("heap")[0].id
+        installs = [
+            (b, c) for kind, a, b, c in trace
+            if kind == EventKind.INSTALL and a == heap_id
+        ]
+        assert len(installs) == 2  # original malloc + realloc move
+        assert installs[1][1] - installs[1][0] == 64
+
+    def test_window_balance_per_object(self, traced):
+        """Every install is eventually matched by a remove."""
+        trace, registry, state = traced
+        open_windows = {}
+        for kind, a, b, c in trace:
+            if kind == EventKind.INSTALL:
+                open_windows[(a, b)] = open_windows.get((a, b), 0) + 1
+            elif kind == EventKind.REMOVE:
+                open_windows[(a, b)] -= 1
+        assert all(count == 0 for count in open_windows.values())
+
+
+class TestPersistence:
+    def test_roundtrip(self, traced, tmp_path):
+        trace, registry, state = traced
+        path = tmp_path / "trace.npz"
+        save_trace(trace, registry, path)
+        loaded_trace, loaded_registry = load_trace(path)
+        assert len(loaded_trace) == len(trace)
+        assert list(loaded_trace) == list(trace)
+        assert len(loaded_registry.objects) == len(registry.objects)
+        assert loaded_trace.meta.cycles == trace.meta.cycles
+
+    def test_registry_usable_after_load(self, traced, tmp_path):
+        trace, registry, state = traced
+        path = tmp_path / "trace.npz"
+        save_trace(trace, registry, path)
+        _, loaded = load_trace(path)
+        obj = loaded.by_kind("heap")[0]
+        assert obj.context == ("main",)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_trace(tmp_path / "nope.npz")

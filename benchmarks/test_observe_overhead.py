@@ -1,0 +1,104 @@
+"""Guard: observation, when *disabled*, must not tax the engine.
+
+The observability layer's contract is that the hot layers record
+run-level summaries only — never per-event work — so the disabled path
+through :func:`repro.simulate.simulate_sessions` costs one flag check
+per call.  This benchmark enforces that contract two ways:
+
+* **structurally** — a disabled run must leave the global registry
+  untouched (catches accidental always-on recording), and an enabled run
+  must produce the documented counters;
+* **by timing** — min-of-N interleaved runs of the shipped engine with
+  observation disabled are compared against the same engine with its
+  ``observe`` binding replaced by an inert stub (the closest executable
+  stand-in for "instrumentation compiled out"); the ratio must stay
+  under 1.03, i.e. <3% disabled-path overhead.
+
+If a future change instruments the event loop itself, the timing ratio
+blows past the bound and this test fails.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import observe
+from repro.simulate import engine as engine_module
+from repro.simulate import simulate_sessions
+
+from test_engine_throughput import _build_trace
+
+N_TIMING_ROUNDS = 5
+MAX_DISABLED_OVERHEAD = 1.03
+
+
+class _InertObserve:
+    """Stand-in for the observe module with observation compiled out."""
+
+    @staticmethod
+    def is_enabled() -> bool:
+        return False
+
+
+@pytest.fixture()
+def quiet_registry():
+    """Fresh, disabled observation state; restore whatever was before."""
+    was_enabled = observe.is_enabled()
+    observe.disable()
+    observe.reset()
+    yield observe.get_registry()
+    if was_enabled:
+        observe.enable()
+    observe.reset()
+
+
+def test_disabled_run_records_nothing(quiet_registry):
+    trace, registry, sessions = _build_trace()
+    simulate_sessions(trace, registry, sessions, (4096, 8192))
+    snapshot = quiet_registry.snapshot()
+    assert snapshot["counters"] == {}
+    assert snapshot["histograms"] == {}
+    assert snapshot["spans"] == []
+
+
+def test_enabled_run_records_engine_counters(quiet_registry):
+    trace, registry, sessions = _build_trace()
+    observe.enable()
+    try:
+        result = simulate_sessions(trace, registry, sessions, (4096, 8192))
+    finally:
+        observe.disable()
+    counters = quiet_registry.snapshot()["counters"]
+    assert counters["engine.runs"] == 1
+    assert counters["engine.events"] == len(trace)
+    assert counters["engine.writes"] == result.total_writes
+    assert counters["engine.sessions_studied"] == len(result.sessions)
+    assert quiet_registry.histogram("engine.events_per_sec").count == 1
+
+
+def test_disabled_path_overhead_under_3_percent(quiet_registry, monkeypatch):
+    trace, registry, sessions = _build_trace()
+
+    def timed_run() -> float:
+        start = time.perf_counter()
+        simulate_sessions(trace, registry, sessions, (4096, 8192))
+        return time.perf_counter() - start
+
+    # Warm up allocator/caches so neither variant pays first-run costs.
+    timed_run()
+
+    disabled_times, stubbed_times = [], []
+    for _ in range(N_TIMING_ROUNDS):
+        monkeypatch.setattr(engine_module, "observe", _InertObserve)
+        stubbed_times.append(timed_run())
+        monkeypatch.setattr(engine_module, "observe", observe)
+        disabled_times.append(timed_run())
+
+    ratio = min(disabled_times) / min(stubbed_times)
+    assert ratio < MAX_DISABLED_OVERHEAD, (
+        f"disabled-path observe overhead {100 * (ratio - 1):.2f}% "
+        f"exceeds {100 * (MAX_DISABLED_OVERHEAD - 1):.0f}% "
+        f"(disabled {min(disabled_times):.4f}s vs stubbed {min(stubbed_times):.4f}s)"
+    )

@@ -147,3 +147,16 @@ class TraceFormatError(PipelineError):
 
 class SessionError(PipelineError):
     """A monitor session definition was invalid."""
+
+
+# ---------------------------------------------------------------------------
+# Observability
+# ---------------------------------------------------------------------------
+
+
+class ObservabilityError(ReproError):
+    """Base class for metrics/span/manifest errors."""
+
+
+class ManifestFormatError(ObservabilityError):
+    """A run manifest document was malformed or failed validation."""

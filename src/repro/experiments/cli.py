@@ -5,6 +5,13 @@ Examples::
     python -m repro.experiments all
     python -m repro.experiments table4 --scale smoke
     repro-experiments figures --programs gcc bps
+    repro-experiments table4 --manifest run.json --metrics
+
+``--manifest FILE`` and ``--metrics`` turn on the observability layer
+(:mod:`repro.observe`): the run executes under per-stage spans, and at
+the end a validated :class:`~repro.observe.manifest.RunManifest` JSON is
+written and/or a metrics summary is printed to stderr.  See
+``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro import observe
 from repro.experiments.breakdown import render_breakdown_report
 from repro.experiments.code_expansion import render_code_expansion_report
 from repro.experiments.figures789 import render_figures_report
@@ -57,6 +65,14 @@ def _parse_args(argv):
         "--no-cache", action="store_true", help="ignore and do not write the cache"
     )
     parser.add_argument("--quiet", action="store_true", help="suppress progress output")
+    parser.add_argument(
+        "--manifest", default=None, metavar="FILE",
+        help="enable observation and write a RunManifest JSON to FILE",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="enable observation and print a metrics summary to stderr",
+    )
     return parser.parse_args(argv)
 
 
@@ -73,40 +89,64 @@ def main(argv=None) -> int:
         use_cache=not args.no_cache,
     )
     progress = None if args.quiet else lambda msg: print(f"  .. {msg}", file=sys.stderr)
+    if args.manifest or args.metrics:
+        observe.enable()
 
     needs_data = args.target not in ("table2", "expansion")
     data = None
     if needs_data or args.target == "all":
         start = time.time()
-        data = load_experiment_data(config, progress)
+        with observe.span("pipeline"):
+            data = load_experiment_data(config, progress)
         if progress:
             progress(f"pipeline ready in {time.time() - start:.1f}s")
 
     sections = []
-    if args.target in ("table1", "all"):
-        sections.append(render_table1_report(data))
-    if args.target in ("table2", "all"):
-        sections.append(render_table2_report())
-    if args.target in ("table3", "all"):
-        sections.append(render_table3_report(data))
-    if args.target in ("table4", "all"):
-        sections.append(render_table4_report(data))
-    if args.target in ("figures", "all"):
-        sections.append(render_figures_report(data))
-    if args.target in ("breakdown", "all"):
-        sections.append(render_breakdown_report(data))
-    if args.target in ("expansion", "all"):
-        sections.append(render_code_expansion_report(data))
-    if args.target in ("hotspots", "all"):
-        sections.append(render_hotspots_report(data))
-    if args.target in ("whatif", "all"):
-        sections.append(render_whatif_report(data))
+    with observe.span("model"):
+        if args.target in ("table1", "all"):
+            sections.append(render_table1_report(data))
+        if args.target in ("table2", "all"):
+            sections.append(render_table2_report())
+        if args.target in ("table3", "all"):
+            sections.append(render_table3_report(data))
+        if args.target in ("table4", "all"):
+            sections.append(render_table4_report(data))
+        if args.target in ("figures", "all"):
+            sections.append(render_figures_report(data))
+        if args.target in ("breakdown", "all"):
+            sections.append(render_breakdown_report(data))
+        if args.target in ("expansion", "all"):
+            sections.append(render_code_expansion_report(data))
+        if args.target in ("hotspots", "all"):
+            sections.append(render_hotspots_report(data))
+        if args.target in ("whatif", "all"):
+            sections.append(render_whatif_report(data))
 
     report = ("\n\n" + "=" * 72 + "\n\n").join(sections)
     print(report)
     if args.out:
         Path(args.out).write_text(report + "\n", encoding="utf-8")
         print(f"\n[report written to {args.out}]", file=sys.stderr)
+    if args.manifest:
+        manifest = observe.RunManifest.from_registry(
+            target=args.target,
+            config={
+                "programs": list(config.programs),
+                "scale": config.scale,
+                "page_sizes": list(config.page_sizes),
+                "cache_dir": str(config.cache_dir),
+                "use_cache": config.use_cache,
+            },
+        )
+        try:
+            manifest.write(args.manifest)
+        except OSError as exc:
+            print(f"error: cannot write manifest {args.manifest}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"[manifest written to {args.manifest}]", file=sys.stderr)
+    if args.metrics:
+        print(observe.render_metrics_report(), file=sys.stderr)
     return 0
 
 

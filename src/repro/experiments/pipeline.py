@@ -4,6 +4,13 @@ Phase 1 (trace generation) is done once per program, phase 2 (the
 one-pass simulation) once per page-size set — both are cached under
 ``.repro_cache/`` keyed by a hash of the workload source and inputs, so
 re-rendering tables is cheap.
+
+When observation is on (:mod:`repro.observe`) every program runs inside
+a ``program:<name>`` span with nested ``trace``/``simulate`` stage spans
+(``compile`` comes from the workload runner), and cache traffic is
+accounted under the ``cache.trace.*`` / ``cache.sim.*`` counters plus
+note lists naming exactly which ``.repro_cache/`` entries the run read
+and wrote — the raw material of the run manifest.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Optional, Sequence, Tuple, Union
 
+from repro import observe
 from repro.errors import PipelineError
 from repro.sessions import discover_sessions
 from repro.simulate import SimulationResult, simulate_sessions
@@ -44,6 +52,7 @@ class ExperimentConfig:
     use_cache: bool = True
 
     def scale_of(self, workload: Workload) -> int:
+        """Resolve the configured scale to a concrete int for ``workload``."""
         if self.scale == "full":
             return workload.default_scale
         if self.scale == "smoke":
@@ -65,10 +74,12 @@ class ProgramData:
 
     @property
     def base_time_us(self) -> float:
+        """Uninstrumented execution time in modeled microseconds."""
         return self.meta.base_time_us
 
     @property
     def base_time_ms(self) -> float:
+        """Uninstrumented execution time in modeled milliseconds."""
         return self.meta.base_time_ms
 
 
@@ -87,10 +98,14 @@ def _trace_for(
     if config.use_cache and trace_path.exists():
         if progress:
             progress(f"[{workload.name}] loading cached trace {trace_path.name}")
+        observe.inc("cache.trace.hits")
+        observe.note("cache.trace.used", trace_path.name)
         return load_trace(trace_path)
+    observe.inc("cache.trace.misses")
     run = run_workload(workload, scale, on_progress=progress)
     if config.use_cache:
         save_trace(run.trace, run.registry, trace_path)
+        observe.note("cache.trace.written", trace_path.name)
     return run.trace, run.registry
 
 
@@ -106,23 +121,29 @@ def load_program_data(
     scale = config.scale_of(workload)
     sizes = "-".join(str(size) for size in config.page_sizes)
     sim_path = config.cache_dir / f"{_workload_key(workload, scale)}-sim-{sizes}.pkl"
-    if config.use_cache and sim_path.exists():
-        if progress:
-            progress(f"[{name}] loading cached simulation {sim_path.name}")
-        with open(sim_path, "rb") as handle:
-            payload = pickle.load(handle)
-        return ProgramData(name=name, scale=scale, **payload)
+    with observe.span(f"program:{name}"):
+        if config.use_cache and sim_path.exists():
+            if progress:
+                progress(f"[{name}] loading cached simulation {sim_path.name}")
+            observe.inc("cache.sim.hits")
+            observe.note("cache.sim.used", sim_path.name)
+            with open(sim_path, "rb") as handle:
+                payload = pickle.load(handle)
+            return ProgramData(name=name, scale=scale, **payload)
+        observe.inc("cache.sim.misses")
 
-    trace, registry = _trace_for(workload, scale, config, progress)
-    sessions = discover_sessions(registry)
-    if progress:
-        progress(f"[{name}] simulating {len(sessions)} sessions over {len(trace)} events")
-    result = simulate_sessions(trace, registry, sessions, config.page_sizes)
-    payload = {"meta": trace.meta, "registry": registry, "result": result}
-    if config.use_cache:
-        sim_path.parent.mkdir(parents=True, exist_ok=True)
-        with open(sim_path, "wb") as handle:
-            pickle.dump(payload, handle)
+        trace, registry = _trace_for(workload, scale, config, progress)
+        sessions = discover_sessions(registry)
+        if progress:
+            progress(f"[{name}] simulating {len(sessions)} sessions over {len(trace)} events")
+        with observe.span("simulate", program=name):
+            result = simulate_sessions(trace, registry, sessions, config.page_sizes)
+        payload = {"meta": trace.meta, "registry": registry, "result": result}
+        if config.use_cache:
+            sim_path.parent.mkdir(parents=True, exist_ok=True)
+            with open(sim_path, "wb") as handle:
+                pickle.dump(payload, handle)
+            observe.note("cache.sim.written", sim_path.name)
     return ProgramData(name=name, scale=scale, **payload)
 
 

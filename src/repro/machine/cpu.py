@@ -20,13 +20,20 @@ A :attr:`Cpu.tracer` hook observes function entry/exit and every completed
 write, which is how phase 1 of the experiment generates its event trace.
 
 The dispatch loop is a single ``while`` with an ``if/elif`` chain ordered
-by dynamic frequency; this is the hottest code in the repository.
+by dynamic frequency; this is the hottest code in the repository.  For
+that reason observation (:mod:`repro.observe`) records only at segment
+completion: when :meth:`Cpu.run` or :meth:`Cpu.resume` runs to normal
+completion, the instructions retired, cycles, stores, and per-kind trap
+counts of that segment are reported as deltas (``cpu.*`` counters), and
+the loop itself carries no instrumentation at all.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
+
+from repro import observe
 
 from repro.errors import (
     AlignmentFault,
@@ -245,6 +252,13 @@ class Cpu:
         n_stores = self.stores
         exit_value = None
         tracer = self.tracer
+
+        # Observation snapshots (per-segment deltas reported on completion;
+        # the dispatch loop below carries no instrumentation).
+        observing = observe.is_enabled()
+        if observing:
+            entry_cycles, entry_instr, entry_stores = cycles, n_instr, n_stores
+            entry_traps = dict(self.trap_counts)
 
         # Local opcode constants (LOAD_FAST beats LOAD_GLOBAL in the loop).
         LDI, MOV, LEAF = isa.LDI, isa.MOV, isa.LEAF
@@ -487,6 +501,15 @@ class Cpu:
                 raise InvalidInstruction(f"opcode {op} at pc={pc}")
 
         self._sync(cycles, n_instr, n_stores)
+        if observing:
+            observe.inc("cpu.runs")
+            observe.inc("cpu.instructions", self.instructions - entry_instr)
+            observe.inc("cpu.cycles", self.cycles - entry_cycles)
+            observe.inc("cpu.stores", self.stores - entry_stores)
+            for kind, count in self.trap_counts.items():
+                delta = count - entry_traps.get(kind, 0)
+                if delta:
+                    observe.inc(f"cpu.traps.{kind.value}", delta)
         return CpuState(
             exit_value=exit_value,
             instructions=self.instructions,

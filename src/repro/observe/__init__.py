@@ -1,0 +1,71 @@
+"""Observability layer: metrics, spans, and run manifests.
+
+The instrument panel for the trace->simulate->model pipeline.  Three
+pieces, all process-local and **off by default**:
+
+* :mod:`repro.observe.metrics` — a :class:`MetricsRegistry` of named
+  counters, gauges, and histograms, with module-level helpers
+  (:func:`inc`, :func:`set_gauge`, :func:`observe_value`, :func:`note`)
+  that are no-ops while observation is disabled;
+* :mod:`repro.observe.spans` — :class:`span`, a context-manager/
+  decorator for hierarchical wall-clock timing;
+* :mod:`repro.observe.manifest` — :class:`RunManifest`, one validated
+  JSON document per pipeline run (per-stage timings, event counts,
+  cache traffic, environment fingerprint).
+
+Enable with :func:`enable`, the ``REPRO_OBSERVE=1`` environment
+variable, or the CLI's ``--metrics`` / ``--manifest`` flags.  The
+disabled fast path is guarded by ``benchmarks/test_observe_overhead.py``;
+see ``docs/OBSERVABILITY.md`` for the guide and manifest schema.
+"""
+
+from repro.observe.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disable,
+    enable,
+    get_registry,
+    inc,
+    is_enabled,
+    note,
+    observe_value,
+    reset,
+    set_gauge,
+)
+from repro.observe.spans import SpanRecord, current_span_path, span
+from repro.observe.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    RunManifest,
+    environment_fingerprint,
+    load_manifest,
+    validate_manifest,
+)
+from repro.observe.report import render_manifest_summary, render_metrics_report
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MANIFEST_SCHEMA_VERSION",
+    "RunManifest",
+    "SpanRecord",
+    "current_span_path",
+    "disable",
+    "enable",
+    "environment_fingerprint",
+    "get_registry",
+    "inc",
+    "is_enabled",
+    "load_manifest",
+    "note",
+    "observe_value",
+    "render_manifest_summary",
+    "render_metrics_report",
+    "reset",
+    "set_gauge",
+    "span",
+    "validate_manifest",
+]

@@ -1,0 +1,109 @@
+"""Human-readable views of the metrics registry and run manifests.
+
+The renderers are read-only and cheap; the CLI prints them behind
+``--metrics`` and the examples use them to show where a run spent its
+time without the reader having to open the manifest JSON.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.observe.manifest import RunManifest
+from repro.observe.metrics import MetricsRegistry, get_registry
+
+
+def _rows_to_text(headers: List[str], body: List[List[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip(),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in body:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)).rstrip())
+    return "\n".join(lines)
+
+
+def render_metrics_report(registry: Optional[MetricsRegistry] = None) -> str:
+    """Everything in the registry as aligned text tables."""
+    snapshot = (registry or get_registry()).snapshot()
+    sections = ["Observability report"]
+
+    spans = snapshot["spans"]
+    if spans:
+        body = []
+        for record in spans:
+            depth = str(record["path"]).count("/")
+            body.append([
+                "  " * depth + str(record["name"]),
+                f"{float(record['duration_s']) * 1000.0:.2f}",
+                "error" if record.get("error") else "",
+            ])
+        sections.append("Spans (wall clock)\n"
+                        + _rows_to_text(["span", "ms", ""], body))
+
+    counters = snapshot["counters"]
+    if counters:
+        body = [[name, f"{value:,}"] for name, value in counters.items()]
+        sections.append("Counters\n" + _rows_to_text(["counter", "value"], body))
+
+    gauges = snapshot["gauges"]
+    if gauges:
+        body = [[name, f"{value:,}"] for name, value in gauges.items()]
+        sections.append("Gauges\n" + _rows_to_text(["gauge", "value"], body))
+
+    histograms = snapshot["histograms"]
+    if histograms:
+        body = []
+        for name, summary in histograms.items():
+            if summary.get("count", 0) == 0:
+                continue
+            body.append([
+                name,
+                str(int(summary["count"])),
+                f"{summary['mean']:,.3g}",
+                f"{summary['p50']:,.3g}",
+                f"{summary['p90']:,.3g}",
+                f"{summary['max']:,.3g}",
+            ])
+        if body:
+            sections.append(
+                "Histograms\n"
+                + _rows_to_text(["histogram", "n", "mean", "p50", "p90", "max"], body)
+            )
+
+    notes = snapshot["notes"]
+    if notes:
+        body = [[key, ", ".join(values)] for key, values in notes.items()]
+        sections.append("Notes\n" + _rows_to_text(["key", "values"], body))
+
+    if len(sections) == 1:
+        sections.append("(nothing recorded — is observation enabled?)")
+    return "\n\n".join(sections)
+
+
+def render_manifest_summary(manifest: RunManifest) -> str:
+    """A few-line digest of a manifest: stages, cache traffic, environment."""
+    lines = [
+        f"Run manifest: target={manifest.target or '-'} "
+        f"(schema v{manifest.schema_version})",
+        f"  environment: python {manifest.environment.get('python', '?')} "
+        f"on {manifest.environment.get('platform', '?')}",
+    ]
+    for program in sorted(manifest.stages):
+        stages = manifest.stages[program]
+        timing = "  ".join(
+            f"{stage}={stages[stage] * 1000.0:.1f}ms"
+            for stage in ("compile", "trace", "simulate", "model")
+            if stage in stages
+        )
+        lines.append(f"  [{program}] {timing}")
+    for kind in sorted(manifest.cache):
+        section = manifest.cache[kind]
+        lines.append(
+            f"  cache/{kind}: {section['hits']} hits, {section['misses']} misses"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Hierarchical wall-clock timing spans.
+
+A :class:`span` is a context manager *and* decorator.  Entering a span
+pushes its name onto a thread-local stack; the full path (``"/"``-joined
+names, e.g. ``pipeline/program:gcc/simulate``) makes nesting explicit in
+the flat record list without the reader having to reconstruct a tree.
+On exit, one :class:`SpanRecord` is appended to the process registry.
+
+While observation is disabled a span is inert: ``__enter__`` checks one
+flag and returns, no clock is read and nothing is recorded, so spans can
+stay in place on warm paths permanently.
+
+Usage::
+
+    with span("simulate", program="gcc"):
+        result = simulate_sessions(...)
+
+    @span("render")
+    def render_report(...): ...
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.observe import metrics as _metrics
+
+_STACK = threading.local()
+
+
+def _stack():
+    stack = getattr(_STACK, "names", None)
+    if stack is None:
+        stack = _STACK.names = []
+    return stack
+
+
+@dataclass
+class SpanRecord:
+    """One completed timed region."""
+
+    name: str
+    path: str
+    parent: str
+    start_s: float
+    duration_s: float
+    error: bool = False
+    attrs: Dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON form (what the manifest embeds)."""
+        out: Dict[str, object] = {
+            "name": self.name,
+            "path": self.path,
+            "parent": self.parent,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "error": self.error,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        return out
+
+
+class span:
+    """Time a region of code under a hierarchical name.
+
+    ``attrs`` are free-form string labels carried on the record (e.g.
+    ``program="gcc"``).  Reentrant per thread via the thread-local name
+    stack; a fresh instance should be used per ``with`` block (decorator
+    form constructs one per call).
+    """
+
+    def __init__(self, name: str, **attrs: object) -> None:
+        self.name = name
+        self.attrs = {key: str(value) for key, value in attrs.items()}
+        self._active = False
+        self._path = ""
+        self._parent = ""
+        self._start = 0.0
+
+    def __enter__(self) -> "span":
+        if not _metrics.is_enabled():
+            return self
+        stack = _stack()
+        self._parent = "/".join(stack)
+        stack.append(self.name)
+        self._path = "/".join(stack)
+        self._active = True
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._active:
+            duration = time.perf_counter() - self._start
+            self._active = False
+            stack = _stack()
+            if stack and stack[-1] == self.name:
+                stack.pop()
+            record = SpanRecord(
+                name=self.name,
+                path=self._path,
+                parent=self._parent,
+                start_s=self._start,
+                duration_s=duration,
+                error=exc_type is not None,
+                attrs=self.attrs,
+            )
+            registry = _metrics.get_registry()
+            registry.add_span(record)
+            registry.observe_value(f"span.{self.name}.seconds", duration)
+        return False
+
+    def __call__(self, fn):
+        """Decorator form: each call runs inside a fresh span."""
+        name = self.name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with span(name, **self.attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+
+def current_span_path() -> Optional[str]:
+    """The ``"/"``-joined path of the innermost open span, or ``None``."""
+    stack = _stack()
+    return "/".join(stack) if stack else None

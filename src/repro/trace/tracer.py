@@ -10,11 +10,18 @@ function statics are installed once at startup.
 :func:`trace_program` is the convenience driver: build the machine, run
 the program under a tracer, return the trace, the object registry, and
 the final CPU state.
+
+When observation is on (:mod:`repro.observe`), :meth:`Tracer.finish`
+reports the ``trace.events`` / ``trace.writes`` / ``trace.installs`` /
+``trace.removes`` / ``trace.objects_registered`` counters — once per
+run, never per event, so the per-store hooks stay uninstrumented.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
+
+from repro import observe
 
 from repro.machine.cpu import Cpu, CpuState
 from repro.machine.layout import MemoryLayout
@@ -74,6 +81,13 @@ class Tracer:
         self.trace.meta.instructions = self.cpu.instructions
         self.trace.meta.stores = self.cpu.stores
         self.trace.validate()
+        if observe.is_enabled():
+            meta = self.trace.meta
+            observe.inc("trace.events", len(self.trace))
+            observe.inc("trace.writes", meta.n_writes)
+            observe.inc("trace.installs", meta.n_installs)
+            observe.inc("trace.removes", meta.n_removes)
+            observe.inc("trace.objects_registered", len(self.registry))
         return self.trace
 
     # ------------------------------------------------------------------

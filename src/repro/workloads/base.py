@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro import observe
 from repro.errors import PipelineError
 from repro.machine.cpu import Cpu, CpuState
 from repro.machine.loader import LoadedProgram, load_program
@@ -78,7 +79,8 @@ def run_workload(
     scale = workload.default_scale if scale is None else scale
     if on_progress:
         on_progress(f"compiling {workload.name} (scale {scale})")
-    program = workload.compile(scale)
+    with observe.span("compile", program=workload.name):
+        program = workload.compile(scale)
     layout = program.layout
     image = load_program(program, layout)
     memory = Memory(layout)
@@ -92,8 +94,9 @@ def run_workload(
     runtime.heap.listeners.append(tracer)
     if on_progress:
         on_progress(f"tracing {workload.name}")
-    state = cpu.run("main", (), max_instructions)
-    trace = tracer.finish(state)
+    with observe.span("trace", program=workload.name):
+        state = cpu.run("main", (), max_instructions)
+        trace = tracer.finish(state)
     workload.check(state, runtime, scale)
     return WorkloadRun(
         workload=workload,

@@ -1,0 +1,24 @@
+"""Shared fixtures for the observability tests.
+
+Observation state is process-global, so every test in this package runs
+against a clean, *enabled* registry and restores the previous enablement
+afterwards — the rest of the suite keeps its disabled default.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import observe
+
+
+@pytest.fixture
+def observing():
+    """Enable observation on a fresh registry; restore state afterwards."""
+    was_enabled = observe.is_enabled()
+    observe.reset()
+    observe.enable()
+    yield observe.get_registry()
+    if not was_enabled:
+        observe.disable()
+    observe.reset()

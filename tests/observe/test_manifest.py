@@ -1,0 +1,112 @@
+"""Run-manifest round-trip and schema-validation tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import observe
+from repro.errors import ManifestFormatError
+from repro.observe.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    RunManifest,
+    environment_fingerprint,
+    load_manifest,
+    validate_manifest,
+)
+
+pytestmark = pytest.mark.observe
+
+
+def _populated_manifest(registry) -> RunManifest:
+    with observe.span("pipeline"):
+        with observe.span("program:gcc"):
+            with observe.span("compile", program="gcc"):
+                pass
+            with observe.span("trace", program="gcc"):
+                pass
+            with observe.span("simulate", program="gcc"):
+                pass
+    with observe.span("model"):
+        pass
+    observe.inc("cache.trace.misses")
+    observe.inc("cache.sim.hits", 2)
+    observe.note("cache.sim.used", "gcc-sim.pkl")
+    observe.set_gauge("sessions", 75)
+    return RunManifest.from_registry(
+        registry, target="table4", config={"scale": "smoke"}
+    )
+
+
+class TestRoundTrip:
+    def test_write_load_validate(self, observing, tmp_path):
+        manifest = _populated_manifest(observing)
+        path = manifest.write(tmp_path / "run.json")
+        loaded = load_manifest(path)
+        assert loaded.target == "table4"
+        assert loaded.config == {"scale": "smoke"}
+        assert loaded.schema_version == MANIFEST_SCHEMA_VERSION
+        assert loaded.counters == manifest.counters
+        assert loaded.stages == manifest.stages
+        assert loaded.cache == manifest.cache
+        assert [s["path"] for s in loaded.spans] == [s["path"] for s in manifest.spans]
+
+    def test_stages_rolled_up_per_program(self, observing):
+        manifest = _populated_manifest(observing)
+        assert set(manifest.stages["gcc"]) == {"compile", "trace", "simulate"}
+        assert set(manifest.stages["all"]) == {"model"}
+        for seconds in manifest.stages["gcc"].values():
+            assert seconds >= 0
+
+    def test_cache_section_from_counters_and_notes(self, observing):
+        manifest = _populated_manifest(observing)
+        assert manifest.cache["trace"]["misses"] == 1
+        assert manifest.cache["sim"]["hits"] == 2
+        assert manifest.cache["sim"]["used"] == ["gcc-sim.pkl"]
+
+    def test_environment_fingerprint_fields(self):
+        env = environment_fingerprint()
+        for key in ("python", "implementation", "platform", "machine", "numpy"):
+            assert env[key]
+
+
+class TestValidation:
+    def test_missing_key_rejected(self, observing):
+        data = _populated_manifest(observing).to_dict()
+        del data["spans"]
+        with pytest.raises(ManifestFormatError, match="missing keys"):
+            validate_manifest(data)
+
+    def test_wrong_schema_version_rejected(self, observing):
+        data = _populated_manifest(observing).to_dict()
+        data["schema_version"] = 99
+        with pytest.raises(ManifestFormatError, match="schema_version"):
+            validate_manifest(data)
+
+    def test_malformed_span_rejected(self, observing):
+        data = _populated_manifest(observing).to_dict()
+        data["spans"].append({"name": "truncated"})
+        with pytest.raises(ManifestFormatError, match="span"):
+            validate_manifest(data)
+
+    def test_negative_counter_rejected(self, observing):
+        data = _populated_manifest(observing).to_dict()
+        data["counters"]["bad"] = -1
+        with pytest.raises(ManifestFormatError, match="bad"):
+            validate_manifest(data)
+
+    def test_unreadable_file_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ManifestFormatError, match="cannot read"):
+            load_manifest(path)
+        with pytest.raises(ManifestFormatError):
+            load_manifest(tmp_path / "absent.json")
+
+    def test_written_file_is_stable_json(self, observing, tmp_path):
+        manifest = _populated_manifest(observing)
+        path = manifest.write(tmp_path / "run.json")
+        data = json.loads(path.read_text(encoding="utf-8"))
+        validate_manifest(data)
+        assert list(data) == sorted(data)

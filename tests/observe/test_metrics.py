@@ -1,0 +1,118 @@
+"""Unit tests for the metrics registry: counters, gauges, histograms."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import observe
+from repro.observe.metrics import MetricsRegistry
+
+pytestmark = pytest.mark.observe
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_same_name_same_counter(self):
+        registry = MetricsRegistry()
+        registry.inc("c", 2)
+        registry.inc("c", 3)
+        assert registry.counter("c").value == 5
+
+    def test_negative_increment_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("c").inc(-1)
+
+    def test_thread_safe_increments(self):
+        registry = MetricsRegistry()
+        n_threads, per_thread = 8, 10_000
+
+        def worker():
+            for _ in range(per_thread):
+                registry.inc("hot")
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter("hot").value == n_threads * per_thread
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("g", 10)
+        registry.set_gauge("g", 7)
+        assert registry.gauge("g").value == 7
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        registry = MetricsRegistry()
+        for value in [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]:
+            registry.observe_value("h", value)
+        summary = registry.histogram("h").summary()
+        assert summary["count"] == 10
+        assert summary["min"] == 1 and summary["max"] == 10
+        assert summary["mean"] == pytest.approx(5.5)
+        assert summary["total"] == pytest.approx(55)
+        assert 5 <= summary["p50"] <= 6
+        assert 9 <= summary["p90"] <= 10
+
+    def test_empty_summary_and_percentile(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        assert histogram.summary() == {"count": 0}
+        with pytest.raises(ValueError):
+            histogram.percentile(50)
+
+
+class TestModuleHelpers:
+    def test_disabled_helpers_record_nothing(self, observing):
+        observe.disable()
+        observe.inc("silent")
+        observe.set_gauge("silent_g", 1)
+        observe.observe_value("silent_h", 1)
+        observe.note("silent_n", "x")
+        snapshot = observing.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["gauges"] == {}
+        assert snapshot["histograms"] == {}
+        assert snapshot["notes"] == {}
+
+    def test_enabled_helpers_hit_the_shared_registry(self, observing):
+        observe.inc("events", 3)
+        observe.set_gauge("depth", 2)
+        observe.observe_value("latency", 0.5)
+        observe.note("cache", "a.npz")
+        snapshot = observing.snapshot()
+        assert snapshot["counters"]["events"] == 3
+        assert snapshot["gauges"]["depth"] == 2
+        assert snapshot["histograms"]["latency"]["count"] == 1
+        assert snapshot["notes"]["cache"] == ["a.npz"]
+
+    def test_snapshot_is_json_serializable(self, observing):
+        observe.inc("events")
+        observe.observe_value("latency", 1.25)
+        with observe.span("stage"):
+            pass
+        json.dumps(observing.snapshot())
+
+    def test_reset_clears_everything(self, observing):
+        observe.inc("events")
+        with observe.span("stage"):
+            pass
+        observe.reset()
+        snapshot = observing.snapshot()
+        assert snapshot["counters"] == {} and snapshot["spans"] == []

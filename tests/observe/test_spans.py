@@ -1,0 +1,87 @@
+"""Unit tests for hierarchical timing spans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import observe
+from repro.observe.spans import current_span_path, span
+
+pytestmark = pytest.mark.observe
+
+
+class TestNesting:
+    def test_paths_record_the_hierarchy(self, observing):
+        with span("outer"):
+            with span("inner"):
+                pass
+        paths = [record.path for record in observing.spans]
+        assert paths == ["outer/inner", "outer"]
+        inner, outer = observing.spans
+        assert inner.parent == "outer"
+        assert outer.parent == ""
+
+    def test_current_span_path_tracks_the_stack(self, observing):
+        assert current_span_path() is None
+        with span("a"):
+            with span("b"):
+                assert current_span_path() == "a/b"
+            assert current_span_path() == "a"
+        assert current_span_path() is None
+
+    def test_durations_are_positive_and_nested_within_parent(self, observing):
+        with span("outer"):
+            with span("inner"):
+                sum(range(1000))
+        inner, outer = observing.spans
+        assert 0 <= inner.duration_s <= outer.duration_s
+
+    def test_attrs_carried_on_the_record(self, observing):
+        with span("simulate", program="gcc"):
+            pass
+        assert observing.spans[0].attrs == {"program": "gcc"}
+
+    def test_exception_still_records_with_error_flag(self, observing):
+        with pytest.raises(RuntimeError):
+            with span("doomed"):
+                raise RuntimeError("boom")
+        record = observing.spans[0]
+        assert record.error is True
+        assert current_span_path() is None
+
+
+class TestDecorator:
+    def test_decorated_function_records_per_call(self, observing):
+        @span("work")
+        def work(x):
+            return x * 2
+
+        assert work(2) == 4
+        assert work(3) == 6
+        assert [record.name for record in observing.spans] == ["work", "work"]
+
+    def test_decorator_checks_enablement_at_call_time(self, observing):
+        @span("toggled")
+        def work():
+            return 1
+
+        observe.disable()
+        work()
+        assert observing.spans == []
+        observe.enable()
+        work()
+        assert len(observing.spans) == 1
+
+
+class TestDisabled:
+    def test_disabled_span_records_nothing(self, observing):
+        observe.disable()
+        with span("quiet"):
+            assert current_span_path() is None
+        assert observing.spans == []
+
+    def test_span_histogram_sample_recorded(self, observing):
+        with span("stage"):
+            pass
+        summary = observing.histogram("span.stage.seconds").summary()
+        assert summary["count"] == 1

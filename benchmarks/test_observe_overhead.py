@@ -25,6 +25,7 @@ import time
 import pytest
 
 from repro import observe
+from repro.observe import profile as observe_profile
 from repro.simulate import engine as engine_module
 from repro.simulate import simulate_sessions
 
@@ -61,6 +62,28 @@ def test_disabled_run_records_nothing(quiet_registry):
     assert snapshot["counters"] == {}
     assert snapshot["histograms"] == {}
     assert snapshot["spans"] == []
+
+
+def test_disabled_profiling_records_nothing(quiet_registry):
+    """The sampling profiler shares the disabled-path contract."""
+    observe_profile.disable_profiling()
+    observe_profile.reset_profile()
+    trace, registry, sessions = _build_trace()
+    simulate_sessions(trace, registry, sessions, (4096, 8192))
+    assert observe_profile.get_profiler().engine_events == {}
+
+
+def test_enabled_profiling_samples_the_event_mix(quiet_registry):
+    trace, registry, sessions = _build_trace()
+    observe_profile.enable_profiling(stride=100)
+    observe_profile.reset_profile()
+    try:
+        simulate_sessions(trace, registry, sessions, (4096, 8192))
+    finally:
+        samples = dict(observe_profile.get_profiler().engine_events)
+        observe_profile.disable_profiling()
+        observe_profile.reset_profile()
+    assert sum(samples.values()) == len(trace.kinds[::100])
 
 
 def test_enabled_run_records_engine_counters(quiet_registry):

@@ -1,4 +1,5 @@
-"""Command-line entry point: regenerate the paper's tables and figures.
+"""Command-line entry point: regenerate the paper's tables and figures,
+and drive the perf-trajectory harness.
 
 Examples::
 
@@ -7,21 +8,39 @@ Examples::
     repro-experiments figures --programs gcc bps
     repro-experiments table4 --manifest run.json --metrics
 
-``--manifest FILE`` and ``--metrics`` turn on the observability layer
+    # the perf gate in one command:
+    repro-experiments table4 --scale smoke --manifest a.json
+    repro-experiments table4 --scale smoke --manifest b.json
+    repro-experiments diff a.json b.json
+
+    # trajectory, profiling, and trace export:
+    repro-experiments table4 --history BENCH_history.json
+    repro-experiments trend --history BENCH_history.json
+    repro-experiments table4 --profile --trace-out run.trace.json
+
+``--manifest FILE``, ``--metrics``, ``--history FILE``, ``--profile``,
+and ``--trace-out FILE`` all turn on the observability layer
 (:mod:`repro.observe`): the run executes under per-stage spans, and at
 the end a validated :class:`~repro.observe.manifest.RunManifest` JSON is
-written and/or a metrics summary is printed to stderr.  See
-``docs/OBSERVABILITY.md``.
+written, a metrics/profile summary is printed to stderr, a history
+record is appended, and/or a Chrome trace-event JSON is exported.
+
+``diff A.json B.json`` compares two manifests with per-family
+thresholds and exits non-zero on regression (``--report-only`` to
+disable the gate); ``trend --history FILE`` renders the benchmark
+trajectory.  See ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
 
 from repro import observe
+from repro.errors import ManifestFormatError
 from repro.experiments.breakdown import render_breakdown_report
 from repro.experiments.code_expansion import render_code_expansion_report
 from repro.experiments.figures789 import render_figures_report
@@ -32,11 +51,15 @@ from repro.experiments.table2 import render_table2_report
 from repro.experiments.table3 import render_table3_report
 from repro.experiments.table4 import render_table4_report
 from repro.experiments.whatif import render_whatif_report
+from repro.observe.diff import DiffThresholds, diff_manifests, render_diff_report
 
 _TARGETS = (
     "table1", "table2", "table3", "table4",
     "figures", "breakdown", "expansion", "hotspots", "whatif", "all",
 )
+
+#: Harness subcommands with their own argument shapes.
+_HARNESS_TARGETS = ("diff", "trend")
 
 
 def _parse_args(argv):
@@ -44,6 +67,10 @@ def _parse_args(argv):
         prog="repro-experiments",
         description="Reproduce the tables and figures of 'Efficient Data "
         "Breakpoints' (Wahbe, ASPLOS 1992).",
+        epilog="Harness subcommands: 'repro-experiments diff A.json B.json' "
+        "compares two run manifests (non-zero exit on regression); "
+        "'repro-experiments trend --history FILE' renders the benchmark "
+        "trajectory.  See docs/OBSERVABILITY.md.",
     )
     parser.add_argument("target", choices=_TARGETS, help="what to regenerate")
     parser.add_argument(
@@ -73,12 +100,132 @@ def _parse_args(argv):
         "--metrics", action="store_true",
         help="enable observation and print a metrics summary to stderr",
     )
+    parser.add_argument(
+        "--history", default=None, metavar="FILE",
+        help="enable observation and append a trajectory record to FILE "
+        "(JSON Lines; see 'trend')",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="enable the 1-in-N sampling profiler and print the top-N "
+        "opcode/event report to stderr",
+    )
+    parser.add_argument(
+        "--profile-stride", type=int, default=observe.DEFAULT_SAMPLE_STRIDE,
+        metavar="N", help="sample 1 in N instructions/events (with --profile)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="enable observation and export the run's spans as Chrome "
+        "trace-event JSON (Perfetto / chrome://tracing)",
+    )
     return parser.parse_args(argv)
+
+
+def _parse_diff_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments diff",
+        description="Compare two RunManifest JSONs and report regressions. "
+        "Exits 1 when a metric regressed past threshold (the perf gate), "
+        "0 otherwise; 2 on unreadable/invalid manifests.",
+    )
+    parser.add_argument("before", help="baseline manifest JSON")
+    parser.add_argument("after", help="candidate manifest JSON")
+    parser.add_argument(
+        "--fail-on-regression", dest="fail_on_regression",
+        action="store_true", default=True,
+        help="exit non-zero when a regression is found (the default)",
+    )
+    parser.add_argument(
+        "--report-only", dest="fail_on_regression", action="store_false",
+        help="always exit 0; just print the report",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable verdict JSON instead of the text report",
+    )
+    parser.add_argument(
+        "--stage-rel", type=float, default=DiffThresholds.stage_rel,
+        metavar="FRAC", help="relative stage-timing threshold (default %(default)s)",
+    )
+    parser.add_argument(
+        "--stage-abs-ms", type=float, default=DiffThresholds.stage_abs_s * 1000.0,
+        metavar="MS", help="absolute stage-timing noise floor in ms "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--eps-rel", type=float, default=DiffThresholds.eps_rel,
+        metavar="FRAC", help="relative engine events/sec threshold "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--hit-rate-abs", type=float, default=DiffThresholds.cache_hit_rate_abs,
+        metavar="FRAC", help="absolute cache hit-rate drop threshold "
+        "(default %(default)s)",
+    )
+    return parser.parse_args(argv)
+
+
+def _diff_main(argv) -> int:
+    args = _parse_diff_args(argv)
+    thresholds = DiffThresholds(
+        stage_rel=args.stage_rel,
+        stage_abs_s=args.stage_abs_ms / 1000.0,
+        eps_rel=args.eps_rel,
+        cache_hit_rate_abs=args.hit_rate_abs,
+    )
+    try:
+        before = observe.load_manifest(args.before)
+        after = observe.load_manifest(args.after)
+    except ManifestFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_manifests(before, after, thresholds)
+    if args.json:
+        print(json.dumps(diff.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_diff_report(diff))
+    if diff.regressions and args.fail_on_regression:
+        return 1
+    return 0
+
+
+def _parse_trend_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments trend",
+        description="Render the benchmark trajectory stored by --history.",
+    )
+    parser.add_argument(
+        "--history", default=observe.DEFAULT_HISTORY_FILE, metavar="FILE",
+        help="history file to read (default %(default)s)",
+    )
+    parser.add_argument(
+        "--metric", default="total_stage_seconds",
+        help="dotted headline metric, e.g. total_stage_seconds, "
+        "stage_seconds.simulate, engine_events_per_sec (default %(default)s)",
+    )
+    return parser.parse_args(argv)
+
+
+def _trend_main(argv) -> int:
+    args = _parse_trend_args(argv)
+    try:
+        records = observe.load_history(args.history)
+    except ManifestFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(observe.render_trend(records, metric=args.metric))
+    return 0
 
 
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = _parse_args(argv if argv is not None else sys.argv[1:])
+    argv = list(argv if argv is not None else sys.argv[1:])
+    if argv and argv[0] == "diff":
+        return _diff_main(argv[1:])
+    if argv and argv[0] == "trend":
+        return _trend_main(argv[1:])
+    args = _parse_args(argv)
     scale = args.scale
     if scale not in ("full", "smoke"):
         scale = int(scale)
@@ -89,8 +236,18 @@ def main(argv=None) -> int:
         use_cache=not args.no_cache,
     )
     progress = None if args.quiet else lambda msg: print(f"  .. {msg}", file=sys.stderr)
-    if args.manifest or args.metrics:
+    observing = bool(
+        args.manifest or args.metrics or args.history
+        or args.profile or args.trace_out
+    )
+    if observing:
+        # Fresh registry, span stacks, and profiles per invocation so
+        # one manifest describes exactly one run even when the CLI is
+        # driven twice in the same process (tests, notebooks).
+        observe.reset()
         observe.enable()
+    if args.profile:
+        observe.enable_profiling(args.profile_stride)
 
     needs_data = args.target not in ("table2", "expansion")
     data = None
@@ -127,7 +284,9 @@ def main(argv=None) -> int:
     if args.out:
         Path(args.out).write_text(report + "\n", encoding="utf-8")
         print(f"\n[report written to {args.out}]", file=sys.stderr)
-    if args.manifest:
+
+    manifest = None
+    if args.manifest or args.history:
         manifest = observe.RunManifest.from_registry(
             target=args.target,
             config={
@@ -138,6 +297,7 @@ def main(argv=None) -> int:
                 "use_cache": config.use_cache,
             },
         )
+    if args.manifest:
         try:
             manifest.write(args.manifest)
         except OSError as exc:
@@ -145,8 +305,28 @@ def main(argv=None) -> int:
                   file=sys.stderr)
             return 1
         print(f"[manifest written to {args.manifest}]", file=sys.stderr)
+    if args.history:
+        try:
+            record = observe.append_record(args.history, manifest)
+        except OSError as exc:
+            print(f"error: cannot append history {args.history}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"[history record {record.manifest_digest} appended to "
+              f"{args.history}]", file=sys.stderr)
+    if args.trace_out:
+        try:
+            observe.write_chrome_trace(args.trace_out, process_name=args.target)
+        except OSError as exc:
+            print(f"error: cannot write trace {args.trace_out}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"[chrome trace written to {args.trace_out} — load it in "
+              f"https://ui.perfetto.dev or chrome://tracing]", file=sys.stderr)
     if args.metrics:
         print(observe.render_metrics_report(), file=sys.stderr)
+    if args.profile:
+        print(observe.render_profile_report(), file=sys.stderr)
     return 0
 
 

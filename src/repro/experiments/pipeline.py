@@ -7,10 +7,12 @@ re-rendering tables is cheap.
 
 When observation is on (:mod:`repro.observe`) every program runs inside
 a ``program:<name>`` span with nested ``trace``/``simulate`` stage spans
-(``compile`` comes from the workload runner), and cache traffic is
-accounted under the ``cache.trace.*`` / ``cache.sim.*`` counters plus
-note lists naming exactly which ``.repro_cache/`` entries the run read
-and wrote — the raw material of the run manifest.
+(``compile`` comes from the workload runner), cache loads run inside
+``cache_load`` spans (so warm runs still draw a timeline in trace
+exports), and cache traffic is accounted under the ``cache.trace.*`` /
+``cache.sim.*`` counters plus note lists naming exactly which
+``.repro_cache/`` entries the run read and wrote — the raw material of
+the run manifest.
 """
 
 from __future__ import annotations
@@ -100,7 +102,11 @@ def _trace_for(
             progress(f"[{workload.name}] loading cached trace {trace_path.name}")
         observe.inc("cache.trace.hits")
         observe.note("cache.trace.used", trace_path.name)
-        return load_trace(trace_path)
+        # Cache loads get their own span so warm runs (whose compile/
+        # trace/simulate stages vanish) still produce a useful timeline
+        # in ``--trace-out`` exports.
+        with observe.span("cache_load", program=workload.name, kind="trace"):
+            return load_trace(trace_path)
     observe.inc("cache.trace.misses")
     run = run_workload(workload, scale, on_progress=progress)
     if config.use_cache:
@@ -127,8 +133,9 @@ def load_program_data(
                 progress(f"[{name}] loading cached simulation {sim_path.name}")
             observe.inc("cache.sim.hits")
             observe.note("cache.sim.used", sim_path.name)
-            with open(sim_path, "rb") as handle:
-                payload = pickle.load(handle)
+            with observe.span("cache_load", program=name, kind="sim"):
+                with open(sim_path, "rb") as handle:
+                    payload = pickle.load(handle)
             return ProgramData(name=name, scale=scale, **payload)
         observe.inc("cache.sim.misses")
 

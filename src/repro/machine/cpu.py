@@ -26,6 +26,12 @@ completion: when :meth:`Cpu.run` or :meth:`Cpu.resume` runs to normal
 completion, the instructions retired, cycles, stores, and per-kind trap
 counts of that segment are reported as deltas (``cpu.*`` counters), and
 the loop itself carries no instrumentation at all.
+
+The sampling profiler (:mod:`repro.observe.profile`) rides the same
+rule: its 1-in-N opcode sampling reuses the instruction-budget
+comparison the loop already performs, so with profiling disabled the
+loop is unchanged and with it enabled the only extra work is one dict
+update per N instructions.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro import observe
+from repro.observe import profile as observe_profile
 
 from repro.errors import (
     AlignmentFault,
@@ -260,6 +267,20 @@ class Cpu:
             entry_cycles, entry_instr, entry_stores = cycles, n_instr, n_stores
             entry_traps = dict(self.trap_counts)
 
+        # Sampling profiler (repro.observe.profile): piggybacks on the
+        # instruction-budget comparison the loop already makes.  With
+        # profiling off, ``budget_check`` *is* ``max_instructions`` and
+        # the loop is identical to the unprofiled one; with profiling on,
+        # the checkpoint fires every ``profile_stride`` instructions,
+        # records the opcode in flight, and re-arms.
+        profile_stride = observe_profile.cpu_sample_stride()
+        if profile_stride:
+            opcode_samples: Optional[Dict[int, int]] = {}
+            budget_check = min(max_instructions, n_instr + profile_stride)
+        else:
+            opcode_samples = None
+            budget_check = max_instructions
+
         # Local opcode constants (LOAD_FAST beats LOAD_GLOBAL in the loop).
         LDI, MOV, LEAF = isa.LDI, isa.MOV, isa.LEAF
         ADD, SUB, MUL, DIV, MOD = isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.MOD
@@ -279,9 +300,12 @@ class Cpu:
             op = instr[0]
             cycles += cost[op]
             n_instr += 1
-            if n_instr > max_instructions:
-                self.cycles, self.instructions, self.stores = cycles, n_instr, n_stores
-                raise CpuLimitExceeded(f"exceeded {max_instructions} instructions")
+            if n_instr > budget_check:
+                if n_instr > max_instructions:
+                    self.cycles, self.instructions, self.stores = cycles, n_instr, n_stores
+                    raise CpuLimitExceeded(f"exceeded {max_instructions} instructions")
+                opcode_samples[op] = opcode_samples.get(op, 0) + 1
+                budget_check = min(max_instructions, n_instr + profile_stride)
 
             if op == LD:
                 addr = regs[instr[2]] + instr[3]
@@ -501,6 +525,10 @@ class Cpu:
                 raise InvalidInstruction(f"opcode {op} at pc={pc}")
 
         self._sync(cycles, n_instr, n_stores)
+        if opcode_samples:
+            # Flush the segment's opcode samples (sampling mirrors the
+            # counter contract: recorded at normal segment completion).
+            observe_profile.get_profiler().record_cpu(opcode_samples)
         if observing:
             observe.inc("cpu.runs")
             observe.inc("cpu.instructions", self.instructions - entry_instr)

@@ -1,7 +1,7 @@
-"""Observability layer: metrics, spans, and run manifests.
+"""Observability layer: metrics, spans, manifests, and the perf harness.
 
-The instrument panel for the trace->simulate->model pipeline.  Three
-pieces, all process-local and **off by default**:
+The instrument panel for the trace->simulate->model pipeline.  All
+process-local and **off by default**:
 
 * :mod:`repro.observe.metrics` — a :class:`MetricsRegistry` of named
   counters, gauges, and histograms, with module-level helpers
@@ -11,12 +11,21 @@ pieces, all process-local and **off by default**:
   decorator for hierarchical wall-clock timing;
 * :mod:`repro.observe.manifest` — :class:`RunManifest`, one validated
   JSON document per pipeline run (per-stage timings, event counts,
-  cache traffic, environment fingerprint).
+  cache traffic, environment fingerprint);
+* :mod:`repro.observe.diff` — structural before/after manifest diffing
+  with per-family thresholds and a machine-readable verdict;
+* :mod:`repro.observe.history` — the append-only ``BENCH_history.json``
+  trajectory store and its trend renderer;
+* :mod:`repro.observe.profile` — a 1-in-N sampling profiler for the CPU
+  dispatch loop and simulation engine hot paths;
+* :mod:`repro.observe.traceview` — Chrome trace-event JSON export of
+  completed span trees (Perfetto / ``chrome://tracing``).
 
 Enable with :func:`enable`, the ``REPRO_OBSERVE=1`` environment
-variable, or the CLI's ``--metrics`` / ``--manifest`` flags.  The
-disabled fast path is guarded by ``benchmarks/test_observe_overhead.py``;
-see ``docs/OBSERVABILITY.md`` for the guide and manifest schema.
+variable, or the CLI's ``--metrics`` / ``--manifest`` / ``--profile`` /
+``--trace-out`` / ``--history`` flags.  The disabled fast path is
+guarded by ``benchmarks/test_observe_overhead.py``; see
+``docs/OBSERVABILITY.md`` for the guide and schemas.
 """
 
 from repro.observe.metrics import (
@@ -31,6 +40,7 @@ from repro.observe.metrics import (
     is_enabled,
     note,
     observe_value,
+    register_reset_hook,
     reset,
     set_gauge,
 )
@@ -43,29 +53,77 @@ from repro.observe.manifest import (
     validate_manifest,
 )
 from repro.observe.report import render_manifest_summary, render_metrics_report
+from repro.observe.diff import (
+    DiffEntry,
+    DiffThresholds,
+    ManifestDiff,
+    diff_manifests,
+    render_diff_report,
+)
+from repro.observe.history import (
+    DEFAULT_HISTORY_FILE,
+    HISTORY_SCHEMA_VERSION,
+    HistoryRecord,
+    append_record,
+    load_history,
+    render_trend,
+)
+from repro.observe.profile import (
+    DEFAULT_SAMPLE_STRIDE,
+    SampleProfile,
+    disable_profiling,
+    enable_profiling,
+    get_profiler,
+    is_profiling,
+    render_profile_report,
+    reset_profile,
+)
+from repro.observe.traceview import spans_to_trace_events, write_chrome_trace
 
 __all__ = [
     "Counter",
+    "DEFAULT_HISTORY_FILE",
+    "DEFAULT_SAMPLE_STRIDE",
+    "DiffEntry",
+    "DiffThresholds",
     "Gauge",
+    "HISTORY_SCHEMA_VERSION",
     "Histogram",
+    "HistoryRecord",
+    "ManifestDiff",
     "MetricsRegistry",
     "MANIFEST_SCHEMA_VERSION",
     "RunManifest",
+    "SampleProfile",
     "SpanRecord",
+    "append_record",
     "current_span_path",
+    "diff_manifests",
     "disable",
+    "disable_profiling",
     "enable",
+    "enable_profiling",
     "environment_fingerprint",
+    "get_profiler",
     "get_registry",
     "inc",
     "is_enabled",
+    "is_profiling",
+    "load_history",
     "load_manifest",
     "note",
     "observe_value",
+    "register_reset_hook",
+    "render_diff_report",
     "render_manifest_summary",
     "render_metrics_report",
+    "render_profile_report",
+    "render_trend",
     "reset",
+    "reset_profile",
     "set_gauge",
     "span",
+    "spans_to_trace_events",
     "validate_manifest",
+    "write_chrome_trace",
 ]

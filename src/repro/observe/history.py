@@ -1,0 +1,217 @@
+"""Append-only benchmark trajectory store.
+
+A single :class:`~repro.observe.manifest.RunManifest` answers "what did
+*this* run do"; the history file answers "how has that been trending".
+:func:`append_record` distills a manifest into one compact
+:class:`HistoryRecord` — manifest digest, environment digest, and the
+headline numbers a perf gate cares about — and appends it as one JSON
+line to ``BENCH_history.json``.  The file is **append-only**: records
+are never rewritten, a crashed run can at worst leave a truncated final
+line (which :func:`load_history` skips with a warning count), and two
+racing appends interleave whole lines on POSIX (``O_APPEND``).
+
+Headline numbers per record:
+
+* ``total_stage_seconds`` — wall clock summed over every program's
+  ``compile``/``trace``/``simulate``/``model`` stage;
+* ``stage_seconds`` — the same, per stage (summed across programs);
+* ``engine_events_per_sec`` — mean of the engine throughput histogram
+  (``null`` if the engine never ran, e.g. a fully cache-hit run);
+* ``cache_hit_rate`` — per cache kind, ``null`` when untouched.
+
+:func:`render_trend` renders the trajectory as a table with an ASCII
+bar per run, so ``repro-experiments trend --history BENCH_history.json``
+shows a regression the moment it lands.  The CLI appends a record after
+any run invoked with ``--history FILE`` (see ``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.errors import ManifestFormatError
+from repro.observe.manifest import RunManifest
+
+#: Bump when a record field is added/renamed; the loader checks it.
+HISTORY_SCHEMA_VERSION = 1
+
+#: Default history file name (JSON Lines: one record object per line).
+DEFAULT_HISTORY_FILE = "BENCH_history.json"
+
+
+def _headline(manifest: RunManifest) -> Dict[str, object]:
+    stage_seconds: Dict[str, float] = {}
+    for stages in manifest.stages.values():
+        for stage, seconds in stages.items():
+            stage_seconds[stage] = stage_seconds.get(stage, 0.0) + seconds
+    eps = manifest.histograms.get("engine.events_per_sec", {})
+    cache_hit_rate: Dict[str, Optional[float]] = {}
+    for kind, section in manifest.cache.items():
+        total = int(section.get("hits", 0)) + int(section.get("misses", 0))
+        cache_hit_rate[kind] = (
+            int(section.get("hits", 0)) / total if total else None
+        )
+    return {
+        "total_stage_seconds": sum(stage_seconds.values()),
+        "stage_seconds": stage_seconds,
+        "engine_events_per_sec": (
+            float(eps["mean"]) if eps.get("count") else None
+        ),
+        "cache_hit_rate": cache_hit_rate,
+    }
+
+
+def _env_digest(environment: Dict[str, str]) -> str:
+    import hashlib
+
+    canonical = json.dumps(environment, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass
+class HistoryRecord:
+    """One benchmark run in the trajectory."""
+
+    timestamp: str
+    target: str
+    manifest_digest: str
+    env_digest: str
+    headline: Dict[str, object] = field(default_factory=dict)
+    schema_version: int = HISTORY_SCHEMA_VERSION
+
+    @classmethod
+    def from_manifest(
+        cls, manifest: RunManifest, timestamp: Optional[float] = None
+    ) -> "HistoryRecord":
+        """Distill ``manifest`` into one trajectory record."""
+        when = time.time() if timestamp is None else timestamp
+        return cls(
+            timestamp=datetime.fromtimestamp(when, tz=timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            target=manifest.target,
+            manifest_digest=manifest.digest(),
+            env_digest=_env_digest(manifest.environment),
+            headline=_headline(manifest),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema_version": self.schema_version,
+            "timestamp": self.timestamp,
+            "target": self.target,
+            "manifest_digest": self.manifest_digest,
+            "env_digest": self.env_digest,
+            "headline": self.headline,
+        }
+
+    def headline_value(self, metric: str) -> Optional[float]:
+        """A dotted headline metric, e.g. ``stage_seconds.simulate``."""
+        node: object = self.headline
+        for part in metric.split("."):
+            if not isinstance(node, dict) or part not in node:
+                return None
+            node = node[part]
+        return float(node) if isinstance(node, (int, float)) else None
+
+
+def append_record(
+    path: Union[str, Path],
+    manifest: RunManifest,
+    timestamp: Optional[float] = None,
+) -> HistoryRecord:
+    """Append one record for ``manifest`` to the history file at ``path``."""
+    record = HistoryRecord.from_manifest(manifest, timestamp)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+    return record
+
+
+def load_history(path: Union[str, Path]) -> List[HistoryRecord]:
+    """Read every well-formed record from the history file, oldest first.
+
+    A truncated final line (crashed writer) is skipped silently; a line
+    that parses but does not fit the record schema raises
+    :class:`~repro.errors.ManifestFormatError`, because that means the
+    file is not a history file at all.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    records: List[HistoryRecord] = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                continue  # torn final line from an interrupted append
+            raise ManifestFormatError(
+                f"history {path}: line {index + 1} is not JSON"
+            )
+        if not isinstance(data, dict) or "manifest_digest" not in data:
+            raise ManifestFormatError(
+                f"history {path}: line {index + 1} is not a history record"
+            )
+        if data.get("schema_version") != HISTORY_SCHEMA_VERSION:
+            raise ManifestFormatError(
+                f"history {path}: line {index + 1} has unsupported "
+                f"schema_version {data.get('schema_version')!r}"
+            )
+        records.append(HistoryRecord(
+            timestamp=str(data.get("timestamp", "")),
+            target=str(data.get("target", "")),
+            manifest_digest=str(data["manifest_digest"]),
+            env_digest=str(data.get("env_digest", "")),
+            headline=dict(data.get("headline", {})),
+        ))
+    return records
+
+
+def render_trend(
+    records: List[HistoryRecord],
+    metric: str = "total_stage_seconds",
+    width: int = 30,
+) -> str:
+    """The trajectory of one headline ``metric`` as a text table.
+
+    Each row shows the run's timestamp, target, digest, value, the
+    change versus the previous run, and a bar scaled to the largest
+    value in the series.
+    """
+    lines = [f"Benchmark trend — {metric} ({len(records)} run(s))"]
+    if not records:
+        lines.append("  (history is empty)")
+        return "\n".join(lines)
+    values = [record.headline_value(metric) for record in records]
+    known = [value for value in values if value is not None]
+    peak = max(known) if known else 0.0
+    previous: Optional[float] = None
+    for record, value in zip(records, values):
+        if value is None:
+            bar, shown, delta = "", "-", ""
+        else:
+            n_cells = round(width * value / peak) if peak > 0 else 0
+            bar = "#" * max(n_cells, 1 if value > 0 else 0)
+            shown = f"{value:,.4g}"
+            if previous not in (None, 0):
+                change = 100.0 * (value - previous) / previous
+                delta = f"{change:+.1f}%"
+            else:
+                delta = ""
+            previous = value
+        lines.append(
+            f"  {record.timestamp:<25} {record.target:<10} "
+            f"{record.manifest_digest:<12} {shown:>12} {delta:>8}  {bar}"
+        )
+    return "\n".join(lines)

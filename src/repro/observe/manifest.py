@@ -13,6 +13,7 @@ one this module wrote.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import platform
 import sys
@@ -146,6 +147,16 @@ class RunManifest:
             "stages": self.stages,
             "cache": self.cache,
         }
+
+    def digest(self) -> str:
+        """Short content address of the manifest (sha256 of canonical JSON).
+
+        Two manifests with identical content — spans, counters,
+        environment, everything — share a digest; any difference changes
+        it.  The history store uses this to identify runs.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True, default=str)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
 
     def write(self, path: Union[str, Path]) -> Path:
         """Validate and write the manifest JSON to ``path``."""

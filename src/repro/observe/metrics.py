@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import os
 import threading
-from typing import Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Union
 
 Number = Union[int, float]
 
@@ -87,7 +87,7 @@ class Histogram:
         return ordered[rank]
 
     def summary(self) -> Dict[str, float]:
-        """count/min/max/mean/p50/p90/total of the observations."""
+        """count/min/max/mean/p50/p90/p95/p99/total of the observations."""
         if not self.values:
             return {"count": 0}
         return {
@@ -97,6 +97,8 @@ class Histogram:
             "mean": sum(self.values) / len(self.values),
             "p50": self.percentile(50),
             "p90": self.percentile(90),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
             "total": sum(self.values),
         }
 
@@ -229,9 +231,24 @@ def get_registry() -> MetricsRegistry:
     return _REGISTRY
 
 
+#: Callbacks run by :func:`reset` so sibling modules (span stacks,
+#: sampling profiles) clear their own process state alongside the
+#: registry without this module importing them (they import us).
+_RESET_HOOKS: List[Callable[[], None]] = []
+
+
+def register_reset_hook(hook: Callable[[], None]) -> None:
+    """Run ``hook`` on every :func:`reset` (idempotent per function)."""
+    if hook not in _RESET_HOOKS:
+        _RESET_HOOKS.append(hook)
+
+
 def reset() -> None:
-    """Clear the process-wide registry (does not change enablement)."""
+    """Clear the process-wide registry *and* sibling observation state
+    (open-span stacks, sampling profiles); enablement is unchanged."""
     _REGISTRY.reset()
+    for hook in _RESET_HOOKS:
+        hook()
 
 
 # -- no-op-when-disabled recording helpers (the instrumented call sites) ----

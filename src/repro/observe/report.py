@@ -61,18 +61,25 @@ def render_metrics_report(registry: Optional[MetricsRegistry] = None) -> str:
         for name, summary in histograms.items():
             if summary.get("count", 0) == 0:
                 continue
+            # Manifests written before p95/p99 existed lack those keys;
+            # fall back to the nearest coarser percentile for display.
+            p95 = summary.get("p95", summary.get("p90", summary["max"]))
+            p99 = summary.get("p99", summary["max"])
             body.append([
                 name,
                 str(int(summary["count"])),
                 f"{summary['mean']:,.3g}",
                 f"{summary['p50']:,.3g}",
-                f"{summary['p90']:,.3g}",
+                f"{p95:,.3g}",
+                f"{p99:,.3g}",
                 f"{summary['max']:,.3g}",
             ])
         if body:
             sections.append(
                 "Histograms\n"
-                + _rows_to_text(["histogram", "n", "mean", "p50", "p90", "max"], body)
+                + _rows_to_text(
+                    ["histogram", "n", "mean", "p50", "p95", "p99", "max"], body
+                )
             )
 
     notes = snapshot["notes"]

@@ -131,3 +131,24 @@ def current_span_path() -> Optional[str]:
     """The ``"/"``-joined path of the innermost open span, or ``None``."""
     stack = _stack()
     return "/".join(stack) if stack else None
+
+
+def _reset_thread_state() -> None:
+    """Drop every thread's open-span stack.
+
+    Spans abandoned without ``__exit__`` (a generator garbage-collected
+    mid-iteration, ``os._exit``-style teardown, a test harness that
+    failed between enter and exit) would otherwise leave their names on
+    the stack forever, and every later span in that thread would inherit
+    a stale path prefix.  Replacing the whole ``threading.local`` clears
+    all threads at once; an in-flight span that does exit afterwards is
+    safe because ``__exit__`` only pops when the top of the (now fresh)
+    stack matches its own name.
+    """
+    global _STACK
+    _STACK = threading.local()
+
+
+# observe.reset() clears the span stacks along with the registry, so
+# back-to-back pipeline runs in one process start from a clean path.
+_metrics.register_reset_hook(_reset_thread_state)

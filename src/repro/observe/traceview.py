@@ -1,0 +1,98 @@
+"""Export completed span trees as Chrome trace-event JSON.
+
+The span list in a registry snapshot or a manifest is flat; loading it
+into Perfetto (https://ui.perfetto.dev) or ``chrome://tracing`` turns it
+back into the timeline the spans describe.  The exporter emits the
+trace-event format's JSON-object form::
+
+    {"traceEvents": [...], "displayTimeUnit": "ms"}
+
+using complete ("ph": "X") events — one per span, with microsecond
+``ts``/``dur``.  Span ``start_s`` values come from ``time.perf_counter``
+(monotonic, arbitrary epoch), so timestamps are re-based to the earliest
+span in the export; viewers only care about relative placement.  Spans
+from one thread nest strictly in time (the span stack guarantees it), so
+all events share one track and the viewer reconstructs the tree from
+containment.
+
+Use :func:`write_chrome_trace` directly, or the CLI's ``--trace-out
+FILE`` flag which exports whatever the run's spans were (see
+``docs/OBSERVABILITY.md`` for a worked walkthrough).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.observe.metrics import get_registry
+from repro.observe.spans import SpanRecord
+
+_SpanLike = Union[SpanRecord, Dict[str, object]]
+
+#: Synthetic pid/tid for the single-process, per-thread span model.
+_PID = 1
+_TID = 1
+
+
+def _as_dict(span: _SpanLike) -> Dict[str, object]:
+    return span.to_dict() if isinstance(span, SpanRecord) else span
+
+
+def spans_to_trace_events(
+    spans: Iterable[_SpanLike],
+    process_name: str = "repro",
+) -> Dict[str, object]:
+    """Convert span records (objects or manifest dicts) to a trace doc."""
+    dicts = [_as_dict(span) for span in spans]
+    base_s = min(
+        (float(d.get("start_s", 0.0)) for d in dicts), default=0.0
+    )
+    events: List[Dict[str, object]] = [
+        {
+            "ph": "M",
+            "pid": _PID,
+            "tid": _TID,
+            "name": "process_name",
+            "args": {"name": process_name},
+        },
+    ]
+    for d in dicts:
+        path = str(d.get("path", "")) or str(d.get("name", ""))
+        args: Dict[str, object] = {"path": path}
+        attrs = d.get("attrs")
+        if isinstance(attrs, dict):
+            args.update(attrs)
+        if d.get("error"):
+            args["error"] = True
+        events.append({
+            "ph": "X",
+            "pid": _PID,
+            "tid": _TID,
+            "name": str(d.get("name", "?")),
+            "cat": path.split("/", 1)[0],
+            "ts": (float(d.get("start_s", 0.0)) - base_s) * 1e6,
+            "dur": float(d.get("duration_s", 0.0)) * 1e6,
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: Union[str, Path],
+    spans: Optional[Iterable[_SpanLike]] = None,
+    process_name: str = "repro",
+) -> Path:
+    """Write the trace JSON for ``spans`` (default: the process registry).
+
+    Returns the path written.  The file loads directly in Perfetto or
+    ``chrome://tracing``.
+    """
+    if spans is None:
+        spans = get_registry().snapshot()["spans"]
+    document = spans_to_trace_events(spans, process_name=process_name)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=1) + "\n", encoding="utf-8")
+    return path

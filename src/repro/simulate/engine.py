@@ -41,6 +41,9 @@ an ``engine.events_per_sec`` histogram sample.  Nothing is recorded per
 event — the single pass above stays untouched — so these counters obey
 their own invariant: with observation disabled the engine does O(1)
 extra work per call (guarded by ``benchmarks/test_observe_overhead.py``).
+The sampling profiler (:mod:`repro.observe.profile`) follows the same
+rule: when enabled it samples the packed event-kind column 1-in-N
+*after* the pass; when disabled it costs one function call per run.
 """
 
 from __future__ import annotations
@@ -50,6 +53,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
 from repro import observe
+from repro.observe import profile as observe_profile
 from repro.errors import PipelineError
 from repro.sessions.types import SessionDef
 from repro.simulate.counting import CountingVariables, VmPageCounts
@@ -264,4 +268,15 @@ def simulate_sessions(
         observe.inc("engine.sessions_discarded", result.n_discarded)
         if elapsed > 0:
             observe.observe_value("engine.events_per_sec", n_events / elapsed)
+
+    # Sampling profiler: a 1-in-N systematic sample of the event-kind
+    # mix, taken from the packed ``kinds`` column *after* the pass, so
+    # the event loop above is never touched.  Disabled cost: one call.
+    profile_stride = observe_profile.engine_sample_stride()
+    if profile_stride:
+        event_samples: Dict[int, int] = {}
+        for kind in trace.kinds[::profile_stride]:
+            event_samples[kind] = event_samples.get(kind, 0) + 1
+        if event_samples:
+            observe_profile.get_profiler().record_engine(event_samples)
     return result

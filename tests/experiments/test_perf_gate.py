@@ -1,0 +1,154 @@
+"""Integration: the perf gate is one command end to end.
+
+Covers the acceptance path: run ``table4 --scale smoke --manifest`` twice,
+``repro-experiments diff a.json b.json`` exits 0; degrade a stage timing
+past threshold and the diff exits non-zero with a readable report.  Also
+exercises ``--history``/``trend``, ``--trace-out`` (round-trip parsed),
+and ``--profile`` through the real CLI entry point.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import observe
+from repro.experiments.cli import main as cli_main
+from repro.observe import profile as observe_profile
+
+pytestmark = pytest.mark.observe
+
+PROGRAM = "qcd"  # heapless and quick at smoke scale
+
+
+@pytest.fixture(autouse=True)
+def clean_observe_state():
+    """The CLI flips process-global observation state; restore it."""
+    was_enabled = observe.is_enabled()
+    yield
+    if not was_enabled:
+        observe.disable()
+    observe_profile.disable_profiling()
+    observe.reset()
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("perf_gate_cache")
+
+
+def run_cli(*extra, cache_dir):
+    return cli_main([
+        "table4", "--scale", "smoke", "--programs", PROGRAM,
+        "--cache-dir", str(cache_dir), "--quiet", *extra,
+    ])
+
+
+class TestDiffGate:
+    def test_identical_runs_pass_and_degraded_stage_fails(
+        self, cache_dir, tmp_path, capsys
+    ):
+        a_path = tmp_path / "a.json"
+        b_path = tmp_path / "b.json"
+        assert run_cli("--manifest", str(a_path), cache_dir=cache_dir) == 0
+        assert run_cli("--manifest", str(b_path), cache_dir=cache_dir) == 0
+
+        # Two runs of the same target: no metric regressed, gate passes.
+        assert cli_main(["diff", str(a_path), str(b_path)]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: OK" in out
+
+        # Degrade one stage timing past the 25% relative + 5ms absolute
+        # thresholds: the gate must fail with a readable report.
+        degraded = json.loads(b_path.read_text(encoding="utf-8"))
+        program, stages = next(iter(degraded["stages"].items()))
+        stage = next(iter(stages))
+        stages[stage] = stages[stage] * 10.0 + 1.0
+        c_path = tmp_path / "c.json"
+        c_path.write_text(json.dumps(degraded), encoding="utf-8")
+
+        assert cli_main(["diff", str(b_path), str(c_path)]) == 1
+        out = capsys.readouterr().out
+        assert "verdict: REGRESSION" in out
+        assert f"stages/{program}/{stage}" in out
+        assert "slowed" in out
+
+        # --report-only downgrades the same regression to exit 0.
+        assert cli_main([
+            "diff", str(b_path), str(c_path), "--report-only",
+        ]) == 0
+
+    def test_json_verdict_output(self, cache_dir, tmp_path, capsys):
+        a_path = tmp_path / "a.json"
+        assert run_cli("--manifest", str(a_path), cache_dir=cache_dir) == 0
+        capsys.readouterr()
+        assert cli_main(["diff", str(a_path), str(a_path), "--json"]) == 0
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["verdict"] == "ok"
+        assert verdict["n_regressions"] == 0
+
+    def test_unreadable_manifest_exits_2(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{not json", encoding="utf-8")
+        assert cli_main(["diff", str(bogus), str(bogus)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestHistoryAndTrend:
+    def test_history_appends_and_trend_renders(self, cache_dir, tmp_path, capsys):
+        history = tmp_path / "BENCH_history.json"
+        assert run_cli("--history", str(history), cache_dir=cache_dir) == 0
+        assert run_cli("--history", str(history), cache_dir=cache_dir) == 0
+        assert len(history.read_text().splitlines()) == 2
+        capsys.readouterr()
+        assert cli_main(["trend", "--history", str(history)]) == 0
+        out = capsys.readouterr().out
+        assert "Benchmark trend" in out
+        assert "2 run(s)" in out
+
+
+class TestTraceExport:
+    def test_trace_out_emits_valid_chrome_trace_json(
+        self, cache_dir, tmp_path, capsys
+    ):
+        trace_path = tmp_path / "run.trace.json"
+        assert run_cli("--trace-out", str(trace_path), cache_dir=cache_dir) == 0
+        parsed = json.loads(trace_path.read_text(encoding="utf-8"))
+        assert parsed["displayTimeUnit"] == "ms"
+        complete = [e for e in parsed["traceEvents"] if e["ph"] == "X"]
+        assert complete, "no span events exported"
+        names = {event["name"] for event in complete}
+        assert "pipeline" in names and "model" in names
+        for event in complete:
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert isinstance(event["args"]["path"], str)
+
+
+class TestProfileFlag:
+    def test_profile_prints_top_n_and_fills_manifest_counters(
+        self, cache_dir, tmp_path, capsys
+    ):
+        manifest_path = tmp_path / "p.json"
+        # --no-cache forces the CPU + engine to actually run so both
+        # sampled families have data.
+        assert cli_main([
+            "table4", "--scale", "smoke", "--programs", PROGRAM,
+            "--cache-dir", str(cache_dir), "--quiet", "--no-cache",
+            "--profile", "--manifest", str(manifest_path),
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "Sampling profile" in err
+        assert "CPU opcodes" in err
+        assert "Engine events" in err
+        manifest = observe.load_manifest(manifest_path)
+        opcode_counters = [
+            name for name in manifest.counters
+            if name.startswith("profile.cpu.opcode.")
+        ]
+        event_counters = [
+            name for name in manifest.counters
+            if name.startswith("profile.engine.event.")
+        ]
+        assert opcode_counters and event_counters
+        assert manifest.gauges["profile.cpu.stride"] == observe.DEFAULT_SAMPLE_STRIDE

@@ -1,0 +1,176 @@
+"""Unit tests for structural manifest diffing (repro.observe.diff)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observe.diff import (
+    DiffThresholds,
+    STATUS_DRIFT,
+    STATUS_IMPROVEMENT,
+    STATUS_OK,
+    STATUS_REGRESSION,
+    STATUS_REMOVED,
+    diff_manifests,
+    render_diff_report,
+)
+from repro.observe.manifest import RunManifest
+
+pytestmark = pytest.mark.observe
+
+
+def make_manifest(
+    stages=None, eps_mean=None, cache=None, counters=None, environment=None,
+    target="test",
+):
+    """A minimal manifest with just the families the differ reads."""
+    histograms = {}
+    if eps_mean is not None:
+        histograms["engine.events_per_sec"] = {
+            "count": 1, "min": eps_mean, "max": eps_mean, "mean": eps_mean,
+            "p50": eps_mean, "p90": eps_mean, "p95": eps_mean,
+            "p99": eps_mean, "total": eps_mean,
+        }
+    return RunManifest(
+        target=target,
+        stages=stages or {},
+        histograms=histograms,
+        cache=cache or {},
+        counters=counters or {},
+        environment=environment or {"python": "3.x"},
+    )
+
+
+class TestStageTimings:
+    def test_identical_manifests_are_ok(self):
+        a = make_manifest(stages={"gcc": {"simulate": 1.0, "trace": 0.5}})
+        b = make_manifest(stages={"gcc": {"simulate": 1.0, "trace": 0.5}})
+        diff = diff_manifests(a, b)
+        assert diff.verdict == STATUS_OK
+        assert not diff.regressions
+        assert all(e.status == STATUS_OK for e in diff.entries
+                   if e.family == "stage")
+
+    def test_degraded_stage_regresses(self):
+        a = make_manifest(stages={"gcc": {"simulate": 1.0}})
+        b = make_manifest(stages={"gcc": {"simulate": 1.5}})
+        diff = diff_manifests(a, b)
+        assert diff.verdict == STATUS_REGRESSION
+        (entry,) = diff.regressions
+        assert entry.metric == "stages/gcc/simulate"
+        assert entry.delta == pytest.approx(0.5)
+        assert entry.rel_delta == pytest.approx(0.5)
+
+    def test_improved_stage_is_improvement(self):
+        a = make_manifest(stages={"gcc": {"simulate": 1.5}})
+        b = make_manifest(stages={"gcc": {"simulate": 1.0}})
+        diff = diff_manifests(a, b)
+        assert diff.verdict == STATUS_OK
+        assert [e.metric for e in diff.improvements] == ["stages/gcc/simulate"]
+
+    def test_absolute_floor_suppresses_tiny_regressions(self):
+        # +100% relative but only +2ms absolute: under the 5ms floor.
+        a = make_manifest(stages={"gcc": {"simulate": 0.002}})
+        b = make_manifest(stages={"gcc": {"simulate": 0.004}})
+        assert diff_manifests(a, b).verdict == STATUS_OK
+
+    def test_relative_threshold_is_configurable(self):
+        a = make_manifest(stages={"gcc": {"simulate": 1.0}})
+        b = make_manifest(stages={"gcc": {"simulate": 1.1}})
+        assert diff_manifests(a, b).verdict == STATUS_OK  # 10% < default 25%
+        strict = DiffThresholds(stage_rel=0.05)
+        assert diff_manifests(a, b, strict).verdict == STATUS_REGRESSION
+
+    def test_vanished_stage_is_removed_not_regression(self):
+        a = make_manifest(stages={"gcc": {"simulate": 1.0}})
+        b = make_manifest(stages={})
+        diff = diff_manifests(a, b)
+        assert diff.verdict == STATUS_OK
+        (entry,) = [e for e in diff.entries if e.family == "stage"]
+        assert entry.status == STATUS_REMOVED
+
+
+class TestEngineThroughput:
+    def test_throughput_drop_regresses(self):
+        a = make_manifest(eps_mean=1_000_000.0)
+        b = make_manifest(eps_mean=500_000.0)
+        diff = diff_manifests(a, b)
+        assert diff.verdict == STATUS_REGRESSION
+        (entry,) = diff.regressions
+        assert entry.family == "engine"
+
+    def test_throughput_rise_is_improvement(self):
+        a = make_manifest(eps_mean=500_000.0)
+        b = make_manifest(eps_mean=1_000_000.0)
+        diff = diff_manifests(a, b)
+        assert diff.verdict == STATUS_OK
+        assert diff.improvements[0].family == "engine"
+
+    def test_absent_histogram_is_not_a_regression(self):
+        a = make_manifest(eps_mean=1_000_000.0)
+        b = make_manifest()
+        assert diff_manifests(a, b).verdict == STATUS_OK
+
+
+class TestCacheHitRates:
+    def test_hit_rate_drop_regresses(self):
+        a = make_manifest(cache={"sim": {"hits": 9, "misses": 1}})
+        b = make_manifest(cache={"sim": {"hits": 1, "misses": 9}})
+        diff = diff_manifests(a, b)
+        assert diff.verdict == STATUS_REGRESSION
+        (entry,) = diff.regressions
+        assert entry.metric == "cache.sim.hit_rate"
+
+    def test_small_drop_within_threshold_is_ok(self):
+        a = make_manifest(cache={"sim": {"hits": 95, "misses": 5}})
+        b = make_manifest(cache={"sim": {"hits": 90, "misses": 10}})
+        assert diff_manifests(a, b).verdict == STATUS_OK
+
+    def test_untouched_cache_is_skipped(self):
+        a = make_manifest(cache={"sim": {"hits": 0, "misses": 0}})
+        b = make_manifest(cache={"sim": {"hits": 0, "misses": 0}})
+        diff = diff_manifests(a, b)
+        assert not [e for e in diff.entries if e.family == "cache"]
+
+
+class TestDriftAndEnvironment:
+    def test_large_counter_swing_is_drift_not_regression(self):
+        a = make_manifest(counters={"engine.events": 1000})
+        b = make_manifest(counters={"engine.events": 100})
+        diff = diff_manifests(a, b)
+        assert diff.verdict == STATUS_OK
+        assert [e.metric for e in diff.drift] == ["engine.events"]
+
+    def test_environment_change_is_drift(self):
+        a = make_manifest(environment={"python": "3.9.0"})
+        b = make_manifest(environment={"python": "3.12.0"})
+        diff = diff_manifests(a, b)
+        drift = [e for e in diff.drift if e.family == "environment"]
+        assert drift and "3.9.0" in drift[0].note
+
+
+class TestRenderAndVerdict:
+    def test_report_names_the_regressed_stage(self):
+        a = make_manifest(stages={"gcc": {"simulate": 1.0}})
+        b = make_manifest(stages={"gcc": {"simulate": 2.0}})
+        report = render_diff_report(diff_manifests(a, b))
+        assert "REGRESSION" in report
+        assert "stages/gcc/simulate" in report
+        assert "!!" in report
+
+    def test_machine_verdict_roundtrips(self):
+        a = make_manifest(stages={"gcc": {"simulate": 1.0}})
+        b = make_manifest(stages={"gcc": {"simulate": 2.0}})
+        doc = diff_manifests(a, b).to_dict()
+        assert doc["verdict"] == STATUS_REGRESSION
+        assert doc["n_regressions"] == 1
+        assert doc["thresholds"]["stage_rel"] == DiffThresholds.stage_rel
+        statuses = {entry["status"] for entry in doc["entries"]}
+        assert STATUS_REGRESSION in statuses
+
+    def test_drift_lines_are_capped_in_text_report(self):
+        a = make_manifest(counters={f"c{i}": 1000 for i in range(30)})
+        b = make_manifest(counters={f"c{i}": 1 for i in range(30)})
+        report = render_diff_report(diff_manifests(a, b))
+        assert "more drifted counter(s)" in report
+        assert report.count("large swing") <= 12

@@ -1,0 +1,129 @@
+"""Unit tests for the append-only trajectory store (repro.observe.history)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ManifestFormatError
+from repro.observe.history import (
+    HISTORY_SCHEMA_VERSION,
+    HistoryRecord,
+    append_record,
+    load_history,
+    render_trend,
+)
+from repro.observe.manifest import RunManifest
+
+pytestmark = pytest.mark.observe
+
+
+def make_manifest(simulate_s=1.0, eps_mean=2_000_000.0, hits=3, misses=1):
+    return RunManifest(
+        target="table4",
+        stages={
+            "gcc": {"simulate": simulate_s, "trace": 0.5},
+            "bps": {"simulate": simulate_s / 2},
+        },
+        histograms={
+            "engine.events_per_sec": {"count": 2, "mean": eps_mean},
+        },
+        cache={"sim": {"hits": hits, "misses": misses},
+               "trace": {"hits": 0, "misses": 0}},
+        environment={"python": "3.x", "machine": "test"},
+    )
+
+
+class TestRecordDistillation:
+    def test_headline_numbers(self):
+        record = HistoryRecord.from_manifest(make_manifest(simulate_s=2.0))
+        headline = record.headline
+        # stages summed across programs: simulate 2.0 + 1.0, trace 0.5
+        assert headline["stage_seconds"]["simulate"] == pytest.approx(3.0)
+        assert headline["total_stage_seconds"] == pytest.approx(3.5)
+        assert headline["engine_events_per_sec"] == pytest.approx(2_000_000.0)
+        assert headline["cache_hit_rate"]["sim"] == pytest.approx(0.75)
+        assert headline["cache_hit_rate"]["trace"] is None
+
+    def test_digest_identifies_content(self):
+        a = HistoryRecord.from_manifest(make_manifest(), timestamp=0.0)
+        same = HistoryRecord.from_manifest(make_manifest(), timestamp=0.0)
+        other = HistoryRecord.from_manifest(
+            make_manifest(simulate_s=9.0), timestamp=0.0
+        )
+        assert a.manifest_digest == same.manifest_digest
+        assert a.manifest_digest != other.manifest_digest
+        assert a.env_digest == other.env_digest  # same environment
+
+    def test_headline_value_dotted_lookup(self):
+        record = HistoryRecord.from_manifest(make_manifest())
+        assert record.headline_value("total_stage_seconds") == pytest.approx(2.0)
+        assert record.headline_value("stage_seconds.trace") == pytest.approx(0.5)
+        assert record.headline_value("no.such.metric") is None
+
+
+class TestAppendAndLoad:
+    def test_roundtrip_preserves_order_and_content(self, tmp_path):
+        path = tmp_path / "BENCH_history.json"
+        first = append_record(path, make_manifest(simulate_s=1.0), timestamp=1.0)
+        second = append_record(path, make_manifest(simulate_s=2.0), timestamp=2.0)
+        records = load_history(path)
+        assert [r.manifest_digest for r in records] == [
+            first.manifest_digest, second.manifest_digest,
+        ]
+        assert records[0].target == "table4"
+        assert records[0].schema_version == HISTORY_SCHEMA_VERSION
+
+    def test_file_is_appended_not_rewritten(self, tmp_path):
+        path = tmp_path / "h.json"
+        append_record(path, make_manifest(), timestamp=1.0)
+        before = path.read_text()
+        append_record(path, make_manifest(simulate_s=3.0), timestamp=2.0)
+        after = path.read_text()
+        assert after.startswith(before)
+        assert len(after.splitlines()) == 2
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert load_history(tmp_path / "nope.json") == []
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "h.json"
+        append_record(path, make_manifest(), timestamp=1.0)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"schema_version": 1, "manifest_dig')  # crash mid-append
+        assert len(load_history(path)) == 1
+
+    def test_non_history_json_is_rejected(self, tmp_path):
+        path = tmp_path / "h.json"
+        path.write_text(json.dumps({"hello": "world"}) + "\n")
+        with pytest.raises(ManifestFormatError):
+            load_history(path)
+
+    def test_schema_version_mismatch_is_rejected(self, tmp_path):
+        path = tmp_path / "h.json"
+        record = HistoryRecord.from_manifest(make_manifest()).to_dict()
+        record["schema_version"] = 99
+        path.write_text(json.dumps(record) + "\n")
+        with pytest.raises(ManifestFormatError, match="schema_version"):
+            load_history(path)
+
+
+class TestTrendRenderer:
+    def test_empty_history(self):
+        assert "history is empty" in render_trend([])
+
+    def test_trend_shows_values_deltas_and_bars(self, tmp_path):
+        path = tmp_path / "h.json"
+        append_record(path, make_manifest(simulate_s=1.0), timestamp=1.0)
+        append_record(path, make_manifest(simulate_s=2.0), timestamp=2.0)
+        text = render_trend(load_history(path))
+        assert "total_stage_seconds" in text
+        assert "#" in text
+        assert "+" in text  # the second run got slower: positive delta
+
+    def test_trend_on_a_nested_metric(self, tmp_path):
+        path = tmp_path / "h.json"
+        append_record(path, make_manifest(), timestamp=1.0)
+        text = render_trend(load_history(path), metric="stage_seconds.simulate")
+        assert "stage_seconds.simulate" in text

@@ -1,0 +1,148 @@
+"""Tests for the 1-in-N sampling profiler (repro.observe.profile)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import observe
+from repro.machine import isa
+from repro.observe import profile as observe_profile
+from repro.sessions.types import ONE_HEAP, SessionDef
+from repro.simulate import simulate_sessions
+from repro.trace.events import EventKind, EventTrace
+from repro.trace.objects import ObjectRegistry
+
+from tests.conftest import run_minic
+
+pytestmark = pytest.mark.observe
+
+
+@pytest.fixture
+def profiling():
+    """Enable profiling with a tiny stride; restore and clear afterwards."""
+    observe_profile.enable_profiling(stride=10)
+    observe_profile.reset_profile()
+    yield observe_profile.get_profiler()
+    observe_profile.disable_profiling()
+    observe_profile.reset_profile()
+
+
+LOOP_SOURCE = """
+int main() {
+    int total; int i;
+    total = 0;
+    for (i = 0; i < 2000; i = i + 1) { total = total + i; }
+    return total;
+}
+"""
+
+
+class TestStrides:
+    def test_disabled_by_default(self):
+        assert not observe_profile.is_profiling()
+        assert observe_profile.cpu_sample_stride() == 0
+        assert observe_profile.engine_sample_stride() == 0
+
+    def test_enable_sets_both_strides(self, profiling):
+        assert observe_profile.is_profiling()
+        assert observe_profile.cpu_sample_stride() == 10
+        assert observe_profile.engine_sample_stride() == 10
+
+    def test_bad_stride_rejected(self):
+        with pytest.raises(ValueError):
+            observe_profile.enable_profiling(stride=0)
+
+    def test_env_stride_parsing(self):
+        parse = observe_profile._parse_env_stride
+        assert parse("1") == observe_profile.DEFAULT_SAMPLE_STRIDE
+        assert parse("250") == 250
+        assert parse("0") == 0
+        assert parse("off") == 0
+
+
+class TestCpuSampling:
+    def test_disabled_run_records_no_samples(self):
+        observe_profile.reset_profile()
+        run_minic(LOOP_SOURCE)
+        assert observe_profile.get_profiler().cpu_opcodes == {}
+
+    def test_sampled_opcode_counts_approximate_the_mix(self, profiling):
+        assert run_minic(LOOP_SOURCE) == sum(range(2000))
+        samples = profiling.cpu_opcodes
+        assert samples, "profiling run recorded no opcode samples"
+        # The loop executes >10k instructions; 1-in-10 sampling should
+        # land roughly instructions/10 samples in total.
+        total = sum(samples.values())
+        assert total > 500
+        # The loop body is adds/compares/branches; ADD must be sampled.
+        assert samples.get(isa.ADD, 0) > 0
+
+    def test_top_opcodes_report_names_and_estimates(self, profiling):
+        run_minic(LOOP_SOURCE)
+        top = profiling.top_opcodes(5)
+        assert top and all(estimate == count * 10 for _, count, estimate in top)
+        names = [name for name, _, _ in top]
+        assert all(isinstance(name, str) for name in names)
+
+    def test_samples_mirrored_into_metrics_when_observing(
+        self, profiling, observing
+    ):
+        run_minic(LOOP_SOURCE)
+        counters = observing.snapshot()["counters"]
+        opcode_counters = {
+            name for name in counters if name.startswith("profile.cpu.opcode.")
+        }
+        assert opcode_counters
+        assert observing.snapshot()["gauges"]["profile.cpu.stride"] == 10
+
+
+def _engine_inputs(n_writes=600):
+    """A tiny install/write/remove trace over one monitored object."""
+    registry = ObjectRegistry()
+    obj = registry.heap("f", ("main", "f"), 32)
+    trace = EventTrace("profile-test")
+    trace.append_install(obj.id, 1 << 16, (1 << 16) + 32)
+    for i in range(n_writes):
+        address = (1 << 16) + 4 * (i % 8)
+        trace.append_write(address, address + 4)
+    trace.append_remove(obj.id, 1 << 16, (1 << 16) + 32)
+    sessions = [SessionDef(0, ONE_HEAP, "one", (obj.id,))]
+    return trace, registry, sessions
+
+
+class TestEngineSampling:
+    def test_engine_event_mix_sampled(self, profiling):
+        trace, registry, sessions = _engine_inputs()
+        simulate_sessions(trace, registry, sessions, (4096,))
+        samples = profiling.engine_events
+        assert samples
+        assert int(EventKind.WRITE) in samples
+        total = sum(samples.values())
+        # len(trace) events sampled 1-in-10 via an extended slice.
+        assert total == len(trace.kinds[::10])
+
+    def test_disabled_engine_records_nothing(self):
+        observe_profile.reset_profile()
+        trace, registry, sessions = _engine_inputs()
+        simulate_sessions(trace, registry, sessions, (4096,))
+        assert observe_profile.get_profiler().engine_events == {}
+
+
+class TestReportAndReset:
+    def test_render_without_samples(self):
+        observe_profile.reset_profile()
+        assert "no samples recorded" in observe_profile.render_profile_report()
+
+    def test_render_with_samples(self, profiling):
+        run_minic(LOOP_SOURCE)
+        report = observe_profile.render_profile_report(top_n=3)
+        assert "CPU opcodes" in report
+        assert "1-in-10 sampled" in report
+        assert "%" in report
+
+    def test_observe_reset_clears_samples(self, profiling):
+        run_minic(LOOP_SOURCE)
+        assert profiling.cpu_opcodes
+        observe.reset()
+        assert profiling.cpu_opcodes == {}
+        assert observe_profile.is_profiling()  # enablement untouched

@@ -1,0 +1,80 @@
+"""Regression tests: observe.reset() clears thread-local span state.
+
+A span abandoned without ``__exit__`` (crashed harness, garbage-collected
+generator) leaves its name on the thread-local stack; before the fix,
+every span opened later in that process inherited the stale path prefix,
+so back-to-back pipeline runs in one process produced corrupted span
+trees.  ``observe.reset()`` now drops all open-span stacks along with
+the registry.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import observe
+from repro.observe.spans import span
+
+pytestmark = pytest.mark.observe
+
+
+class TestResetClearsSpanState:
+    def test_abandoned_span_pollutes_until_reset(self, observing):
+        stale = span("stale-run")
+        stale.__enter__()  # never exited: simulates a crashed first run
+        assert observe.current_span_path() == "stale-run"
+
+        observe.reset()
+        assert observe.current_span_path() is None
+
+        with span("fresh"):
+            assert observe.current_span_path() == "fresh"
+        (record,) = observe.get_registry().snapshot()["spans"]
+        assert record["path"] == "fresh"
+        assert record["parent"] == ""
+
+    def test_back_to_back_runs_do_not_inherit_paths(self, observing):
+        # First "pipeline run" dies inside an open span.
+        outer = span("pipeline")
+        outer.__enter__()
+        with span("simulate"):
+            pass
+        # Process reuses the interpreter for a second run.
+        observe.reset()
+        with span("pipeline"):
+            with span("simulate"):
+                pass
+        paths = [r["path"] for r in observe.get_registry().snapshot()["spans"]]
+        assert paths == ["pipeline/simulate", "pipeline"]
+
+    def test_span_open_across_reset_exits_safely(self, observing):
+        crossing = span("crossing")
+        crossing.__enter__()
+        observe.reset()
+        crossing.__exit__(None, None, None)  # must not blow up or mis-pop
+        assert observe.current_span_path() is None
+        # The record is still written (duration was measured before reset).
+        records = observe.get_registry().snapshot()["spans"]
+        assert [r["name"] for r in records] == ["crossing"]
+
+    def test_other_threads_are_cleared_too(self, observing):
+        entered = threading.Event()
+        release = threading.Event()
+
+        def worker():
+            span("worker-stale").__enter__()
+            entered.set()
+            release.wait(timeout=5)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        entered.wait(timeout=5)
+        observe.reset()
+        release.set()
+        thread.join(timeout=5)
+        # The main thread's view of a fresh stack:
+        assert observe.current_span_path() is None
+        with span("clean"):
+            assert observe.current_span_path() == "clean"

@@ -1,0 +1,105 @@
+"""Tests for Chrome trace-event export (repro.observe.traceview)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import observe
+from repro.observe.spans import SpanRecord
+from repro.observe.traceview import spans_to_trace_events, write_chrome_trace
+
+pytestmark = pytest.mark.observe
+
+
+def make_spans():
+    """A two-level span tree as flat records (outer contains inner)."""
+    return [
+        SpanRecord(
+            name="simulate", path="pipeline/program:gcc/simulate",
+            parent="pipeline/program:gcc", start_s=100.2, duration_s=0.5,
+            attrs={"program": "gcc"},
+        ),
+        SpanRecord(
+            name="program:gcc", path="pipeline/program:gcc",
+            parent="pipeline", start_s=100.1, duration_s=0.8,
+        ),
+        SpanRecord(
+            name="pipeline", path="pipeline", parent="",
+            start_s=100.0, duration_s=1.0, error=True,
+        ),
+    ]
+
+
+class TestSpansToTraceEvents:
+    def test_document_shape(self):
+        doc = spans_to_trace_events(make_spans())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        phases = [event["ph"] for event in doc["traceEvents"]]
+        assert phases.count("X") == 3
+        assert phases.count("M") == 1  # process_name metadata
+
+    def test_timestamps_rebased_to_earliest_span_in_microseconds(self):
+        events = {
+            e["name"]: e for e in spans_to_trace_events(make_spans())["traceEvents"]
+            if e["ph"] == "X"
+        }
+        assert events["pipeline"]["ts"] == pytest.approx(0.0)
+        assert events["program:gcc"]["ts"] == pytest.approx(0.1e6)
+        assert events["simulate"]["ts"] == pytest.approx(0.2e6)
+        assert events["simulate"]["dur"] == pytest.approx(0.5e6)
+
+    def test_nesting_is_containment_on_one_track(self):
+        events = [
+            e for e in spans_to_trace_events(make_spans())["traceEvents"]
+            if e["ph"] == "X"
+        ]
+        tids = {event["tid"] for event in events}
+        assert len(tids) == 1
+        by_name = {event["name"]: event for event in events}
+        outer, inner = by_name["pipeline"], by_name["simulate"]
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"]
+
+    def test_attrs_error_and_category_carried_in_args(self):
+        events = {
+            e["name"]: e for e in spans_to_trace_events(make_spans())["traceEvents"]
+            if e["ph"] == "X"
+        }
+        assert events["simulate"]["args"]["program"] == "gcc"
+        assert events["simulate"]["cat"] == "pipeline"
+        assert events["pipeline"]["args"]["error"] is True
+        assert "error" not in events["simulate"]["args"]
+
+    def test_accepts_manifest_dicts_too(self):
+        dicts = [span.to_dict() for span in make_spans()]
+        doc = spans_to_trace_events(dicts)
+        assert sum(1 for e in doc["traceEvents"] if e["ph"] == "X") == 3
+
+
+class TestWriteChromeTrace:
+    def test_roundtrip_through_json_file(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "run.trace.json", make_spans(),
+                                  process_name="unit")
+        parsed = json.loads(path.read_text(encoding="utf-8"))
+        assert parsed["displayTimeUnit"] == "ms"
+        meta = [e for e in parsed["traceEvents"] if e["ph"] == "M"]
+        assert meta[0]["args"]["name"] == "unit"
+        for event in parsed["traceEvents"]:
+            if event["ph"] == "X":
+                assert event["ts"] >= 0 and event["dur"] >= 0
+
+    def test_defaults_to_registry_spans(self, observing, tmp_path):
+        with observe.span("outer"):
+            with observe.span("inner"):
+                pass
+        path = write_chrome_trace(tmp_path / "reg.trace.json")
+        parsed = json.loads(path.read_text(encoding="utf-8"))
+        names = {e["name"] for e in parsed["traceEvents"] if e["ph"] == "X"}
+        assert {"outer", "inner"} <= names
+
+    def test_empty_span_list_still_valid(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "empty.json", [])
+        parsed = json.loads(path.read_text(encoding="utf-8"))
+        assert [e["ph"] for e in parsed["traceEvents"]] == ["M"]

@@ -14,6 +14,7 @@ from repro.experiments.pipeline import (
     ProgramData,
     load_experiment_data,
 )
+from repro.experiments.parallel import load_experiment_data_parallel
 from repro.experiments.table1 import compute_table1, render_table1_report
 from repro.experiments.table2 import compute_table2, render_table2_report
 from repro.experiments.table3 import compute_table3, render_table3_report
@@ -37,6 +38,7 @@ __all__ = [
     "ExperimentConfig",
     "ProgramData",
     "load_experiment_data",
+    "load_experiment_data_parallel",
     "compute_table1",
     "render_table1_report",
     "compute_table2",

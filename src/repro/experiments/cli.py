@@ -4,6 +4,7 @@ and drive the perf-trajectory harness.
 Examples::
 
     python -m repro.experiments all
+    python -m repro.experiments all --jobs 5          # one worker per program
     python -m repro.experiments table4 --scale smoke
     repro-experiments figures --programs gcc bps
     repro-experiments table4 --manifest run.json --metrics
@@ -40,7 +41,7 @@ import time
 from pathlib import Path
 
 from repro import observe
-from repro.errors import ManifestFormatError
+from repro.errors import ManifestFormatError, PipelineError
 from repro.experiments.breakdown import render_breakdown_report
 from repro.experiments.code_expansion import render_code_expansion_report
 from repro.experiments.figures789 import render_figures_report
@@ -90,6 +91,12 @@ def _parse_args(argv):
     )
     parser.add_argument(
         "--no-cache", action="store_true", help="ignore and do not write the cache"
+    )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="fan per-program pipeline work out to N worker processes "
+        "(default 1 = serial); observation merges worker metrics/spans "
+        "back into one manifest",
     )
     parser.add_argument("--quiet", action="store_true", help="suppress progress output")
     parser.add_argument(
@@ -229,12 +236,17 @@ def main(argv=None) -> int:
     scale = args.scale
     if scale not in ("full", "smoke"):
         scale = int(scale)
-    config = ExperimentConfig(
-        programs=tuple(args.programs),
-        scale=scale,
-        cache_dir=Path(args.cache_dir),
-        use_cache=not args.no_cache,
-    )
+    try:
+        config = ExperimentConfig(
+            programs=tuple(args.programs),
+            scale=scale,
+            cache_dir=Path(args.cache_dir),
+            use_cache=not args.no_cache,
+            jobs=args.jobs,
+        )
+    except PipelineError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     progress = None if args.quiet else lambda msg: print(f"  .. {msg}", file=sys.stderr)
     observing = bool(
         args.manifest or args.metrics or args.history
@@ -295,6 +307,7 @@ def main(argv=None) -> int:
                 "page_sizes": list(config.page_sizes),
                 "cache_dir": str(config.cache_dir),
                 "use_cache": config.use_cache,
+                "jobs": config.jobs,
             },
         )
     if args.manifest:

@@ -1,0 +1,168 @@
+"""Process-pool fan-out of the experiment pipeline.
+
+The two-phase experiment is embarrassingly parallel across programs:
+each program's trace generation and one-pass simulation depend only on
+that program's workload source, and the on-disk cache is safe for
+concurrent writers (atomic write-then-rename everywhere).  This module
+fans :func:`~repro.experiments.pipeline.load_program_data` out across a
+:class:`~concurrent.futures.ProcessPoolExecutor`, one task per program.
+
+Observability survives the fan-out.  :mod:`repro.observe` state is
+per-process, so each worker starts from a fresh, parent-matching
+configuration (enabled/disabled, profiling stride), runs its program,
+and ships a picklable :func:`repro.observe.dump_snapshot` payload back;
+the parent :func:`repro.observe.merge_snapshot`-s it — counters add,
+histograms merge raw observations, notes append — and grafts the
+worker's span tree under a ``worker:<name>`` span whose clock is
+rebased into the parent's ``perf_counter`` timeline.  ``--manifest``,
+``--history``, ``--profile``, and ``--trace-out`` therefore keep
+working unchanged: a merged manifest carries the same counter totals
+and ``stages`` rollup a serial run would, plus one ``worker:<name>``
+span per program recording the fan-out envelope.
+
+Results are deterministic: workers are pure functions of (program,
+config), so ``--jobs N`` produces bit-identical tables to a serial run
+regardless of completion order (the returned dict preserves the
+configured program order).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Dict, Optional
+
+from repro import observe
+from repro.experiments.pipeline import (
+    ExperimentConfig,
+    Progress,
+    ProgramData,
+    load_program_data,
+)
+from repro.observe.spans import SpanRecord
+
+
+def _run_worker(
+    name: str,
+    config: ExperimentConfig,
+    observing: bool,
+    profile_stride: int,
+):
+    """Pool target: one program's phase 1 + phase 2 in a fresh process.
+
+    Must stay a module-level function (the pool pickles it by reference).
+    Returns ``(program data, worker clock origin, observation snapshot)``;
+    the origin lets the parent rebase the worker's ``perf_counter`` span
+    timestamps into its own timeline.
+    """
+    origin = time.perf_counter()
+    # Start from a clean slate whatever the start method: a forked child
+    # inherits the parent's registry (merging it back would double-count)
+    # and a spawned child inherits nothing (observation would be off).
+    observe.reset()
+    if observing:
+        observe.enable()
+    else:
+        observe.disable()
+    if profile_stride:
+        observe.enable_profiling(profile_stride)
+    else:
+        observe.disable_profiling()
+    # Workers run quiet: interleaved per-event progress from N processes
+    # is noise; the parent reports dispatch/completion per program.
+    data = load_program_data(name, config)
+    snapshot = observe.dump_snapshot() if observing else None
+    return data, origin, snapshot
+
+
+def _graft_worker(
+    name: str,
+    snapshot: Dict[str, object],
+    origin_s: float,
+    submit_s: float,
+    done_s: float,
+    parent_path: Optional[str],
+) -> None:
+    """Merge one worker's snapshot under a ``worker:<name>`` span."""
+    worker_name = f"worker:{name}"
+    path = f"{parent_path}/{worker_name}" if parent_path else worker_name
+    # The worker's clock origin was read at task start; mapping it onto
+    # the parent's submit time lines both timelines up to within the
+    # pool's dispatch latency.
+    observe.merge_snapshot(
+        snapshot,
+        under=path,
+        clock_offset=submit_s - origin_s,
+        attrs={"worker": name},
+    )
+    registry = observe.get_registry()
+    duration = done_s - submit_s
+    registry.add_span(SpanRecord(
+        name=worker_name,
+        path=path,
+        parent=parent_path or "",
+        start_s=submit_s,
+        duration_s=duration,
+        attrs={"program": name},
+    ))
+    registry.observe_value(f"span.{worker_name}.seconds", duration)
+
+
+def load_experiment_data_parallel(
+    config: ExperimentConfig,
+    progress: Progress = None,
+    jobs: Optional[int] = None,
+) -> Dict[str, ProgramData]:
+    """Phase 1 + phase 2 for every configured program, fanned out.
+
+    ``jobs`` overrides ``config.jobs``; it is clamped to the number of
+    programs (extra workers would sit idle).  With one job or one
+    program this degrades to the serial path.
+    """
+    jobs = config.jobs if jobs is None else jobs
+    names = list(config.programs)
+    jobs = max(1, min(jobs, len(names)))
+    if jobs == 1 or len(names) <= 1:
+        return {
+            name: load_program_data(name, config, progress) for name in names
+        }
+
+    observing = observe.is_enabled()
+    profile_stride = (
+        observe.get_profiler().engine_stride if observe.is_profiling() else 0
+    )
+    parent_path = observe.current_span_path() if observing else None
+    observe.set_gauge("pipeline.jobs", jobs)
+
+    data: Dict[str, ProgramData] = {}
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        submit_times: Dict[str, float] = {}
+        futures = {}
+        for name in names:
+            submit_times[name] = time.perf_counter()
+            future = pool.submit(
+                _run_worker, name, config, observing, profile_stride
+            )
+            futures[future] = name
+            if progress:
+                progress(f"[{name}] dispatched to worker pool (jobs={jobs})")
+        for future in as_completed(futures):
+            name = futures[future]
+            # A worker failure (e.g. PipelineError on an unknown
+            # program) propagates here and aborts the run, matching
+            # serial semantics.
+            program_data, origin_s, snapshot = future.result()
+            done_s = time.perf_counter()
+            data[name] = program_data
+            if progress:
+                progress(
+                    f"[{name}] worker finished in "
+                    f"{done_s - submit_times[name]:.1f}s"
+                )
+            if observing and snapshot is not None:
+                _graft_worker(
+                    name, snapshot, origin_s, submit_times[name], done_s,
+                    parent_path,
+                )
+    # Completion order is nondeterministic; hand back configured order.
+    return {name: data[name] for name in names}

@@ -5,6 +5,17 @@ one-pass simulation) once per page-size set — both are cached under
 ``.repro_cache/`` keyed by a hash of the workload source and inputs, so
 re-rendering tables is cheap.
 
+The cache is crash- and concurrency-safe: every entry (the ``.npz``
+trace via :func:`repro.trace.save_trace`, the ``-sim-*.pkl`` simulation
+here) is written to a temporary file in the cache directory and
+``os.replace``d into place, so racing writers — parallel workers
+(:mod:`repro.experiments.parallel`) or two CLI invocations sharing
+``.repro_cache/`` — publish whole files or nothing, and a Ctrl-C mid-
+write cannot tear an entry.  A corrupt or truncated entry found on read
+(torn by an older writer, a full disk, a crashed container) is treated
+as a cache miss: it is logged, noted under ``cache.<kind>.corrupt``,
+deleted, and recomputed.
+
 When observation is on (:mod:`repro.observe`) every program runs inside
 a ``program:<name>`` span with nested ``trace``/``simulate`` stage spans
 (``compile`` comes from the workload runner), cache loads run inside
@@ -18,15 +29,21 @@ the run manifest.
 from __future__ import annotations
 
 import hashlib
+import os
 import pickle
-from dataclasses import dataclass, field
+import tempfile
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Optional, Tuple, Union
 
 from repro import observe
 from repro.errors import PipelineError
 from repro.sessions import discover_sessions
-from repro.simulate import SimulationResult, simulate_sessions
+from repro.simulate import (
+    SimulationResult,
+    simulate_sessions,
+    validate_page_sizes,
+)
 from repro.trace import load_trace, save_trace
 from repro.trace.events import TraceMeta
 from repro.trace.objects import ObjectRegistry
@@ -37,6 +54,9 @@ Progress = Optional[Callable[[str], None]]
 #: Cache format version; bump to invalidate stale caches.
 _CACHE_VERSION = 4
 
+#: The keys a cached simulation payload must carry.
+_SIM_PAYLOAD_KEYS = frozenset(("meta", "registry", "result"))
+
 
 @dataclass(frozen=True)
 class ExperimentConfig:
@@ -44,7 +64,9 @@ class ExperimentConfig:
 
     ``scale`` is ``"full"`` (the default-scale runs behind the tables),
     ``"smoke"`` (small runs for tests and examples), or an explicit int
-    applied to every workload.
+    applied to every workload.  ``jobs`` is the number of worker
+    processes the pipeline may fan per-program work out to (1 = serial;
+    see :mod:`repro.experiments.parallel`).
     """
 
     programs: Tuple[str, ...] = ("gcc", "ctex", "spice", "qcd", "bps")
@@ -52,6 +74,16 @@ class ExperimentConfig:
     page_sizes: Tuple[int, ...] = (4096, 8192)
     cache_dir: Path = Path(".repro_cache")
     use_cache: bool = True
+    jobs: int = 1
+
+    def __post_init__(self) -> None:
+        # Fail at configuration time, not deep inside the engine: a
+        # non-power-of-two page size would silently produce wrong page
+        # numbers (the engine uses shift-based page math).
+        validate_page_sizes(self.page_sizes)
+        if not isinstance(self.jobs, int) or isinstance(self.jobs, bool) \
+                or self.jobs < 1:
+            raise PipelineError(f"jobs must be an int >= 1, got {self.jobs!r}")
 
     def scale_of(self, workload: Workload) -> int:
         """Resolve the configured scale to a concrete int for ``workload``."""
@@ -90,6 +122,47 @@ def _workload_key(workload: Workload, scale: int) -> str:
     return f"{workload.name}-s{scale}-v{_CACHE_VERSION}-{digest}"
 
 
+def _discard_corrupt(
+    kind: str, path: Path, exc: BaseException, name: str, progress: Progress
+) -> None:
+    """Log, account, and delete a cache entry that failed to load."""
+    if progress:
+        progress(
+            f"[{name}] corrupt {kind} cache entry {path.name} "
+            f"({type(exc).__name__}: {exc}); recomputing"
+        )
+    observe.inc(f"cache.{kind}.corrupt")
+    observe.note(f"cache.{kind}.corrupt", path.name)
+    try:
+        path.unlink()
+    except OSError:
+        pass
+
+
+def _atomic_pickle_dump(payload: object, path: Path) -> None:
+    """Pickle ``payload`` to ``path`` via write-to-temp + ``os.replace``.
+
+    The temp file lives in the destination directory so the rename is
+    atomic (same filesystem); racing writers each publish a complete
+    file and the last rename wins, which is fine because both computed
+    the same payload for the same cache key.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(payload, handle)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 def _trace_for(
     workload: Workload,
     scale: int,
@@ -100,19 +173,55 @@ def _trace_for(
     if config.use_cache and trace_path.exists():
         if progress:
             progress(f"[{workload.name}] loading cached trace {trace_path.name}")
-        observe.inc("cache.trace.hits")
-        observe.note("cache.trace.used", trace_path.name)
         # Cache loads get their own span so warm runs (whose compile/
         # trace/simulate stages vanish) still produce a useful timeline
         # in ``--trace-out`` exports.
         with observe.span("cache_load", program=workload.name, kind="trace"):
-            return load_trace(trace_path)
+            try:
+                loaded = load_trace(trace_path)
+            except Exception as exc:
+                # Torn .npz (killed writer pre-PR, full disk), or any
+                # format drift load_trace rejects: recover as a miss.
+                _discard_corrupt(
+                    "trace", trace_path, exc, workload.name, progress
+                )
+                loaded = None
+        if loaded is not None:
+            observe.inc("cache.trace.hits")
+            observe.note("cache.trace.used", trace_path.name)
+            return loaded
     observe.inc("cache.trace.misses")
     run = run_workload(workload, scale, on_progress=progress)
     if config.use_cache:
         save_trace(run.trace, run.registry, trace_path)
         observe.note("cache.trace.written", trace_path.name)
     return run.trace, run.registry
+
+
+def _load_sim_payload(
+    sim_path: Path, name: str, progress: Progress
+) -> Optional[Dict[str, object]]:
+    """Load a cached simulation payload, or ``None`` if absent/corrupt."""
+    if not sim_path.exists():
+        return None
+    if progress:
+        progress(f"[{name}] loading cached simulation {sim_path.name}")
+    with observe.span("cache_load", program=name, kind="sim"):
+        try:
+            with open(sim_path, "rb") as handle:
+                payload = pickle.load(handle)
+            if not isinstance(payload, dict) or set(payload) != _SIM_PAYLOAD_KEYS:
+                raise PipelineError(
+                    f"sim cache payload has wrong shape: "
+                    f"{sorted(payload) if isinstance(payload, dict) else type(payload).__name__}"
+                )
+        except Exception as exc:
+            # Truncated pickle (EOFError), torn file, stale class layout
+            # (AttributeError/ImportError), wrong shape: all recover as
+            # a cache miss instead of aborting the whole run.
+            _discard_corrupt("sim", sim_path, exc, name, progress)
+            return None
+    return payload
 
 
 def load_program_data(
@@ -128,15 +237,12 @@ def load_program_data(
     sizes = "-".join(str(size) for size in config.page_sizes)
     sim_path = config.cache_dir / f"{_workload_key(workload, scale)}-sim-{sizes}.pkl"
     with observe.span(f"program:{name}"):
-        if config.use_cache and sim_path.exists():
-            if progress:
-                progress(f"[{name}] loading cached simulation {sim_path.name}")
-            observe.inc("cache.sim.hits")
-            observe.note("cache.sim.used", sim_path.name)
-            with observe.span("cache_load", program=name, kind="sim"):
-                with open(sim_path, "rb") as handle:
-                    payload = pickle.load(handle)
-            return ProgramData(name=name, scale=scale, **payload)
+        if config.use_cache:
+            payload = _load_sim_payload(sim_path, name, progress)
+            if payload is not None:
+                observe.inc("cache.sim.hits")
+                observe.note("cache.sim.used", sim_path.name)
+                return ProgramData(name=name, scale=scale, **payload)
         observe.inc("cache.sim.misses")
 
         trace, registry = _trace_for(workload, scale, config, progress)
@@ -147,9 +253,7 @@ def load_program_data(
             result = simulate_sessions(trace, registry, sessions, config.page_sizes)
         payload = {"meta": trace.meta, "registry": registry, "result": result}
         if config.use_cache:
-            sim_path.parent.mkdir(parents=True, exist_ok=True)
-            with open(sim_path, "wb") as handle:
-                pickle.dump(payload, handle)
+            _atomic_pickle_dump(payload, sim_path)
             observe.note("cache.sim.written", sim_path.name)
     return ProgramData(name=name, scale=scale, **payload)
 
@@ -158,7 +262,17 @@ def load_experiment_data(
     config: ExperimentConfig = ExperimentConfig(),
     progress: Progress = None,
 ) -> Dict[str, ProgramData]:
-    """Phase 1 + phase 2 for every configured program."""
+    """Phase 1 + phase 2 for every configured program.
+
+    With ``config.jobs > 1`` the per-program work fans out across a
+    process pool (:mod:`repro.experiments.parallel`); results and, when
+    observation is on, each worker's metrics/spans are identical to a
+    serial run's, modulo the extra ``worker:<name>`` spans.
+    """
+    if config.jobs > 1 and len(config.programs) > 1:
+        from repro.experiments.parallel import load_experiment_data_parallel
+
+        return load_experiment_data_parallel(config, progress)
     return {
         name: load_program_data(name, config, progress)
         for name in config.programs

@@ -19,7 +19,10 @@ process-local and **off by default**:
 * :mod:`repro.observe.profile` — a 1-in-N sampling profiler for the CPU
   dispatch loop and simulation engine hot paths;
 * :mod:`repro.observe.traceview` — Chrome trace-event JSON export of
-  completed span trees (Perfetto / ``chrome://tracing``).
+  completed span trees (Perfetto / ``chrome://tracing``);
+* :mod:`repro.observe.snapshot` — picklable dump/merge of a process's
+  observation state, so :mod:`repro.experiments.parallel` workers can
+  ship their metrics, spans, and profiler samples back to the parent.
 
 Enable with :func:`enable`, the ``REPRO_OBSERVE=1`` environment
 variable, or the CLI's ``--metrics`` / ``--manifest`` / ``--profile`` /
@@ -78,6 +81,11 @@ from repro.observe.profile import (
     render_profile_report,
     reset_profile,
 )
+from repro.observe.snapshot import (
+    SNAPSHOT_VERSION,
+    dump_snapshot,
+    merge_snapshot,
+)
 from repro.observe.traceview import spans_to_trace_events, write_chrome_trace
 
 __all__ = [
@@ -94,6 +102,7 @@ __all__ = [
     "MetricsRegistry",
     "MANIFEST_SCHEMA_VERSION",
     "RunManifest",
+    "SNAPSHOT_VERSION",
     "SampleProfile",
     "SpanRecord",
     "append_record",
@@ -101,6 +110,7 @@ __all__ = [
     "diff_manifests",
     "disable",
     "disable_profiling",
+    "dump_snapshot",
     "enable",
     "enable_profiling",
     "environment_fingerprint",
@@ -111,6 +121,7 @@ __all__ = [
     "is_profiling",
     "load_history",
     "load_manifest",
+    "merge_snapshot",
     "note",
     "observe_value",
     "register_reset_hook",

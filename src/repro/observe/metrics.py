@@ -176,6 +176,44 @@ class MetricsRegistry:
 
     # -- export ----------------------------------------------------------
 
+    def dump_state(self) -> Dict[str, object]:
+        """A picklable raw dump of everything recorded so far.
+
+        Unlike :meth:`snapshot` this keeps histograms as their raw
+        observation lists and spans as live
+        :class:`~repro.observe.spans.SpanRecord` objects, so a worker
+        process can ship its registry to the parent and the parent can
+        merge it losslessly (percentiles recompute over the union).
+        """
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in self.counters.items()},
+                "gauges": {n: g.value for n, g in self.gauges.items()},
+                "histograms": {n: list(h.values) for n, h in self.histograms.items()},
+                "notes": {k: list(v) for k, v in self.notes.items()},
+                "spans": list(self.spans),
+            }
+
+    def merge_state(self, state: Dict[str, object]) -> None:
+        """Fold a :meth:`dump_state` payload into this registry.
+
+        Counters add, gauges last-write-win, histogram observations and
+        note lists append.  Spans are *not* merged here — their paths
+        usually need re-rooting first; see
+        :func:`repro.observe.snapshot.merge_snapshot`.
+        """
+        for name, value in state.get("counters", {}).items():
+            self.inc(name, value)
+        for name, value in state.get("gauges", {}).items():
+            self.set_gauge(name, value)
+        for name, values in state.get("histograms", {}).items():
+            histogram = self.histogram(name)
+            for value in values:
+                histogram.observe(value)
+        for key, values in state.get("notes", {}).items():
+            for value in values:
+                self.note(key, value)
+
     def snapshot(self) -> Dict[str, object]:
         """A plain-JSON view of everything recorded so far."""
         with self._lock:

@@ -92,6 +92,24 @@ class SampleProfile:
             _metrics.inc(f"profile.engine.event.{name}", count)
         _metrics.set_gauge("profile.engine.stride", self.engine_stride)
 
+    def merge_samples(
+        self,
+        cpu_opcodes: Dict[int, int],
+        engine_events: Dict[int, int],
+    ) -> None:
+        """Fold another process's raw samples into this store.
+
+        Unlike :meth:`record_cpu`/:meth:`record_engine` this does *not*
+        mirror into the metrics registry: a worker already mirrored its
+        samples as ``profile.*`` counters, and those counters are merged
+        separately, so mirroring again would double-count.
+        """
+        with self._lock:
+            for opcode, count in cpu_opcodes.items():
+                self.cpu_opcodes[opcode] = self.cpu_opcodes.get(opcode, 0) + count
+            for kind, count in engine_events.items():
+                self.engine_events[kind] = self.engine_events.get(kind, 0) + count
+
     # -- views -----------------------------------------------------------
 
     def top_opcodes(self, n: int = 10) -> List[Tuple[str, int, int]]:

@@ -1,0 +1,95 @@
+"""Cross-process observation snapshots: dump in a worker, merge in the parent.
+
+Everything in :mod:`repro.observe` is process-local, so when the
+experiment pipeline fans out per-program work to a
+:class:`~concurrent.futures.ProcessPoolExecutor`
+(:mod:`repro.experiments.parallel`), each worker's metrics, spans,
+notes, and profiler samples would be lost when the process exits.  This
+module closes that gap:
+
+* a worker calls :func:`dump_snapshot` at the end of its task and
+  returns the payload (plain dicts + picklable
+  :class:`~repro.observe.spans.SpanRecord` objects) through the pool;
+* the parent calls :func:`merge_snapshot`, which folds counters,
+  gauges, raw histogram observations, and notes into the parent
+  registry, grafts the worker's span tree under a caller-chosen path
+  (``pipeline/worker:<name>/...``), and rebases worker
+  ``time.perf_counter`` span starts into the parent's clock.
+
+Merged manifests therefore look like serial ones — same counter totals,
+same ``stages`` rollup (stage span names are unchanged by grafting) —
+plus one extra ``worker:<name>`` span per program recording the fan-out
+itself.  See ``docs/OBSERVABILITY.md`` ("Parallel runs and worker
+snapshot merging").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.observe.metrics import get_registry
+from repro.observe.profile import get_profiler
+from repro.observe.spans import SpanRecord
+
+#: Payload format version; parent and workers always share a code tree,
+#: but a mismatch (e.g. a stale pickle replayed from disk) should fail
+#: loudly rather than merge garbage.
+SNAPSHOT_VERSION = 1
+
+
+def dump_snapshot() -> Dict[str, object]:
+    """Everything this process observed, as one picklable payload."""
+    profiler = get_profiler()
+    with profiler._lock:
+        profile = {
+            "cpu_opcodes": dict(profiler.cpu_opcodes),
+            "engine_events": dict(profiler.engine_events),
+        }
+    return {
+        "version": SNAPSHOT_VERSION,
+        "metrics": get_registry().dump_state(),
+        "profile": profile,
+    }
+
+
+def merge_snapshot(
+    snapshot: Dict[str, object],
+    under: str = "",
+    clock_offset: float = 0.0,
+    attrs: Optional[Dict[str, str]] = None,
+) -> None:
+    """Fold a :func:`dump_snapshot` payload into this process's state.
+
+    ``under`` re-roots the worker's spans: a worker span with path
+    ``program:gcc/simulate`` merged with ``under="pipeline/worker:gcc"``
+    lands as ``pipeline/worker:gcc/program:gcc/simulate``.
+    ``clock_offset`` is added to every span's ``start_s`` so timelines
+    recorded against the worker's ``perf_counter`` epoch line up with
+    the parent's.  ``attrs`` (e.g. ``{"worker": "gcc"}``) are stamped
+    onto every grafted span that does not already carry the key.
+    """
+    version = snapshot.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise ValueError(f"unsupported snapshot version {version!r}")
+    registry = get_registry()
+    state = snapshot["metrics"]
+    registry.merge_state(state)
+    for record in state.get("spans", []):
+        merged_attrs = dict(record.attrs)
+        for key, value in (attrs or {}).items():
+            merged_attrs.setdefault(key, value)
+        registry.add_span(SpanRecord(
+            name=record.name,
+            path=f"{under}/{record.path}" if under else record.path,
+            parent=(f"{under}/{record.parent}" if record.parent else under)
+            if under else record.parent,
+            start_s=record.start_s + clock_offset,
+            duration_s=record.duration_s,
+            error=record.error,
+            attrs=merged_attrs,
+        ))
+    profile = snapshot.get("profile") or {}
+    if profile.get("cpu_opcodes") or profile.get("engine_events"):
+        get_profiler().merge_samples(
+            profile.get("cpu_opcodes", {}), profile.get("engine_events", {})
+        )

@@ -12,8 +12,12 @@ using complete ("ph": "X") events — one per span, with microsecond
 (monotonic, arbitrary epoch), so timestamps are re-based to the earliest
 span in the export; viewers only care about relative placement.  Spans
 from one thread nest strictly in time (the span stack guarantees it), so
-all events share one track and the viewer reconstructs the tree from
-containment.
+events share one track and the viewer reconstructs the tree from
+containment.  The one exception is a parallel run
+(:mod:`repro.experiments.parallel`): spans grafted under a
+``worker:<name>`` path segment ran concurrently with other workers, so
+each worker subtree gets its own named track (``tid``) and the timeline
+shows the fan-out side by side instead of as impossible overlaps.
 
 Use :func:`write_chrome_trace` directly, or the CLI's ``--trace-out
 FILE`` flag which exports whatever the run's spans were (see
@@ -40,6 +44,14 @@ def _as_dict(span: _SpanLike) -> Dict[str, object]:
     return span.to_dict() if isinstance(span, SpanRecord) else span
 
 
+def _worker_of(path: str) -> Optional[str]:
+    """The ``worker:<name>`` segment owning a span path, or ``None``."""
+    for segment in path.split("/"):
+        if segment.startswith("worker:"):
+            return segment
+    return None
+
+
 def spans_to_trace_events(
     spans: Iterable[_SpanLike],
     process_name: str = "repro",
@@ -58,8 +70,23 @@ def spans_to_trace_events(
             "args": {"name": process_name},
         },
     ]
+    # Main track first, then one track per worker subtree.
+    worker_tids: Dict[str, int] = {}
     for d in dicts:
         path = str(d.get("path", "")) or str(d.get("name", ""))
+        worker = _worker_of(path)
+        tid = _TID
+        if worker is not None:
+            tid = worker_tids.get(worker)
+            if tid is None:
+                tid = worker_tids[worker] = _TID + 1 + len(worker_tids)
+                events.append({
+                    "ph": "M",
+                    "pid": _PID,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": worker},
+                })
         args: Dict[str, object] = {"path": path}
         attrs = d.get("attrs")
         if isinstance(attrs, dict):
@@ -69,7 +96,7 @@ def spans_to_trace_events(
         events.append({
             "ph": "X",
             "pid": _PID,
-            "tid": _TID,
+            "tid": tid,
             "name": str(d.get("name", "?")),
             "cat": path.split("/", 1)[0],
             "ts": (float(d.get("start_s", 0.0)) - base_s) * 1e6,

@@ -79,7 +79,11 @@ def discover_sessions(registry: ObjectRegistry) -> List[SessionDef]:
     heap_by_context: Dict[str, List[int]] = {}
     for obj in registry.objects:
         if obj.kind == HEAP:
-            for function in set(obj.context):
+            # Dedupe the call context in appearance order: a set here
+            # would iterate in hash-randomized order, making session
+            # order differ between processes and breaking the
+            # serial-vs-parallel bit-identical guarantee.
+            for function in dict.fromkeys(obj.context):
                 heap_by_context.setdefault(function, []).append(obj.id)
     for function, member_ids in heap_by_context.items():
         add(ALL_HEAP_IN_FUNC, f"heap@{function}", member_ids)

@@ -12,11 +12,16 @@ counting variables for *every* session simultaneously; see
 """
 
 from repro.simulate.counting import CountingVariables, VmPageCounts
-from repro.simulate.engine import SimulationResult, simulate_sessions
+from repro.simulate.engine import (
+    SimulationResult,
+    simulate_sessions,
+    validate_page_sizes,
+)
 
 __all__ = [
     "CountingVariables",
     "VmPageCounts",
     "SimulationResult",
     "simulate_sessions",
+    "validate_page_sizes",
 ]

@@ -92,6 +92,26 @@ class SimulationResult:
         ]
 
 
+def validate_page_sizes(page_sizes: Sequence[int]) -> None:
+    """Reject page sizes the shift-based page math cannot represent.
+
+    Page numbers are computed as ``address >> (size.bit_length() - 1)``,
+    which is only ``address // size`` when ``size`` is a power of two; a
+    size like 3000 would silently fold unrelated addresses onto the same
+    page and corrupt every VM counting variable downstream.
+    """
+    if not page_sizes:
+        raise PipelineError("page_sizes must not be empty")
+    for size in page_sizes:
+        if not isinstance(size, int) or isinstance(size, bool):
+            raise PipelineError(f"page size {size!r} must be an int")
+        if size <= 0 or size & (size - 1):
+            raise PipelineError(
+                f"page size {size} is not a power of two; the engine's "
+                "shift-based page math would compute wrong page numbers"
+            )
+
+
 def simulate_sessions(
     trace: EventTrace,
     registry: ObjectRegistry,
@@ -106,6 +126,7 @@ def simulate_sessions(
     n_sessions = len(sessions)
     if n_sessions == 0:
         raise PipelineError("no sessions to simulate")
+    validate_page_sizes(page_sizes)
     # One flag read per *run*; the event loop below is never instrumented.
     observing = observe.is_enabled()
     start_time = time.perf_counter() if observing else 0.0

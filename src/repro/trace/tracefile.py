@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import io
 import json
+import os
+import tempfile
 from array import array
 from pathlib import Path
 from typing import Tuple, Union
@@ -26,7 +28,14 @@ _FORMAT_VERSION = 1
 def save_trace(
     trace: EventTrace, registry: ObjectRegistry, path: Union[str, Path]
 ) -> None:
-    """Save ``trace`` + ``registry`` to ``path`` (.npz)."""
+    """Save ``trace`` + ``registry`` to ``path`` (.npz).
+
+    The archive is written to a temporary file in the same directory and
+    :func:`os.replace`d into place, so a reader (or a concurrent writer
+    racing on the same cache key — see :mod:`repro.experiments.parallel`)
+    never sees a half-written file, and an interrupted save leaves the
+    previous entry intact.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     meta_doc = {
@@ -45,14 +54,28 @@ def save_trace(
             for obj in registry.objects
         ],
     }
-    np.savez_compressed(
-        path,
-        kinds=np.frombuffer(trace.kinds.tobytes(), dtype=np.int8),
-        col_a=np.frombuffer(trace.col_a.tobytes(), dtype=np.int64),
-        col_b=np.frombuffer(trace.col_b.tobytes(), dtype=np.int64),
-        col_c=np.frombuffer(trace.col_c.tobytes(), dtype=np.int64),
-        meta=np.frombuffer(json.dumps(meta_doc).encode("utf-8"), dtype=np.uint8),
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
     )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez_compressed(
+                handle,
+                kinds=np.frombuffer(trace.kinds.tobytes(), dtype=np.int8),
+                col_a=np.frombuffer(trace.col_a.tobytes(), dtype=np.int64),
+                col_b=np.frombuffer(trace.col_b.tobytes(), dtype=np.int64),
+                col_c=np.frombuffer(trace.col_c.tobytes(), dtype=np.int64),
+                meta=np.frombuffer(
+                    json.dumps(meta_doc).encode("utf-8"), dtype=np.uint8
+                ),
+            )
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def load_trace(path: Union[str, Path]) -> Tuple[EventTrace, ObjectRegistry]:

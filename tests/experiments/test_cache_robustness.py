@@ -1,0 +1,152 @@
+"""Cache-layer correctness: corruption recovery, atomic writes, validation.
+
+A torn or garbage ``.repro_cache/`` entry must never abort a run — it is
+logged, deleted, and recomputed as a miss — and writers must publish
+entries atomically so a crash or a racing worker cannot tear a file.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import observe
+from repro.errors import PipelineError
+from repro.experiments.pipeline import ExperimentConfig, load_program_data
+from repro.simulate import simulate_sessions, validate_page_sizes
+from repro.trace import load_trace, save_trace
+
+PROGRAM = "qcd"  # heapless and quick at smoke scale
+
+
+@pytest.fixture()
+def warm_cache(tmp_path):
+    """A cache directory holding one program's trace + sim entries."""
+    config = ExperimentConfig(
+        programs=(PROGRAM,), scale="smoke", cache_dir=tmp_path
+    )
+    baseline = load_program_data(PROGRAM, config)
+    return config, baseline
+
+
+def _entry(config, suffix):
+    matches = [p for p in config.cache_dir.iterdir() if p.name.endswith(suffix)]
+    assert len(matches) == 1, matches
+    return matches[0]
+
+
+@pytest.fixture()
+def observing():
+    was_enabled = observe.is_enabled()
+    observe.reset()
+    observe.enable()
+    yield observe.get_registry()
+    if not was_enabled:
+        observe.disable()
+    observe.reset()
+
+
+class TestCorruptionRecovery:
+    def test_garbage_sim_pickle_recovers_as_miss(self, warm_cache, observing):
+        config, baseline = warm_cache
+        sim_path = _entry(config, ".pkl")
+        sim_path.write_bytes(b"this is not a pickle")
+        messages = []
+        data = load_program_data(PROGRAM, config, messages.append)
+        assert data.result.counts == baseline.result.counts
+        counters = observing.snapshot()["counters"]
+        assert counters["cache.sim.corrupt"] == 1
+        assert counters["cache.sim.misses"] == 1
+        assert "cache.sim.hits" not in counters
+        notes = observing.snapshot()["notes"]
+        assert notes["cache.sim.corrupt"] == [sim_path.name]
+        assert any("corrupt" in message for message in messages)
+        # The bad entry was replaced by a good one: next load is a hit.
+        reloaded = load_program_data(PROGRAM, config)
+        assert reloaded.result.counts == baseline.result.counts
+        assert observing.snapshot()["counters"]["cache.sim.hits"] == 1
+
+    def test_truncated_sim_pickle_recovers(self, warm_cache):
+        config, baseline = warm_cache
+        sim_path = _entry(config, ".pkl")
+        sim_path.write_bytes(sim_path.read_bytes()[:64])  # torn mid-write
+        data = load_program_data(PROGRAM, config)
+        assert data.result.counts == baseline.result.counts
+
+    def test_wrong_shape_sim_payload_recovers(self, warm_cache):
+        config, baseline = warm_cache
+        sim_path = _entry(config, ".pkl")
+        with open(sim_path, "wb") as handle:
+            pickle.dump({"unexpected": 1}, handle)
+        data = load_program_data(PROGRAM, config)
+        assert data.result.counts == baseline.result.counts
+
+    def test_truncated_trace_npz_recovers(self, warm_cache, observing):
+        config, baseline = warm_cache
+        _entry(config, ".pkl").unlink()  # force the trace path to be read
+        trace_path = _entry(config, ".npz")
+        trace_path.write_bytes(trace_path.read_bytes()[:100])
+        messages = []
+        data = load_program_data(PROGRAM, config, messages.append)
+        assert data.result.counts == baseline.result.counts
+        counters = observing.snapshot()["counters"]
+        assert counters["cache.trace.corrupt"] == 1
+        assert counters["cache.trace.misses"] == 1
+        assert any("corrupt" in message for message in messages)
+
+    def test_garbage_trace_npz_recovers(self, warm_cache):
+        config, baseline = warm_cache
+        _entry(config, ".pkl").unlink()
+        _entry(config, ".npz").write_bytes(b"\x00" * 32)
+        data = load_program_data(PROGRAM, config)
+        assert data.result.counts == baseline.result.counts
+
+
+class TestAtomicWrites:
+    def test_no_temp_files_left_behind(self, warm_cache):
+        config, _ = warm_cache
+        leftovers = [p for p in config.cache_dir.iterdir()
+                     if p.name.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_save_trace_replaces_whole_file(self, warm_cache, tmp_path):
+        config, _ = warm_cache
+        trace_path = _entry(config, ".npz")
+        trace, registry = load_trace(trace_path)
+        target = tmp_path / "out" / "entry.npz"
+        target.parent.mkdir()
+        target.write_bytes(b"old torn garbage")
+        save_trace(trace, registry, target)
+        # The publish was a rename: the content is complete and loadable.
+        reloaded_trace, _ = load_trace(target)
+        assert len(reloaded_trace) == len(trace)
+        assert [p.name for p in target.parent.iterdir()] == ["entry.npz"]
+
+
+class TestPageSizeValidation:
+    @pytest.mark.parametrize("bad", [0, -4096, 3000, 4097, 2.5, True])
+    def test_validate_rejects(self, bad):
+        with pytest.raises(PipelineError):
+            validate_page_sizes((4096, bad))
+
+    def test_validate_rejects_empty(self):
+        with pytest.raises(PipelineError):
+            validate_page_sizes(())
+
+    @pytest.mark.parametrize("good", [(1,), (4096,), (4096, 8192), (2, 65536)])
+    def test_validate_accepts_powers_of_two(self, good):
+        validate_page_sizes(good)
+
+    def test_config_rejects_bad_page_size(self):
+        with pytest.raises(PipelineError):
+            ExperimentConfig(page_sizes=(4096, 3000))
+
+    def test_engine_rejects_bad_page_size(self, warm_cache):
+        config, _ = warm_cache
+        trace, registry = load_trace(_entry(config, ".npz"))
+        from repro.sessions import discover_sessions
+
+        sessions = discover_sessions(registry)
+        with pytest.raises(PipelineError):
+            simulate_sessions(trace, registry, sessions, page_sizes=(3000,))

@@ -1,0 +1,187 @@
+"""Parallel pipeline: equivalence with serial, merged observation, CLI.
+
+The process-pool fan-out must be invisible to consumers: identical
+``ProgramData`` for every program, identical rendered tables, and — when
+observation is on — a merged manifest whose counter totals match a
+serial run's, with the worker fan-out visible only as extra
+``worker:<name>`` spans.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import observe
+from repro.errors import PipelineError
+from repro.experiments.cli import main as cli_main
+from repro.experiments.parallel import load_experiment_data_parallel
+from repro.experiments.pipeline import ExperimentConfig, load_experiment_data
+from repro.observe.manifest import RunManifest, load_manifest
+from repro.observe.traceview import spans_to_trace_events
+
+PROGRAMS = ("gcc", "ctex", "spice", "qcd", "bps")
+
+
+@pytest.fixture(scope="module")
+def serial_data(tmp_path_factory):
+    config = ExperimentConfig(
+        programs=PROGRAMS, scale="smoke",
+        cache_dir=tmp_path_factory.mktemp("serial_cache"),
+    )
+    return load_experiment_data(config)
+
+
+@pytest.fixture(scope="module")
+def parallel_data(tmp_path_factory):
+    config = ExperimentConfig(
+        programs=PROGRAMS, scale="smoke",
+        cache_dir=tmp_path_factory.mktemp("parallel_cache"), jobs=2,
+    )
+    return load_experiment_data(config)
+
+
+class TestEquivalence:
+    def test_all_programs_present_in_config_order(self, parallel_data):
+        assert tuple(parallel_data) == PROGRAMS
+
+    def test_counting_variables_identical(self, serial_data, parallel_data):
+        for name in PROGRAMS:
+            serial = serial_data[name]
+            parallel = parallel_data[name]
+            assert serial.scale == parallel.scale
+            assert serial.meta.base_time_us == parallel.meta.base_time_us
+            serial_sessions = [s.label for s in serial.result.sessions]
+            parallel_sessions = [s.label for s in parallel.result.sessions]
+            assert serial_sessions == parallel_sessions, name
+            assert serial.result.counts == parallel.result.counts, name
+            assert serial.result.total_writes == parallel.result.total_writes
+            assert serial.result.n_discarded == parallel.result.n_discarded
+
+    def test_single_job_config_takes_serial_path(self, serial_data, tmp_path):
+        # jobs=1 must not spin up a pool; results still correct.
+        config = ExperimentConfig(
+            programs=("qcd",), scale="smoke", cache_dir=tmp_path, jobs=1,
+        )
+        data = load_experiment_data(config)
+        assert data["qcd"].result.counts == serial_data["qcd"].result.counts
+
+    def test_jobs_clamped_to_program_count(self, serial_data, tmp_path):
+        config = ExperimentConfig(
+            programs=("qcd", "gcc"), scale="smoke", cache_dir=tmp_path,
+        )
+        data = load_experiment_data_parallel(config, jobs=64)
+        assert tuple(data) == ("qcd", "gcc")
+        assert data["gcc"].result.counts == serial_data["gcc"].result.counts
+
+
+class TestMergedObservation:
+    @pytest.fixture()
+    def observing(self):
+        was_enabled = observe.is_enabled()
+        observe.reset()
+        observe.enable()
+        yield observe.get_registry()
+        if not was_enabled:
+            observe.disable()
+        observe.reset()
+
+    def test_merged_manifest_counters_match_serial_totals(
+        self, observing, tmp_path
+    ):
+        config = ExperimentConfig(
+            programs=PROGRAMS, scale="smoke", cache_dir=tmp_path / "cold",
+            jobs=3,
+        )
+        with observe.span("pipeline"):
+            load_experiment_data(config)
+        manifest = RunManifest.from_registry(target="parallel-unit")
+        # Cold cache: every program missed and recomputed, in a worker.
+        assert manifest.counters["cache.trace.misses"] == len(PROGRAMS)
+        assert manifest.counters["cache.sim.misses"] == len(PROGRAMS)
+        assert manifest.counters["engine.runs"] == len(PROGRAMS)
+        assert manifest.cache["trace"]["written"]
+        assert manifest.counters["trace.events"] == manifest.counters["engine.events"]
+        assert manifest.counters["cpu.stores"] == manifest.counters["trace.writes"]
+        assert manifest.gauges["pipeline.jobs"] == 3
+        # Stage rollup looks serial: every program reports its stages.
+        for name in PROGRAMS:
+            assert {"compile", "trace", "simulate"} <= set(manifest.stages[name])
+
+    def test_worker_spans_grafted_under_parent(self, observing, tmp_path):
+        config = ExperimentConfig(
+            programs=("qcd", "gcc"), scale="smoke", cache_dir=tmp_path,
+            jobs=2,
+        )
+        with observe.span("pipeline"):
+            load_experiment_data(config)
+        spans = observing.snapshot()["spans"]
+        by_name = {s["name"]: s for s in spans}
+        for name in ("qcd", "gcc"):
+            worker = by_name[f"worker:{name}"]
+            assert worker["path"] == f"pipeline/worker:{name}"
+            assert worker["parent"] == "pipeline"
+            program = by_name[f"program:{name}"]
+            assert program["path"] == f"pipeline/worker:{name}/program:{name}"
+            # Worker clocks are rebased into the parent timeline: the
+            # grafted span cannot start before its worker was submitted.
+            assert program["start_s"] >= worker["start_s"]
+
+    def test_trace_export_gives_each_worker_a_lane(self, observing, tmp_path):
+        config = ExperimentConfig(
+            programs=("qcd", "gcc"), scale="smoke", cache_dir=tmp_path,
+            jobs=2,
+        )
+        with observe.span("pipeline"):
+            load_experiment_data(config)
+        document = spans_to_trace_events(observing.snapshot()["spans"])
+        events = document["traceEvents"]
+        lane_names = {
+            e["args"]["name"] for e in events if e.get("name") == "thread_name"
+        }
+        assert {"worker:qcd", "worker:gcc"} <= lane_names
+        tids = {
+            e["tid"] for e in events
+            if e["ph"] == "X" and "worker:" in e["args"].get("path", "")
+        }
+        assert len(tids) == 2  # one lane per worker
+        main_tids = {
+            e["tid"] for e in events
+            if e["ph"] == "X" and "worker:" not in e["args"].get("path", "")
+        }
+        assert main_tids.isdisjoint(tids)
+
+
+class TestCli:
+    def test_jobs_flag_smoke(self, capsys, tmp_path):
+        code = cli_main([
+            "table4", "--scale", "smoke", "--cache-dir", str(tmp_path),
+            "--quiet", "--programs", "qcd", "gcc", "--jobs", "2",
+        ])
+        assert code == 0
+        assert "Table 4" in capsys.readouterr().out
+
+    def test_jobs_recorded_in_manifest(self, capsys, tmp_path):
+        manifest_path = tmp_path / "run.json"
+        code = cli_main([
+            "table1", "--scale", "smoke", "--cache-dir", str(tmp_path / "c"),
+            "--quiet", "--programs", "qcd", "gcc", "--jobs", "2",
+            "--manifest", str(manifest_path),
+        ])
+        assert code == 0
+        manifest = load_manifest(manifest_path)
+        assert manifest.config["jobs"] == 2
+        assert {"worker:qcd", "worker:gcc"} <= {
+            s["name"] for s in manifest.spans
+        }
+
+    def test_bad_jobs_rejected(self, capsys):
+        assert cli_main(["table1", "--quiet", "--jobs", "0"]) == 2
+        assert "jobs" in capsys.readouterr().err
+
+
+class TestConfigValidation:
+    def test_jobs_must_be_positive_int(self):
+        with pytest.raises(PipelineError):
+            ExperimentConfig(jobs=0)
+        with pytest.raises(PipelineError):
+            ExperimentConfig(jobs=-2)

@@ -82,3 +82,18 @@ class TestDiscovery:
 
     def test_empty_registry_yields_nothing(self):
         assert discover_sessions(ObjectRegistry()) == []
+
+    def test_all_heap_in_func_order_follows_context_appearance(self):
+        """AllHeapInFunc sessions come out in call-context appearance
+        order, independent of string hash randomization — the property
+        the parallel pipeline's bit-identical-output guarantee rests on
+        (a ``set()`` over the context used to scramble it per process).
+        """
+        reg = ObjectRegistry()
+        reg.heap("c", ("alpha", "beta", "c"), 16)
+        reg.heap("c", ("alpha", "gamma", "c", "gamma"), 16)
+        labels = [
+            s.label for s in discover_sessions(reg)
+            if s.kind == ALL_HEAP_IN_FUNC
+        ]
+        assert labels == ["heap@alpha", "heap@beta", "heap@c", "heap@gamma"]

@@ -5,7 +5,13 @@ sessions instead of one replay per session); this benchmark tracks its
 events-per-second on a synthetic trace with a realistic event mix
 (~75% writes, ~25% install/remove) and overlapping multi-member
 sessions.
+
+Both backends run over the same trace, so the two benchmark rows are the
+speedup measurement: ``numpy`` vs the scalar ``python`` reference (which
+the differential suite keeps bit-identical).
 """
+
+import pytest
 
 from repro.sessions.types import SessionDef, ONE_HEAP, ALL_HEAP_IN_FUNC
 from repro.simulate import simulate_sessions
@@ -63,9 +69,13 @@ def _build_trace():
     return trace, registry, sessions
 
 
-def test_engine_throughput(benchmark):
+@pytest.mark.parametrize("engine", ["python", "numpy"])
+def test_engine_throughput(benchmark, engine):
     trace, registry, sessions = _build_trace()
-    result = benchmark(simulate_sessions, trace, registry, sessions, (4096, 8192))
+    result = benchmark(
+        simulate_sessions, trace, registry, sessions, (4096, 8192),
+        engine=engine,
+    )
     assert result.total_writes > 0
     assert result.overlap_anomalies == 0
     # Sanity on the aggregate session: its hits are the sum of writes

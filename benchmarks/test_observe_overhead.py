@@ -27,12 +27,19 @@ import pytest
 from repro import observe
 from repro.observe import profile as observe_profile
 from repro.simulate import engine as engine_module
+from repro.simulate import vector_engine as vector_engine_module
 from repro.simulate import simulate_sessions
 
 from test_engine_throughput import _build_trace
 
 N_TIMING_ROUNDS = 5
 MAX_DISABLED_OVERHEAD = 1.03
+
+#: backend name -> the module whose ``observe`` binding the engine reads.
+_BACKEND_MODULES = {
+    "python": engine_module,
+    "numpy": vector_engine_module,
+}
 
 
 class _InertObserve:
@@ -55,30 +62,34 @@ def quiet_registry():
     observe.reset()
 
 
-def test_disabled_run_records_nothing(quiet_registry):
+@pytest.mark.parametrize("engine", ["python", "numpy"])
+def test_disabled_run_records_nothing(quiet_registry, engine):
     trace, registry, sessions = _build_trace()
-    simulate_sessions(trace, registry, sessions, (4096, 8192))
+    simulate_sessions(trace, registry, sessions, (4096, 8192), engine=engine)
     snapshot = quiet_registry.snapshot()
     assert snapshot["counters"] == {}
     assert snapshot["histograms"] == {}
     assert snapshot["spans"] == []
 
 
-def test_disabled_profiling_records_nothing(quiet_registry):
+@pytest.mark.parametrize("engine", ["python", "numpy"])
+def test_disabled_profiling_records_nothing(quiet_registry, engine):
     """The sampling profiler shares the disabled-path contract."""
     observe_profile.disable_profiling()
     observe_profile.reset_profile()
     trace, registry, sessions = _build_trace()
-    simulate_sessions(trace, registry, sessions, (4096, 8192))
+    simulate_sessions(trace, registry, sessions, (4096, 8192), engine=engine)
     assert observe_profile.get_profiler().engine_events == {}
 
 
-def test_enabled_profiling_samples_the_event_mix(quiet_registry):
+@pytest.mark.parametrize("engine", ["python", "numpy"])
+def test_enabled_profiling_samples_the_event_mix(quiet_registry, engine):
     trace, registry, sessions = _build_trace()
     observe_profile.enable_profiling(stride=100)
     observe_profile.reset_profile()
     try:
-        simulate_sessions(trace, registry, sessions, (4096, 8192))
+        simulate_sessions(trace, registry, sessions, (4096, 8192),
+                          engine=engine)
     finally:
         samples = dict(observe_profile.get_profiler().engine_events)
         observe_profile.disable_profiling()
@@ -86,27 +97,38 @@ def test_enabled_profiling_samples_the_event_mix(quiet_registry):
     assert sum(samples.values()) == len(trace.kinds[::100])
 
 
-def test_enabled_run_records_engine_counters(quiet_registry):
+@pytest.mark.parametrize("engine", ["python", "numpy"])
+def test_enabled_run_records_engine_counters(quiet_registry, engine):
+    """Both backends report the same run-level counters — and the same
+    ``engine.events_per_sec`` histogram — so manifests from either are
+    directly comparable by ``diff``/``trend``."""
     trace, registry, sessions = _build_trace()
     observe.enable()
     try:
-        result = simulate_sessions(trace, registry, sessions, (4096, 8192))
+        result = simulate_sessions(trace, registry, sessions, (4096, 8192),
+                                   engine=engine)
     finally:
         observe.disable()
-    counters = quiet_registry.snapshot()["counters"]
+    snapshot = quiet_registry.snapshot()
+    counters = snapshot["counters"]
     assert counters["engine.runs"] == 1
     assert counters["engine.events"] == len(trace)
     assert counters["engine.writes"] == result.total_writes
     assert counters["engine.sessions_studied"] == len(result.sessions)
+    assert snapshot["notes"]["engine.backend"] == [engine]
     assert quiet_registry.histogram("engine.events_per_sec").count == 1
 
 
-def test_disabled_path_overhead_under_3_percent(quiet_registry, monkeypatch):
+@pytest.mark.parametrize("engine", ["python", "numpy"])
+def test_disabled_path_overhead_under_3_percent(quiet_registry, monkeypatch,
+                                                engine):
     trace, registry, sessions = _build_trace()
+    backend_module = _BACKEND_MODULES[engine]
 
     def timed_run() -> float:
         start = time.perf_counter()
-        simulate_sessions(trace, registry, sessions, (4096, 8192))
+        simulate_sessions(trace, registry, sessions, (4096, 8192),
+                          engine=engine)
         return time.perf_counter() - start
 
     # Warm up allocator/caches so neither variant pays first-run costs.
@@ -114,14 +136,14 @@ def test_disabled_path_overhead_under_3_percent(quiet_registry, monkeypatch):
 
     disabled_times, stubbed_times = [], []
     for _ in range(N_TIMING_ROUNDS):
-        monkeypatch.setattr(engine_module, "observe", _InertObserve)
+        monkeypatch.setattr(backend_module, "observe", _InertObserve)
         stubbed_times.append(timed_run())
-        monkeypatch.setattr(engine_module, "observe", observe)
+        monkeypatch.setattr(backend_module, "observe", observe)
         disabled_times.append(timed_run())
 
     ratio = min(disabled_times) / min(stubbed_times)
     assert ratio < MAX_DISABLED_OVERHEAD, (
-        f"disabled-path observe overhead {100 * (ratio - 1):.2f}% "
+        f"[{engine}] disabled-path observe overhead {100 * (ratio - 1):.2f}% "
         f"exceeds {100 * (MAX_DISABLED_OVERHEAD - 1):.0f}% "
         f"(disabled {min(disabled_times):.4f}s vs stubbed {min(stubbed_times):.4f}s)"
     )

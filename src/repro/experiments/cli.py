@@ -52,6 +52,7 @@ from repro.experiments.table2 import render_table2_report
 from repro.experiments.table3 import render_table3_report
 from repro.experiments.table4 import render_table4_report
 from repro.experiments.whatif import render_whatif_report
+from repro.simulate import ENGINE_CHOICES
 from repro.observe.diff import DiffThresholds, diff_manifests, render_diff_report
 
 _TARGETS = (
@@ -97,6 +98,12 @@ def _parse_args(argv):
         help="fan per-program pipeline work out to N worker processes "
         "(default 1 = serial); observation merges worker metrics/spans "
         "back into one manifest",
+    )
+    parser.add_argument(
+        "--engine", choices=ENGINE_CHOICES, default="auto",
+        help="phase-2 simulation backend: 'python' (scalar reference), "
+        "'numpy' (vectorized), or 'auto' (numpy on large traces when "
+        "available; the default).  Both produce bit-identical results",
     )
     parser.add_argument("--quiet", action="store_true", help="suppress progress output")
     parser.add_argument(
@@ -243,6 +250,7 @@ def main(argv=None) -> int:
             cache_dir=Path(args.cache_dir),
             use_cache=not args.no_cache,
             jobs=args.jobs,
+            engine=args.engine,
         )
     except PipelineError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -308,6 +316,7 @@ def main(argv=None) -> int:
                 "cache_dir": str(config.cache_dir),
                 "use_cache": config.use_cache,
                 "jobs": config.jobs,
+                "engine": config.engine,
             },
         )
     if args.manifest:

@@ -40,6 +40,7 @@ from repro import observe
 from repro.errors import PipelineError
 from repro.sessions import discover_sessions
 from repro.simulate import (
+    ENGINE_CHOICES,
     SimulationResult,
     simulate_sessions,
     validate_page_sizes,
@@ -66,7 +67,11 @@ class ExperimentConfig:
     ``"smoke"`` (small runs for tests and examples), or an explicit int
     applied to every workload.  ``jobs`` is the number of worker
     processes the pipeline may fan per-program work out to (1 = serial;
-    see :mod:`repro.experiments.parallel`).
+    see :mod:`repro.experiments.parallel`).  ``engine`` selects the
+    phase-2 backend (:data:`repro.simulate.ENGINE_CHOICES`); both
+    backends produce bit-identical results, so the simulation cache is
+    deliberately keyed without it — a cache entry written by one backend
+    is valid for the other.
     """
 
     programs: Tuple[str, ...] = ("gcc", "ctex", "spice", "qcd", "bps")
@@ -75,6 +80,7 @@ class ExperimentConfig:
     cache_dir: Path = Path(".repro_cache")
     use_cache: bool = True
     jobs: int = 1
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         # Fail at configuration time, not deep inside the engine: a
@@ -84,6 +90,10 @@ class ExperimentConfig:
         if not isinstance(self.jobs, int) or isinstance(self.jobs, bool) \
                 or self.jobs < 1:
             raise PipelineError(f"jobs must be an int >= 1, got {self.jobs!r}")
+        if self.engine not in ENGINE_CHOICES:
+            raise PipelineError(
+                f"unknown engine {self.engine!r}; choose from {ENGINE_CHOICES}"
+            )
 
     def scale_of(self, workload: Workload) -> int:
         """Resolve the configured scale to a concrete int for ``workload``."""
@@ -250,7 +260,10 @@ def load_program_data(
         if progress:
             progress(f"[{name}] simulating {len(sessions)} sessions over {len(trace)} events")
         with observe.span("simulate", program=name):
-            result = simulate_sessions(trace, registry, sessions, config.page_sizes)
+            result = simulate_sessions(
+                trace, registry, sessions, config.page_sizes,
+                engine=config.engine,
+            )
         payload = {"meta": trace.meta, "registry": registry, "result": result}
         if config.use_cache:
             _atomic_pickle_dump(payload, sim_path)

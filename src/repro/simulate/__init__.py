@@ -7,21 +7,111 @@ removes, and — per page size — page protect/unprotect transitions and
 active-page misses.
 
 The engine makes a **single pass** over the trace and computes exact
-counting variables for *every* session simultaneously; see
-:mod:`repro.simulate.engine` for the algorithm.
+counting variables for *every* session simultaneously.  Two backends
+implement the same pass and produce bit-identical results:
+
+* ``"python"`` — the scalar reference engine
+  (:mod:`repro.simulate.engine`): a per-event loop with dict-based word
+  ownership and lazy (page, session) bookkeeping;
+* ``"numpy"`` — the vectorized engine
+  (:mod:`repro.simulate.vector_engine`): the same counting as a fixed
+  number of array passes, ~10-100x faster on multi-million-event traces.
+
+:func:`simulate_sessions` dispatches between them.  The default
+``engine="auto"`` picks NumPy when it is importable and the trace is
+large enough to amortize the fixed array-pass setup
+(:data:`AUTO_NUMPY_MIN_EVENTS`), and falls back to the scalar engine
+otherwise — tiny traces, or a NumPy-less interpreter.  Pass
+``engine="python"`` or ``engine="numpy"`` to force a backend
+(``"numpy"`` raises :class:`~repro.errors.PipelineError` when NumPy is
+unavailable).  Equivalence is enforced by the differential suite in
+``tests/simulate/test_vector_equivalence.py`` and the CI
+``engine-equivalence`` job.
 """
 
+from typing import Optional, Sequence
+
+from repro.errors import PipelineError
+from repro.sessions.types import SessionDef
 from repro.simulate.counting import CountingVariables, VmPageCounts
 from repro.simulate.engine import (
     SimulationResult,
-    simulate_sessions,
+    simulate_sessions as simulate_sessions_python,
     validate_page_sizes,
 )
+from repro.trace.events import EventTrace
+from repro.trace.objects import ObjectRegistry
+
+#: Recognized values for the ``engine`` argument / ``--engine`` flag.
+ENGINE_CHOICES = ("auto", "python", "numpy")
+
+#: Below this many events ``engine="auto"`` stays scalar: the NumPy
+#: backend's fixed setup (array views, sorts) dominates tiny traces.
+AUTO_NUMPY_MIN_EVENTS = 4096
+
+
+def _numpy_available() -> bool:
+    try:
+        import numpy  # noqa: F401
+    except ImportError:  # pragma: no cover - numpy ships with the repo
+        return False
+    return True
+
+
+def resolve_engine(engine: str = "auto", n_events: Optional[int] = None) -> str:
+    """Map an ``engine`` request to the backend that will run.
+
+    Returns ``"python"`` or ``"numpy"``.  ``engine="numpy"`` is an
+    explicit demand and raises :class:`PipelineError` when NumPy is not
+    importable; ``"auto"`` degrades silently.
+    """
+    if engine not in ENGINE_CHOICES:
+        raise PipelineError(
+            f"unknown engine {engine!r}; choose from {ENGINE_CHOICES}"
+        )
+    if engine == "python":
+        return "python"
+    if engine == "numpy":
+        if not _numpy_available():
+            raise PipelineError(
+                "engine='numpy' requested but NumPy is not importable"
+            )
+        return "numpy"
+    if not _numpy_available():
+        return "python"
+    if n_events is not None and n_events < AUTO_NUMPY_MIN_EVENTS:
+        return "python"
+    return "numpy"
+
+
+def simulate_sessions(
+    trace: EventTrace,
+    registry: ObjectRegistry,
+    sessions: Sequence[SessionDef],
+    page_sizes: Sequence[int] = (4096, 8192),
+    engine: str = "auto",
+) -> SimulationResult:
+    """Run the one-pass simulation on the selected backend.
+
+    Both backends return bit-identical results; see the module docstring
+    for how ``engine`` is resolved.
+    """
+    backend = resolve_engine(engine, len(trace))
+    if backend == "numpy":
+        from repro.simulate.vector_engine import simulate_sessions_numpy
+
+        return simulate_sessions_numpy(trace, registry, sessions, page_sizes)
+    return simulate_sessions_python(trace, registry, sessions, page_sizes)
+
 
 __all__ = [
+    "AUTO_NUMPY_MIN_EVENTS",
+    "ENGINE_CHOICES",
     "CountingVariables",
     "VmPageCounts",
     "SimulationResult",
+    "resolve_engine",
     "simulate_sessions",
+    "simulate_sessions_python",
     "validate_page_sizes",
 ]

@@ -161,15 +161,37 @@ def simulate_sessions(
     n_page_sizes = len(page_sizes)
     page_range = range(n_page_sizes)
 
-    for kind, a, b, c in zip(trace.kinds, trace.col_a, trace.col_b, trace.col_c):
+    # Hoisted per-event state: one tuple per page size so the write path
+    # touches no list indexing, and bound dict methods so the loop does
+    # no attribute lookups.  ndarray-backed traces (loaded from .npz) are
+    # normalized to plain lists first — iterating numpy scalars through
+    # this loop costs ~3x in boxing overhead.
+    write_states = [
+        (shifts[i], page_writes[i], page_writes[i].get) for i in page_range
+    ]
+    install_states = [
+        (shifts[i], page_writes[i].get, pair_state[i], pair_state[i].get,
+         protects[i]) for i in page_range
+    ]
+    remove_states = [
+        (shifts[i], page_writes[i].get, pair_state[i].get, unprotects[i],
+         raw_active[i]) for i in page_range
+    ]
+    owner_get = word_owner.get
+    owner_pop = word_owner.pop
+    columns = tuple(
+        column.tolist() if hasattr(column, "dtype") else column
+        for column in (trace.kinds, trace.col_a, trace.col_b, trace.col_c)
+    )
+
+    for kind, a, b, c in zip(*columns):
         if kind == WRITE:
             total_writes += 1
-            for i in page_range:
-                pw = page_writes[i]
-                page = a >> shifts[i]
-                pw[page] = pw.get(page, 0) + 1
+            for shift, pw, pw_get in write_states:
+                page = a >> shift
+                pw[page] = pw_get(page, 0) + 1
             if b - a <= 4:
-                obj = word_owner.get(a)
+                obj = owner_get(a)
                 if obj is not None:
                     for s in obj_sessions[obj]:
                         hits[s] += 1
@@ -178,7 +200,7 @@ def simulate_sessions(
                 # member words it touches.
                 touched = set()
                 for word in range(a, b, 4):
-                    obj = word_owner.get(word)
+                    obj = owner_get(word)
                     if obj is not None:
                         touched.update(obj_sessions[obj])
                 for s in touched:
@@ -194,17 +216,13 @@ def simulate_sessions(
                 if word in word_owner:
                     overlap_anomalies += 1
                 word_owner[word] = a
-            for i in page_range:
-                shift = shifts[i]
-                pairs = pair_state[i]
-                pw = page_writes[i]
-                prot = protects[i]
+            for shift, pw_get, pairs, pairs_get, prot in install_states:
                 for page in range(b >> shift, ((c - 1) >> shift) + 1):
                     base = page * n_sessions
                     for s in owners:
-                        state = pairs.get(base + s)
+                        state = pairs_get(base + s)
                         if state is None or state[0] == 0:
-                            pairs[base + s] = [1, pw.get(page, 0)]
+                            pairs[base + s] = [1, pw_get(page, 0)]
                             prot[s] += 1
                         else:
                             state[0] += 1
@@ -214,25 +232,20 @@ def simulate_sessions(
                 removes[s] += 1
                 active_now[s] -= 1
             for word in range(b, c, 4):
-                if word_owner.pop(word, None) is None:
+                if owner_pop(word, None) is None:
                     overlap_anomalies += 1
-            for i in page_range:
-                shift = shifts[i]
-                pairs = pair_state[i]
-                pw = page_writes[i]
-                unprot = unprotects[i]
-                raw = raw_active[i]
+            for shift, pw_get, pairs_get, unprot, raw in remove_states:
                 for page in range(b >> shift, ((c - 1) >> shift) + 1):
                     base = page * n_sessions
                     for s in owners:
-                        state = pairs.get(base + s)
+                        state = pairs_get(base + s)
                         if state is None or state[0] == 0:
                             overlap_anomalies += 1
                             continue
                         state[0] -= 1
                         if state[0] == 0:
                             unprot[s] += 1
-                            raw[s] += pw.get(page, 0) - state[1]
+                            raw[s] += pw_get(page, 0) - state[1]
 
     # Defensive flush: close any windows the trace left open.
     for i in page_range:
@@ -287,6 +300,7 @@ def simulate_sessions(
         )
         observe.inc("engine.sessions_studied", len(result.sessions))
         observe.inc("engine.sessions_discarded", result.n_discarded)
+        observe.note("engine.backend", "python")
         if elapsed > 0:
             observe.observe_value("engine.events_per_sec", n_events / elapsed)
 
@@ -296,7 +310,7 @@ def simulate_sessions(
     profile_stride = observe_profile.engine_sample_stride()
     if profile_stride:
         event_samples: Dict[int, int] = {}
-        for kind in trace.kinds[::profile_stride]:
+        for kind in columns[0][::profile_stride]:
             event_samples[kind] = event_samples.get(kind, 0) + 1
         if event_samples:
             observe_profile.get_profiler().record_engine(event_samples)

@@ -1,0 +1,605 @@
+"""NumPy-vectorized one-pass trace simulator.
+
+Computes *bit-identical* :class:`~repro.simulate.engine.SimulationResult`
+payloads to the scalar engine (:mod:`repro.simulate.engine`) — same
+counts, same anomaly totals, same session discard decisions — while
+replacing the per-event Python loop with a fixed number of array passes.
+The scalar engine's per-event work is interpreter-overhead-bound (dict
+lookups for word ownership, per-(page, session) transition bookkeeping);
+this backend is the Shasta/CodePatch move applied to the simulator
+itself: hoist the per-event checks into bulk operations.
+
+The passes, mirroring the scalar engine's three ideas — and built
+almost entirely out of ``np.sort`` over *packed integer keys* (group
+key in the high bits, row payload in the low bits), which profiles an
+order of magnitude faster than ``np.argsort``/``np.lexsort`` and turns
+every "query a running counter" step into a merge:
+
+1. **Event classes** split with one ``np.flatnonzero`` over the packed
+   ``kinds`` column: writes vs. install/remove transitions.
+
+2. **Word ownership as a merged timeline.**  The scalar engine keeps a
+   ``word -> object`` dict mutated in event order.  Equivalently: the
+   owner of word ``w`` at event ``e`` is decided by the *last*
+   install/remove endpoint touching ``w`` before ``e`` — an install
+   hands ``w`` to its object, a remove clears it (whatever installed
+   it; this is what makes the two engines agree on overlap-anomalous
+   traces).  Endpoint rows and write queries are packed into one key
+   array (``word | event | flags``), sorted together, and a forward
+   fill (``np.maximum.accumulate``) hands every query the nearest
+   preceding endpoint of its word.  Overlap anomalies are consecutive
+   same-word endpoints of the same polarity (install over an owned
+   word / remove of an unowned word).
+
+3. **Lazy page accounting as grouped running sums.**  Per page size,
+   transition events are expanded to ``(page, session)`` rows, packed
+   as ``pair_id | row | is_install`` keys, and sorted — rows are
+   generated in event order, so the low payload bits keep each
+   (page, session) group's events ordered without a multi-key sort.
+   Within each group the active-monitor count is the *clamped* running
+   sum ``c_k = max(c_{k-1} + d_k, 0)`` (the clamp is exactly the scalar
+   engine's "remove on a dead pair is an anomaly, not a decrement");
+   clamping almost never fires, so the engine takes a plain grouped
+   cumsum and falls back to the running-minimum identity
+   ``c_k = S_k - min(0, min_{j<=k} S_j)`` only when some group dips
+   below zero.  Protects are the ``0 -> 1`` rows, unprotects the
+   ``1 -> 0`` rows, and the per-session active-write total telescopes::
+
+       raw[s] = sum W(unprotect) - sum W(protect) + sum W_total(open)
+
+   where ``W(row)`` is "writes to the row's page before its event" —
+   every protect opens exactly one window that either closes at an
+   unprotect or flushes at end of trace, so the per-window differences
+   collapse into three signed sums and no window matching is needed.
+   ``W`` itself comes from one more packed merge per page size: write
+   rows and per-op queries sorted by ``(page, event)``, a cumulative
+   count of write rows, and a per-page base subtraction.
+
+Everything is integer arithmetic, so "bit-identical" is exact, not
+approximate; the differential suite
+(``tests/simulate/test_vector_equivalence.py``) drives both engines over
+randomized traces including the awkward cases (overlap anomalies,
+multi-word writes, open windows, one-word pages).
+
+Observation follows the scalar engine's contract: one flag read per
+run, the same ``engine.*`` counters afterwards, plus an
+``engine.backend`` note so manifests record which backend produced the
+(identical) numbers.  ``engine.events_per_sec`` is therefore directly
+comparable across backends.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import observe
+from repro.observe import profile as observe_profile
+from repro.errors import PipelineError
+from repro.sessions.types import SessionDef
+from repro.simulate.counting import CountingVariables, VmPageCounts
+from repro.simulate.engine import SimulationResult, validate_page_sizes
+from repro.trace.events import EventKind, EventTrace
+from repro.trace.objects import ObjectRegistry
+
+_WRITE = int(EventKind.WRITE)
+_INSTALL = int(EventKind.INSTALL)
+
+
+def _bits(value: int) -> int:
+    """Bits needed to hold 0..value inclusive."""
+    return max(int(value).bit_length(), 1)
+
+
+class _Membership:
+    """CSR view of ``object id -> session indexes``, multiplicity kept.
+
+    The scalar engine appends ``session.index`` to each member object's
+    list; duplicates (a session listing an object twice) therefore count
+    twice on hits/installs, and this layout preserves that.
+    """
+
+    def __init__(self, registry: ObjectRegistry, sessions: Sequence[SessionDef]):
+        n_objects = len(registry.objects)
+        pairs_obj: List[np.ndarray] = []
+        pairs_sess: List[np.ndarray] = []
+        for session in sessions:
+            members = np.asarray(session.member_ids, dtype=np.int64)
+            pairs_obj.append(members)
+            pairs_sess.append(np.full(members.size, session.index, np.int64))
+        obj = np.concatenate(pairs_obj) if pairs_obj else np.empty(0, np.int64)
+        sess = np.concatenate(pairs_sess) if pairs_sess else np.empty(0, np.int64)
+        order = np.argsort(obj, kind="stable")
+        self.counts = np.bincount(obj, minlength=n_objects).astype(np.int64)
+        self.offsets = np.zeros(n_objects + 1, np.int64)
+        np.cumsum(self.counts, out=self.offsets[1:])
+        self.sessions = sess[order]
+        self.object_of_slot = obj[order]
+
+    def expand(self, objs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Per row of ``objs``: that object's sessions, flattened.
+
+        Returns ``(row_index, session_index)`` arrays — one entry per
+        (input row, member session) pair, in input order.
+        """
+        counts = self.counts[objs]
+        rows = np.repeat(np.arange(objs.size, dtype=np.int64), counts)
+        if rows.size == 0:
+            return rows, np.empty(0, np.int64)
+        starts = np.zeros(objs.size + 1, np.int64)
+        np.cumsum(counts, out=starts[1:])
+        # Slot of each output row: position within its row's span, offset
+        # into the CSR slot array — one fused row-level adjustment.
+        adjust = self.offsets[objs] - starts[:-1]
+        slots = np.arange(rows.size, dtype=np.int64)
+        slots += adjust[rows]
+        return rows, self.sessions[slots]
+
+    def scatter_per_object(self, out: np.ndarray, per_object: np.ndarray) -> None:
+        """``out[s] += per_object[o]`` for every (object, session) slot."""
+        if self.sessions.size:
+            np.add.at(out, self.sessions, per_object[self.object_of_slot])
+
+
+def _expand_ranges(
+    begin: np.ndarray, count: np.ndarray, step: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flatten ``range(begin[i], begin[i] + step*count[i], step)`` rows.
+
+    Returns ``(row_index, value)`` arrays covering every element of every
+    range, in row order.
+    """
+    rows = np.repeat(np.arange(begin.size, dtype=np.int64), count)
+    if rows.size == 0:
+        return rows, np.empty(0, np.int64)
+    starts = np.zeros(begin.size + 1, np.int64)
+    np.cumsum(count, out=starts[1:])
+    within = np.arange(rows.size, dtype=np.int64) - starts[rows]
+    return rows, begin[rows] + step * within
+
+
+def _group_firsts(group_keys: np.ndarray) -> np.ndarray:
+    """Start-of-group flags for a sorted group-key column."""
+    first = np.empty(group_keys.size, bool)
+    first[0] = True
+    np.not_equal(group_keys[1:], group_keys[:-1], out=first[1:])
+    return first
+
+
+def _writes_before(
+    write_pages: np.ndarray,
+    write_events: np.ndarray,
+    query_pages: np.ndarray,
+    query_events: np.ndarray,
+    n_events: int,
+) -> np.ndarray:
+    """Writes to ``query_pages[i]`` strictly before event ``query_events[i]``.
+
+    One merge: write rows and query rows are packed into ``(page, event,
+    query id)`` keys and sorted together; a cumulative count of write
+    rows minus a per-page base answers every query at once.  Queries may
+    use ``event == n_events`` to mean "end of trace" (whole-page total).
+    """
+    n_queries = query_pages.size
+    out = np.zeros(n_queries, np.int64)
+    if n_queries == 0 or write_pages.size == 0:
+        return out
+    max_page = int(max(write_pages.max(), query_pages.max()))
+    eb = _bits(n_events)
+    qb = _bits(n_queries)
+    if _bits(max_page) + eb + qb + 1 > 63:
+        # Rank-compress page numbers so the packed key fits.
+        uniq = np.unique(np.concatenate([write_pages, query_pages]))
+        write_pages = np.searchsorted(uniq, write_pages)
+        query_pages = np.searchsorted(uniq, query_pages)
+        if _bits(uniq.size) + eb + qb + 1 > 63:  # pragma: no cover
+            raise PipelineError("trace too large for packed page keys")
+    low = qb + 1
+    wkey = ((write_pages << eb | write_events) << low) | 1
+    qkey = (query_pages << eb | query_events) << low
+    qkey |= np.arange(n_queries, dtype=np.int64) << 1
+    key = np.concatenate([wkey, qkey])
+    key.sort()
+    is_write = key & 1
+    cum = np.cumsum(is_write, dtype=np.int64)
+    first = _group_firsts(key >> (eb + low))
+    starts = np.flatnonzero(first)
+    base = cum[starts] - is_write[starts]
+    base_rep = np.repeat(base, np.diff(np.append(starts, key.size)))
+    # Writes in the same page strictly before each query row.
+    q_rows = np.flatnonzero(is_write == 0)
+    qk = key[q_rows]
+    out[(qk >> 1) & ((np.int64(1) << qb) - 1)] = (
+        cum[q_rows] - base_rep[q_rows]
+    )
+    return out
+
+
+def simulate_sessions_numpy(
+    trace: EventTrace,
+    registry: ObjectRegistry,
+    sessions: Sequence[SessionDef],
+    page_sizes: Sequence[int] = (4096, 8192),
+) -> SimulationResult:
+    """Vectorized phase 2; drop-in equivalent of the scalar engine.
+
+    See the module docstring for the algorithm and
+    :func:`repro.simulate.simulate_sessions` for backend selection.
+    """
+    n_sessions = len(sessions)
+    if n_sessions == 0:
+        raise PipelineError("no sessions to simulate")
+    validate_page_sizes(page_sizes)
+    observing = observe.is_enabled()
+    start_time = time.perf_counter() if observing else 0.0
+
+    columns = trace.as_arrays()
+    kinds = np.asarray(columns.kinds)
+    col_a = np.asarray(columns.col_a, dtype=np.int64)
+    col_b = np.asarray(columns.col_b, dtype=np.int64)
+    col_c = np.asarray(columns.col_c, dtype=np.int64)
+    n_events = int(kinds.size)
+    n_objects = len(registry.objects)
+
+    membership = _Membership(registry, sessions)
+
+    # -- event classes ------------------------------------------------------
+    write_idx = np.flatnonzero(kinds == _WRITE)
+    op_idx = np.flatnonzero(kinds != _WRITE)
+    total_writes = int(write_idx.size)
+    n_ops = int(op_idx.size)
+    op_obj = col_a[op_idx]
+    op_begin = col_b[op_idx]
+    op_end = col_c[op_idx]
+    op_is_install = kinds[op_idx] == _INSTALL
+
+    overlap_anomalies = 0
+
+    # -- word ownership: one merged (endpoint + query) timeline -------------
+    op_word_counts = np.maximum((op_end - op_begin + 3) >> 2, 0)
+    ep_rows, ep_words = _expand_ranges(op_begin, op_word_counts, 4)
+    ep_events = op_idx[ep_rows]
+    ep_install = op_is_install[ep_rows].astype(np.int64)
+
+    write_begin = col_a[write_idx]
+    write_end = col_b[write_idx]
+    single = (write_end - write_begin) <= 4
+    q_words = write_begin[single]
+    q_events = write_idx[single]
+    multi_idx = np.flatnonzero(~single)
+    if multi_idx.size:
+        mw_begin = write_begin[multi_idx]
+        mw_counts = np.maximum((write_end[multi_idx] - mw_begin + 3) >> 2, 0)
+        mw_rows, mw_words = _expand_ranges(mw_begin, mw_counts, 4)
+        q_words = np.concatenate([q_words, mw_words])
+        q_events = np.concatenate([q_events, write_idx[multi_idx][mw_rows]])
+        is_multi_event = np.zeros(n_events, bool)
+        is_multi_event[write_idx[multi_idx]] = True
+
+    hits = np.zeros(n_sessions, np.int64)
+    eb = _bits(n_events)
+    if ep_words.size:
+        max_word = int(
+            max(ep_words.max(initial=0), q_words.max(initial=0), 0)
+        )
+        if _bits(max_word) + eb + 2 > 63:
+            uniq = np.unique(np.concatenate([ep_words, q_words]))
+            ep_words = np.searchsorted(uniq, ep_words)
+            q_words = np.searchsorted(uniq, q_words)
+            if _bits(uniq.size) + eb + 2 > 63:  # pragma: no cover
+                raise PipelineError("trace too large for packed word keys")
+        # key = word | event | is_install | is_query; events are unique
+        # per row, so (word, event) already orders the merge.
+        ep_keys = ((ep_words << eb | ep_events) << 2) | (ep_install << 1)
+        q_keys = ((q_words << eb | q_events) << 2) | 1
+        key = np.concatenate([ep_keys, q_keys])
+        key.sort()
+        isq = key & 1
+        # Rank of the latest endpoint at or before each row, indexing the
+        # compressed endpoint subsequence (-1 when none precedes).
+        ep_rank = np.cumsum(1 - isq, dtype=np.int64) - 1
+        ep_sub = key[isq == 0]
+
+        # Endpoint anomalies: previous endpoint on the same word has the
+        # same polarity (install over an owned word / remove of an
+        # unowned one).  Adjacent rows of the compressed endpoint
+        # subsequence are exactly "previous endpoint" pairs.
+        ep_inst = (ep_sub >> 1) & 1
+        ep_owned = np.empty(ep_sub.size, np.int64)
+        ep_owned[0] = 0
+        np.multiply(
+            (ep_sub[1:] >> (eb + 2)) == (ep_sub[:-1] >> (eb + 2)),
+            ep_inst[:-1],
+            out=ep_owned[1:],
+        )
+        overlap_anomalies += int(np.count_nonzero(ep_inst == ep_owned))
+
+        # Query owners: nearest preceding endpoint of the same word, if
+        # it is an install.
+        q_pos = np.flatnonzero(isq == 1)
+        q_rank = ep_rank[q_pos]
+        epk = ep_sub[np.maximum(q_rank, 0)]
+        q_key = key[q_pos]
+        owned = (
+            (q_rank >= 0)
+            & ((epk >> (eb + 2)) == (q_key >> (eb + 2)))
+            & ((epk & 2) != 0)
+        )
+        emask = (np.int64(1) << eb) - 1
+        hit_objs = col_a[(epk[owned] >> 2) & emask]
+        hit_events = (q_key[owned] >> 2) & emask
+        if multi_idx.size:
+            from_multi = is_multi_event[hit_events]
+        else:
+            from_multi = np.zeros(hit_objs.size, bool)
+
+        # Single-word hits: one per (write, owning object) -> every
+        # member session, multiplicity kept.
+        single_objs = hit_objs[~from_multi]
+        if single_objs.size:
+            membership.scatter_per_object(
+                hits, np.bincount(single_objs, minlength=n_objects)
+            )
+
+        # Multi-word hits: one per (write, session) however many member
+        # words were touched — dedupe (write, object), expand to
+        # sessions, dedupe (write, session): the scalar ``touched`` set.
+        if multi_idx.size and from_multi.any():
+            ob = _bits(n_objects)
+            pair_keys = np.unique(
+                (hit_events[from_multi] << ob) | hit_objs[from_multi]
+            )
+            pair_objs = pair_keys & ((np.int64(1) << ob) - 1)
+            expanded_rows, expanded_sessions = membership.expand(pair_objs)
+            touched = np.unique(
+                (pair_keys >> ob)[expanded_rows] * np.int64(n_sessions)
+                + expanded_sessions
+            )
+            hits += np.bincount(
+                touched % np.int64(n_sessions), minlength=n_sessions
+            ).astype(np.int64)
+
+    # -- install/remove tallies (per object, scattered to sessions) ---------
+    installs = np.zeros(n_sessions, np.int64)
+    removes = np.zeros(n_sessions, np.int64)
+    if n_ops:
+        membership.scatter_per_object(
+            installs,
+            np.bincount(op_obj[op_is_install], minlength=n_objects),
+        )
+        membership.scatter_per_object(
+            removes,
+            np.bincount(op_obj[~op_is_install], minlength=n_objects),
+        )
+
+    # -- shared (op, member session) row expansion ---------------------------
+    op_rows, op_sessions = membership.expand(op_obj)
+    n_rows = int(op_rows.size)
+    # Packed payload shared by every grouped sort below: parent op in the
+    # high bits (ops are event-ordered, so payload order IS event order
+    # within any group) and the install flag in bit 0.  Two rows of one
+    # group may share an op only via membership multiplicity, where the
+    # deltas are equal and relative order is irrelevant.
+    ob_bits = _bits(n_ops)
+    opc = (np.arange(n_ops, dtype=np.int64) << 1) | op_is_install
+    op_code = opc[op_rows] if n_rows else np.empty(0, np.int64)
+
+    # -- max concurrent monitors per session ---------------------------------
+    max_active = np.zeros(n_sessions, np.int64)
+    if n_rows:
+        key = (op_sessions << (ob_bits + 1)) | op_code
+        key.sort()
+        delta = ((key & 1) << 1) - 1
+        g_sess = key >> (ob_bits + 1)
+        first = _group_firsts(g_sess)
+        # The scalar engine never clamps active_now (removes decrement
+        # unconditionally) and raises the max only on installs; a group's
+        # running max is never attained at a non-leading remove row, so
+        # the plain group max (clamped at 0) matches install-only peaks.
+        total = np.cumsum(delta, dtype=np.int64)
+        seg_starts = np.flatnonzero(first)
+        base = np.empty(seg_starts.size, np.int64)
+        base[0] = 0
+        base[1:] = total[seg_starts[1:] - 1]
+        seg_max = np.maximum.reduceat(total, seg_starts) - base
+        max_active[g_sess[seg_starts]] = np.maximum(seg_max, 0)
+
+    # -- per-page-size lazy accounting ----------------------------------------
+    protects: List[np.ndarray] = []
+    unprotects: List[np.ndarray] = []
+    raw_active: List[np.ndarray] = []
+    for size in page_sizes:
+        shift = size.bit_length() - 1
+        prot = np.zeros(n_sessions, np.int64)
+        unprot = np.zeros(n_sessions, np.int64)
+        raw = np.zeros(n_sessions, np.int64)
+        protects.append(prot)
+        unprotects.append(unprot)
+        raw_active.append(raw)
+        if n_rows == 0:
+            continue
+
+        first_page = op_begin >> shift
+        last_page = (op_end - 1) >> shift
+        write_pages = write_begin >> shift
+        # Every (op, member session, page) row carries ``op_code`` — the
+        # parent op id + install flag — as its sort payload: op order is
+        # event order, and an op reaches a given (page, session) group at
+        # most once per membership slot, so ties are same-delta rows
+        # whose relative order is irrelevant.  Ops spanning extra pages
+        # (rare) append rows with the same payload shape, and their W
+        # entries are appended after the per-op ones.
+        span = np.flatnonzero(last_page > first_page)
+        max_page = int(last_page.max())
+        sb = _bits(n_sessions - 1)
+        page_shifted = first_page << sb
+        pair = page_shifted[op_rows] | op_sessions
+        code = op_code
+        q_pages = first_page
+        q_events = op_idx
+        x_keys: Optional[np.ndarray] = None
+        pb = _bits(max_page)
+        if span.size:
+            extra_parent, extra_page = _expand_ranges(
+                first_page[span] + 1, last_page[span] - first_page[span], 1
+            )
+            extra_op = span[extra_parent]
+            x_rows, x_sess = membership.expand(op_obj[extra_op])
+            x_op_code = (extra_op << 1) | op_is_install[extra_op]
+            pair = np.concatenate([pair, (extra_page[x_rows] << sb) | x_sess])
+            code = np.concatenate([code, x_op_code[x_rows]])
+            q_pages = np.concatenate([q_pages, extra_page])
+            q_events = np.concatenate([q_events, op_idx[extra_op]])
+            # Strictly increasing by construction: extras are generated
+            # in (op, page) order.
+            x_keys = (extra_op << pb) | extra_page
+
+        pair_ranks: Optional[np.ndarray] = None
+        if _bits((max_page << sb) | (n_sessions - 1)) + ob_bits + 1 > 63:
+            pair_ranks = np.unique(pair)
+            pair = np.searchsorted(pair_ranks, pair)
+            if _bits(pair_ranks.size) + ob_bits + 1 > 63:  # pragma: no cover
+                raise PipelineError("trace too large for packed pair keys")
+        key = (pair << (ob_bits + 1)) | code
+        key.sort()
+        g_pair = key >> (ob_bits + 1)
+        inst = key & 1
+        first = _group_firsts(g_pair)
+        if pair_ranks is not None:
+            g_pair = pair_ranks[g_pair]
+
+        total = np.cumsum(2 * inst - 1, dtype=np.int64)
+        starts = np.flatnonzero(first)
+        base = np.empty(starts.size, np.int64)
+        base[0] = 0
+        base[1:] = total[starts[1:] - 1]
+        sizes = np.diff(np.append(starts, key.size))
+        local = total - np.repeat(base, sizes)
+        if local.min(initial=0) >= 0:
+            # No dead-pair removes anywhere: a row is a 0 -> 1 protect or
+            # a 1 -> 0 unprotect exactly when its post-count equals its
+            # install flag.
+            count = local
+            trans = np.flatnonzero(local == inst)
+        else:
+            # Clamped path (anomalous trace): remove on a dead pair
+            # counts one anomaly per affected pair per page size and
+            # does not decrement.
+            seg_id = np.cumsum(first, dtype=np.int64) - 1
+            big = np.int64(2 * key.size + 2)
+            shifted = local - seg_id * big
+            running_min = np.minimum.accumulate(shifted) + seg_id * big
+            count = local - np.minimum(running_min, 0)
+            c_prev = np.empty(key.size, np.int64)
+            c_prev[0] = 0
+            c_prev[1:] = count[:-1]
+            c_prev[first] = 0
+            t = c_prev + inst
+            trans = np.flatnonzero(t == 1)
+            overlap_anomalies += int(np.count_nonzero(t == 0))
+
+        # Open windows at end of trace: the scalar engine's defensive
+        # flush closes them, charging the whole remaining page total.
+        ends = np.append(starts[1:], key.size) - 1
+        open_ends = ends[count[ends] > 0]
+        pair_open = g_pair[open_ends]
+        smask = (np.int64(1) << sb) - 1
+        sess_open = pair_open & smask
+
+        inst_t = inst[trans]
+        pair_t = g_pair[trans]
+        sess_t = pair_t & smask
+        prot += np.bincount(sess_t[inst_t == 1], minlength=n_sessions)
+        unprot += np.bincount(sess_t[inst_t == 0], minlength=n_sessions)
+        if open_ends.size:
+            unprot += np.bincount(sess_open, minlength=n_sessions)
+
+        # raw[s] telescopes over windows:  sum W(unprotect) -
+        # sum W(protect) + sum W_total(open page).  W is answered once
+        # per (op, page) by a single merge against the write rows, then
+        # gathered at transition rows straight off the op payload; open
+        # flushes only need whole-page write totals.
+        w = _writes_before(
+            write_pages, write_idx, q_pages, q_events, n_events
+        )
+        op_t = (key[trans] >> 1) & ((np.int64(1) << ob_bits) - 1)
+        w_idx = op_t
+        if x_keys is not None:
+            page_t = pair_t >> sb
+            is_extra = page_t != first_page[op_t]
+            if is_extra.any():
+                w_idx = op_t.copy()
+                w_idx[is_extra] = n_ops + np.searchsorted(
+                    x_keys, (op_t[is_extra] << pb) | page_t[is_extra]
+                )
+        np.add.at(raw, sess_t, w[w_idx] * (1 - 2 * inst_t))
+        if open_ends.size:
+            page_open = pair_open >> sb
+            page_totals = np.bincount(
+                write_pages, minlength=int(page_open.max()) + 1
+            )
+            np.add.at(raw, sess_open, page_totals[page_open])
+
+    # -- result assembly (identical to the scalar engine) ---------------------
+    result = SimulationResult(
+        program=trace.meta.program,
+        meta=trace.meta,
+        page_sizes=tuple(page_sizes),
+        total_writes=total_writes,
+        overlap_anomalies=int(overlap_anomalies),
+    )
+    for session in sessions:
+        s = session.index
+        if hits[s] == 0:
+            result.n_discarded += 1
+            continue
+        counting = CountingVariables(
+            installs=int(installs[s]),
+            removes=int(removes[s]),
+            hits=int(hits[s]),
+            misses=total_writes - int(hits[s]),
+            max_concurrent=int(max_active[s]),
+        )
+        for i, size in enumerate(page_sizes):
+            counting.vm[size] = VmPageCounts(
+                protects=int(protects[i][s]),
+                unprotects=int(unprotects[i][s]),
+                active_page_misses=max(int(raw_active[i][s]) - int(hits[s]), 0),
+            )
+        result.sessions.append(session)
+        result.counts.append(counting)
+
+    if observing:
+        elapsed = time.perf_counter() - start_time
+        observe.inc("engine.runs")
+        observe.inc("engine.events", n_events)
+        observe.inc("engine.writes", total_writes)
+        observe.inc(
+            "engine.session_updates",
+            int(installs.sum() + removes.sum() + hits.sum()),
+        )
+        observe.inc(
+            "engine.page_transitions",
+            int(sum(p.sum() + u.sum() for p, u in zip(protects, unprotects))),
+        )
+        observe.inc("engine.sessions_studied", len(result.sessions))
+        observe.inc("engine.sessions_discarded", result.n_discarded)
+        observe.note("engine.backend", "numpy")
+        if elapsed > 0:
+            observe.observe_value("engine.events_per_sec", n_events / elapsed)
+
+    # Same post-pass sampling contract as the scalar engine.
+    profile_stride = observe_profile.engine_sample_stride()
+    if profile_stride:
+        sampled_kinds, sample_counts = np.unique(
+            kinds[::profile_stride], return_counts=True
+        )
+        event_samples: Dict[int, int] = {
+            int(kind): int(count)
+            for kind, count in zip(sampled_kinds, sample_counts)
+        }
+        if event_samples:
+            observe_profile.get_profiler().record_engine(event_samples)
+    return result

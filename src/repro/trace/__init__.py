@@ -15,7 +15,7 @@ matching the paper.
 """
 
 from repro.trace.objects import ObjectDesc, ObjectRegistry
-from repro.trace.events import EventKind, EventTrace, TraceMeta
+from repro.trace.events import EventKind, EventTrace, TraceColumns, TraceMeta
 from repro.trace.tracer import Tracer, trace_program
 from repro.trace.tracefile import save_trace, load_trace
 
@@ -24,6 +24,7 @@ __all__ = [
     "ObjectRegistry",
     "EventKind",
     "EventTrace",
+    "TraceColumns",
     "TraceMeta",
     "Tracer",
     "trace_program",

@@ -12,7 +12,6 @@ import io
 import json
 import os
 import tempfile
-from array import array
 from pathlib import Path
 from typing import Tuple, Union
 
@@ -58,13 +57,14 @@ def save_trace(
         dir=path.parent, prefix=path.name + ".", suffix=".tmp"
     )
     try:
+        columns = trace.as_arrays()  # zero-copy views, either backing
         with os.fdopen(fd, "wb") as handle:
             np.savez_compressed(
                 handle,
-                kinds=np.frombuffer(trace.kinds.tobytes(), dtype=np.int8),
-                col_a=np.frombuffer(trace.col_a.tobytes(), dtype=np.int64),
-                col_b=np.frombuffer(trace.col_b.tobytes(), dtype=np.int64),
-                col_c=np.frombuffer(trace.col_c.tobytes(), dtype=np.int64),
+                kinds=columns.kinds,
+                col_a=columns.col_a,
+                col_b=columns.col_b,
+                col_c=columns.col_c,
                 meta=np.frombuffer(
                     json.dumps(meta_doc).encode("utf-8"), dtype=np.uint8
                 ),
@@ -95,12 +95,12 @@ def load_trace(path: Union[str, Path]) -> Tuple[EventTrace, ObjectRegistry]:
             f"unsupported trace format version {meta_doc.get('version')!r}"
         )
 
-    trace = EventTrace()
-    trace.kinds = array("b", kinds.tobytes())
-    trace.col_a = array("q", col_a.tobytes())
-    trace.col_b = array("q", col_b.tobytes())
-    trace.col_c = array("q", col_c.tobytes())
-    trace.meta = TraceMeta(**meta_doc["meta"])
+    # Adopt the .npz columns directly (no array('q') round-trip): the
+    # loaded trace is replay-only, which is all phase 2 ever does with it,
+    # and the vectorized engine consumes the ndarrays zero-copy.
+    trace = EventTrace.from_arrays(
+        kinds, col_a, col_b, col_c, TraceMeta(**meta_doc["meta"])
+    )
 
     registry = ObjectRegistry()
     for record in meta_doc["objects"]:

@@ -102,6 +102,27 @@ class TestCorruptionRecovery:
         data = load_program_data(PROGRAM, config)
         assert data.result.counts == baseline.result.counts
 
+    def test_corrupt_kind_byte_recovers(self, warm_cache, observing):
+        """A flipped kind byte in a well-formed .npz must not reach the
+        engine: ``EventTrace.validate()`` rejects it at load time and the
+        pipeline recomputes the trace as a miss."""
+        import numpy as np
+
+        config, baseline = warm_cache
+        _entry(config, ".pkl").unlink()  # force the trace path to be read
+        trace_path = _entry(config, ".npz")
+        with np.load(trace_path) as archive:
+            columns = {name: archive[name] for name in archive.files}
+        columns["kinds"] = columns["kinds"].copy()
+        columns["kinds"][len(columns["kinds"]) // 2] = 77  # not an EventKind
+        with open(trace_path, "wb") as handle:
+            np.savez_compressed(handle, **columns)
+        data = load_program_data(PROGRAM, config)
+        assert data.result.counts == baseline.result.counts
+        counters = observing.snapshot()["counters"]
+        assert counters["cache.trace.corrupt"] == 1
+        assert counters["cache.trace.misses"] == 1
+
 
 class TestAtomicWrites:
     def test_no_temp_files_left_behind(self, warm_cache):

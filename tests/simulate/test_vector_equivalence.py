@@ -1,0 +1,231 @@
+"""Differential gate: the NumPy engine must be bit-identical to the
+scalar reference engine.
+
+The vectorized backend (:mod:`repro.simulate.vector_engine`) reformulates
+the scalar engine's per-event loop as packed-key sorts and grouped
+running sums; nothing in that reformulation is allowed to change a single
+counting variable.  This suite enforces that with
+
+* a randomized differential sweep — adversarial traces (overlapping
+  installs, removes of non-live objects, open windows at EOF, unaligned
+  multi-word writes, tiny and huge page sizes) replayed through both
+  backends and compared field by field;
+* the documented engine invariants, checked on *both* backends;
+* dispatcher tests for :func:`repro.simulate.resolve_engine` and the
+  ``engine=`` argument of :func:`repro.simulate.simulate_sessions`.
+
+The CI ``engine-equivalence`` job runs the same comparison at full
+pipeline scale on the five benchmark programs.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import PipelineError
+from repro.sessions.types import SessionDef, ONE_HEAP, ALL_HEAP_IN_FUNC
+from repro.simulate import (
+    AUTO_NUMPY_MIN_EVENTS,
+    resolve_engine,
+    simulate_sessions,
+)
+from repro.simulate.engine import simulate_sessions as simulate_python
+from repro.simulate.vector_engine import simulate_sessions_numpy
+from repro.trace import EventTrace, ObjectRegistry
+from repro.trace.events import TraceMeta
+
+#: Page-size configurations the sweep replays every trace under: the
+#: production pair, single sizes, and degenerate tiny pages (4-byte
+#: pages make every word its own page — maximal transition traffic).
+PAGE_SIZE_CONFIGS = ((4096, 8192), (4096,), (4, 64), (16,), (4096, 8192, 16384))
+
+
+def build_random(seed):
+    """One adversarial trace: overlap anomalies, EOF-open windows, all."""
+    rng = random.Random(seed)
+    n_objects = rng.randint(1, 12)
+    registry = ObjectRegistry()
+    for _ in range(n_objects):
+        registry.heap("f", ("main", "f"), rng.choice([4, 8, 16, 64]))
+    trace = EventTrace(TraceMeta(program=f"rand{seed}"))
+    addr_of = {}
+    live = set()
+    for _ in range(rng.randint(20, 400)):
+        roll = rng.random()
+        if roll < 0.35 and len(live) < n_objects:
+            object_id = rng.choice(
+                [o for o in range(n_objects) if o not in live] or [0]
+            )
+            base = rng.randrange(0, 600, 2)  # overlaps earlier regions
+            size = registry.get(object_id).size_bytes
+            addr_of[object_id] = (base, base + size)
+            trace.append_install(object_id, base, base + size)
+            live.add(object_id)
+        elif roll < 0.55:
+            if live and rng.random() < 0.8:
+                object_id = rng.choice(sorted(live))
+                live.discard(object_id)
+            else:
+                # Remove of a non-live object: exercises the anomaly path.
+                object_id = rng.randrange(n_objects)
+            begin, end = addr_of.get(object_id, (0, 4))
+            trace.append_remove(object_id, begin, end)
+        else:
+            address = rng.randrange(0, 640)
+            if rng.random() < 0.25:
+                trace.append_write(address, address + rng.choice([8, 12, 24, 64]))
+            else:
+                trace.append_write(address, address + 4)
+    # Whatever is still live stays open at EOF: exercises the flush path.
+    sessions = []
+    for index in range(rng.randint(1, 8)):
+        members = tuple(
+            sorted(rng.sample(range(n_objects), rng.randint(1, n_objects)))
+        )
+        kind = ONE_HEAP if len(members) == 1 else ALL_HEAP_IN_FUNC
+        sessions.append(SessionDef(index, kind, f"s{index}", members))
+    return trace, registry, sessions
+
+
+def assert_identical(result_py, result_np):
+    """Field-by-field equality of two SimulationResults."""
+    assert result_py.total_writes == result_np.total_writes
+    assert result_py.overlap_anomalies == result_np.overlap_anomalies
+    assert result_py.n_discarded == result_np.n_discarded
+    assert [s.index for s in result_py.sessions] == \
+        [s.index for s in result_np.sessions]
+    assert result_py.page_sizes == result_np.page_sizes
+    for session, c_py, c_np in zip(
+        result_py.sessions, result_py.counts, result_np.counts
+    ):
+        base_py = (c_py.installs, c_py.removes, c_py.hits, c_py.misses,
+                   c_py.max_concurrent)
+        base_np = (c_np.installs, c_np.removes, c_np.hits, c_np.misses,
+                   c_np.max_concurrent)
+        assert base_py == base_np, f"session {session.index}: {base_py} != {base_np}"
+        assert set(c_py.vm) == set(c_np.vm)
+        for size in c_py.vm:
+            vm_py, vm_np = c_py.vm[size], c_np.vm[size]
+            assert (vm_py.protects, vm_py.unprotects, vm_py.active_page_misses) \
+                == (vm_np.protects, vm_np.unprotects, vm_np.active_page_misses), \
+                f"session {session.index} vm[{size}]"
+
+
+def assert_invariants(result):
+    """The documented engine invariants (see engine module docstring)."""
+    for counts in result.counts:
+        assert counts.hits + counts.misses == result.total_writes
+        assert counts.hits > 0  # zero-hit sessions are discarded
+        # (removes can exceed installs here: the adversarial traces
+        # deliberately remove non-live objects, which still counts.)
+        for size in result.page_sizes:
+            vm = counts.vm[size]
+            assert 0 <= vm.active_page_misses <= counts.misses
+            # Every protect window closes — on its 1->0 transition or
+            # the defensive EOF flush.
+            assert vm.unprotects == vm.protects
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("page_sizes", PAGE_SIZE_CONFIGS,
+                             ids=lambda sizes: "x".join(map(str, sizes)))
+    def test_randomized_sweep(self, page_sizes):
+        for seed in range(60):
+            trace, registry, sessions = build_random(seed)
+            result_py = simulate_python(trace, registry, sessions, page_sizes)
+            result_np = simulate_sessions_numpy(
+                trace, registry, sessions, page_sizes
+            )
+            assert_identical(result_py, result_np)
+            assert_invariants(result_py)
+            assert_invariants(result_np)
+
+    def test_empty_trace(self):
+        registry = ObjectRegistry()
+        registry.heap("f", ("main", "f"), 16)
+        trace = EventTrace(TraceMeta(program="empty"))
+        sessions = [SessionDef(0, ONE_HEAP, "s0", (0,))]
+        result_py = simulate_python(trace, registry, sessions, (4096,))
+        result_np = simulate_sessions_numpy(trace, registry, sessions, (4096,))
+        assert_identical(result_py, result_np)
+        assert result_np.total_writes == 0
+        assert result_np.n_discarded == 1
+
+    def test_writes_only_no_installs(self):
+        """No endpoints at all: every write is a miss on both backends."""
+        registry = ObjectRegistry()
+        registry.heap("f", ("main", "f"), 16)
+        trace = EventTrace(TraceMeta(program="writes"))
+        for i in range(10):
+            trace.append_write(0x1000 + 4 * i, 0x1004 + 4 * i)
+        sessions = [SessionDef(0, ONE_HEAP, "s0", (0,))]
+        result_py = simulate_python(trace, registry, sessions, (4096,))
+        result_np = simulate_sessions_numpy(trace, registry, sessions, (4096,))
+        assert_identical(result_py, result_np)
+        assert result_np.total_writes == 10
+
+    def test_open_window_at_eof_flush(self):
+        """A window left open at EOF flushes identically on both backends."""
+        registry = ObjectRegistry()
+        registry.heap("f", ("main", "f"), 8)
+        trace = EventTrace(TraceMeta(program="open"))
+        trace.append_install(0, 0x1000, 0x1008)
+        trace.append_write(0x1000, 0x1004)   # hit
+        trace.append_write(0x1200, 0x1204)   # miss, same page -> raw write
+        result_py = simulate_python(trace, registry,
+                                    [SessionDef(0, ONE_HEAP, "s0", (0,))],
+                                    (4096,))
+        result_np = simulate_sessions_numpy(trace, registry,
+                                            [SessionDef(0, ONE_HEAP, "s0", (0,))],
+                                            (4096,))
+        assert_identical(result_py, result_np)
+        vm = result_np.counts[0].vm[4096]
+        assert vm.protects == 1
+        assert vm.unprotects == 1  # defensive EOF flush closed it
+        assert vm.active_page_misses == 1
+
+
+class TestDispatcher:
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(PipelineError):
+            resolve_engine("cython")
+
+    def test_resolve_python_is_explicit(self):
+        assert resolve_engine("python", n_events=10**9) == "python"
+
+    def test_resolve_numpy_is_explicit(self):
+        # NumPy ships with the repo; an explicit request must honor it.
+        assert resolve_engine("numpy", n_events=1) == "numpy"
+
+    def test_auto_small_trace_stays_scalar(self):
+        assert resolve_engine("auto", AUTO_NUMPY_MIN_EVENTS - 1) == "python"
+
+    def test_auto_large_trace_goes_numpy(self):
+        assert resolve_engine("auto", AUTO_NUMPY_MIN_EVENTS) == "numpy"
+
+    def test_simulate_sessions_engine_arg(self):
+        trace, registry, sessions = build_random(7)
+        result_py = simulate_sessions(trace, registry, sessions, (4096,),
+                                      engine="python")
+        result_np = simulate_sessions(trace, registry, sessions, (4096,),
+                                      engine="numpy")
+        result_auto = simulate_sessions(trace, registry, sessions, (4096,),
+                                        engine="auto")
+        assert_identical(result_py, result_np)
+        assert_identical(result_py, result_auto)
+
+    def test_simulate_sessions_rejects_unknown_engine(self):
+        trace, registry, sessions = build_random(7)
+        with pytest.raises(PipelineError):
+            simulate_sessions(trace, registry, sessions, (4096,),
+                              engine="fortran")
+
+    def test_numpy_engine_rejects_bad_page_sizes(self):
+        trace, registry, sessions = build_random(7)
+        with pytest.raises(PipelineError):
+            simulate_sessions_numpy(trace, registry, sessions, (3000,))
+
+    def test_numpy_engine_rejects_empty_sessions(self):
+        trace, registry, sessions = build_random(7)
+        with pytest.raises(PipelineError):
+            simulate_sessions_numpy(trace, registry, [], (4096,))

@@ -72,6 +72,46 @@ class TestEventTrace:
         with pytest.raises(TraceFormatError):
             trace.validate()
 
+    def test_validate_rejects_bad_kind_byte(self):
+        trace = EventTrace("t")
+        trace.append_write(0, 4)
+        trace.append_install(0, 0, 4)
+        trace.kinds[1] = 77  # not an EventKind; e.g. a bit flip on disk
+        trace.meta.n_installs -= 1
+        trace.meta.n_writes += 1  # keep counts consistent: kind check must fire
+        with pytest.raises(TraceFormatError, match="invalid event kind 77"):
+            trace.validate()
+
+    def test_validate_rejects_bad_kind_on_array_backing(self):
+        import numpy as np
+
+        trace = EventTrace("t")
+        trace.append_write(0, 4)
+        trace.append_write(4, 8)
+        columns = trace.as_arrays()
+        kinds = columns.kinds.copy()
+        kinds[0] = -3
+        meta = trace.meta
+        adopted = EventTrace.from_arrays(
+            kinds, columns.col_a, columns.col_b, columns.col_c, meta
+        )
+        with pytest.raises(TraceFormatError, match="invalid event kind -3"):
+            adopted.validate()
+
+    def test_as_arrays_from_arrays_roundtrip(self):
+        trace = EventTrace("t")
+        trace.append_install(1, 0x100, 0x110)
+        trace.append_write(0x104, 0x108)
+        trace.append_remove(1, 0x100, 0x110)
+        columns = trace.as_arrays()
+        adopted = EventTrace.from_arrays(
+            columns.kinds, columns.col_a, columns.col_b, columns.col_c,
+            trace.meta,
+        )
+        adopted.validate()
+        assert [tuple(int(x) for x in e) for e in adopted] == \
+            [tuple(int(x) for x in e) for e in trace]
+
 
 class TestObjectRegistry:
     def test_local_descriptor_shared_across_instantiations(self):

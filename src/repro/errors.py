@@ -149,6 +149,20 @@ class SessionError(PipelineError):
     """A monitor session definition was invalid."""
 
 
+class WorkerTimeoutError(PipelineError):
+    """A pipeline worker exceeded the ``--worker-timeout`` wall clock.
+
+    Raised by the parent's watchdog after it kills the hung worker; the
+    retry machinery treats it as transient (the work is rescheduled on a
+    fresh pool), so it only surfaces to callers once retries are
+    exhausted.
+    """
+
+
+class FaultSpecError(ReproError):
+    """A ``--inject-faults`` / ``REPRO_FAULTS`` plan spec was malformed."""
+
+
 # ---------------------------------------------------------------------------
 # Observability
 # ---------------------------------------------------------------------------

@@ -36,12 +36,21 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
+from typing import List, Optional
 
-from repro import observe
-from repro.errors import ManifestFormatError, PipelineError
+from repro import faults, observe
+from repro.errors import (
+    FaultSpecError,
+    ManifestFormatError,
+    PipelineError,
+    ReproError,
+)
+from repro.experiments.pipeline import DEFAULT_RETRIES, FailureRecord
+from repro.faults import InjectedFault
 from repro.experiments.breakdown import render_breakdown_report
 from repro.experiments.code_expansion import render_code_expansion_report
 from repro.experiments.figures789 import render_figures_report
@@ -63,6 +72,44 @@ _TARGETS = (
 #: Harness subcommands with their own argument shapes.
 _HARNESS_TARGETS = ("diff", "trend")
 
+#: Stable exit codes (documented in --help and docs/RESILIENCE.md).
+EXIT_OK = 0
+EXIT_USAGE = 2          # bad flags, bad config, bad fault spec
+EXIT_PARTIAL = 3        # --keep-going finished but some programs failed
+EXIT_PIPELINE = 4       # fatal pipeline/session error (incl. worker timeout)
+EXIT_REPRO = 5          # any other classified repro error
+EXIT_TRANSIENT = 6      # worker/I-O failure that survived all retries
+
+_EXIT_CODE_DOC = (
+    "Exit codes: 0 success; 2 usage/configuration error; "
+    "3 partial success (--keep-going with failed programs, see the "
+    "manifest's 'failures' section); 4 fatal pipeline error; "
+    "5 other classified error; 6 worker or I/O failure after retries."
+)
+
+
+def _exit_code_for(exc: BaseException) -> Optional[int]:
+    """The stable exit code for a classified failure, else ``None``.
+
+    ``None`` means the exception is an unclassified bug and should
+    propagate with its traceback — hiding those would hide real defects.
+    """
+    if isinstance(exc, FaultSpecError):
+        return EXIT_USAGE
+    if isinstance(exc, PipelineError):  # includes Session/WorkerTimeout
+        return EXIT_PIPELINE
+    if isinstance(exc, ReproError):
+        return EXIT_REPRO
+    if isinstance(exc, (OSError, InjectedFault)):
+        return EXIT_TRANSIENT
+    try:
+        from concurrent.futures.process import BrokenProcessPool
+        if isinstance(exc, BrokenProcessPool):
+            return EXIT_TRANSIENT
+    except ImportError:  # pragma: no cover - stdlib
+        pass
+    return None
+
 
 def _parse_args(argv):
     parser = argparse.ArgumentParser(
@@ -72,7 +119,9 @@ def _parse_args(argv):
         epilog="Harness subcommands: 'repro-experiments diff A.json B.json' "
         "compares two run manifests (non-zero exit on regression); "
         "'repro-experiments trend --history FILE' renders the benchmark "
-        "trajectory.  See docs/OBSERVABILITY.md.",
+        "trajectory.  See docs/OBSERVABILITY.md.  " + _EXIT_CODE_DOC
+        + "  Fault injection and the retry/timeout/keep-going policy are "
+        "documented in docs/RESILIENCE.md.",
     )
     parser.add_argument("target", choices=_TARGETS, help="what to regenerate")
     parser.add_argument(
@@ -106,6 +155,36 @@ def _parse_args(argv):
         "available; the default).  Both produce bit-identical results",
     )
     parser.add_argument("--quiet", action="store_true", help="suppress progress output")
+    parser.add_argument(
+        "--retries", type=int, default=DEFAULT_RETRIES, metavar="N",
+        help="retry a program up to N times after a transient failure "
+        "(worker crash, I/O error, timeout) with capped exponential "
+        "backoff (default %(default)s); fatal errors never retry",
+    )
+    parser.add_argument(
+        "--worker-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock watchdog per parallel worker: a worker running "
+        "longer is killed and its program rescheduled (counts as a "
+        "retry attempt); default: no timeout",
+    )
+    parser.add_argument(
+        "--keep-going", action="store_true",
+        help="complete the run with the surviving programs when one "
+        "fails permanently: tables render with explicit gaps, the "
+        "manifest records a 'failures' section, and the exit code is "
+        f"{EXIT_PARTIAL} (partial success) instead of an error",
+    )
+    parser.add_argument(
+        "--inject-faults", default=None, metavar="SPEC",
+        help="deterministic fault injection plan, e.g. "
+        "'worker:crash@gcc,cache.read:corrupt@2' (grammar in "
+        "docs/RESILIENCE.md); also exported as REPRO_FAULTS to worker "
+        "processes",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0, metavar="N",
+        help="seed for probabilistic fault qualifiers (with --inject-faults)",
+    )
     parser.add_argument(
         "--manifest", default=None, metavar="FILE",
         help="enable observation and write a RunManifest JSON to FILE",
@@ -232,8 +311,26 @@ def _trend_main(argv) -> int:
     return 0
 
 
+def _render_failures(failures: List[FailureRecord]) -> str:
+    """The explicit-gap section appended to a ``--keep-going`` report."""
+    lines = [
+        "PARTIAL RESULTS",
+        "-" * 72,
+        f"{len(failures)} program(s) produced no data; the tables above "
+        "render without them:",
+        "",
+    ]
+    for record in failures:
+        lines.append(
+            f"  {record.program:<8s} {record.error:<22s} "
+            f"attempts={record.attempts}  elapsed={record.elapsed_s:.1f}s"
+        )
+        lines.append(f"  {'':<8s} {record.message}")
+    return "\n".join(lines)
+
+
 def main(argv=None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code (see ``--help``)."""
     argv = list(argv if argv is not None else sys.argv[1:])
     if argv and argv[0] == "diff":
         return _diff_main(argv[1:])
@@ -254,7 +351,43 @@ def main(argv=None) -> int:
         )
     except PipelineError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
+    if args.retries < 0:
+        print("error: --retries must be >= 0", file=sys.stderr)
+        return EXIT_USAGE
+    if args.worker_timeout is not None and args.worker_timeout <= 0:
+        print("error: --worker-timeout must be > 0 seconds", file=sys.stderr)
+        return EXIT_USAGE
+
+    env_before = None
+    if args.inject_faults:
+        try:
+            faults.install(args.inject_faults, seed=args.fault_seed, scope="cli")
+        except FaultSpecError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        # Export the plan so spawned worker processes inherit it (the
+        # pool also re-installs per task with program scope + attempt).
+        env_before = {
+            key: os.environ.get(key)
+            for key in ("REPRO_FAULTS", "REPRO_FAULT_SEED")
+        }
+        os.environ["REPRO_FAULTS"] = args.inject_faults
+        os.environ["REPRO_FAULT_SEED"] = str(args.fault_seed)
+    try:
+        return _run(args, config)
+    finally:
+        if env_before is not None:
+            faults.clear_plan()
+            for key, value in env_before.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value
+
+
+def _run(args, config: ExperimentConfig) -> int:
+    """Execute one experiment target; classified errors exit cleanly."""
     progress = None if args.quiet else lambda msg: print(f"  .. {msg}", file=sys.stderr)
     observing = bool(
         args.manifest or args.metrics or args.history
@@ -270,11 +403,29 @@ def main(argv=None) -> int:
         observe.enable_profiling(args.profile_stride)
 
     needs_data = args.target not in ("table2", "expansion")
+    failures: List[FailureRecord] = []
     data = None
     if needs_data or args.target == "all":
         start = time.time()
-        with observe.span("pipeline"):
-            data = load_experiment_data(config, progress)
+        try:
+            with observe.span("pipeline"):
+                data = load_experiment_data(
+                    config, progress,
+                    retries=args.retries,
+                    worker_timeout=args.worker_timeout,
+                    keep_going=args.keep_going,
+                    failures=failures,
+                )
+        except Exception as exc:
+            # Classified failures exit with a stable code and one line on
+            # stderr — a crashed batch run must be diagnosable from its
+            # exit status, not a raw traceback.  Unclassified exceptions
+            # are bugs and propagate.
+            code = _exit_code_for(exc)
+            if code is None:
+                raise
+            print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+            return code
         if progress:
             progress(f"pipeline ready in {time.time() - start:.1f}s")
 
@@ -299,6 +450,8 @@ def main(argv=None) -> int:
         if args.target in ("whatif", "all"):
             sections.append(render_whatif_report(data))
 
+    if failures:
+        sections.append(_render_failures(failures))
     report = ("\n\n" + "=" * 72 + "\n\n").join(sections)
     print(report)
     if args.out:
@@ -317,7 +470,13 @@ def main(argv=None) -> int:
                 "use_cache": config.use_cache,
                 "jobs": config.jobs,
                 "engine": config.engine,
+                "retries": args.retries,
+                "worker_timeout": args.worker_timeout,
+                "keep_going": args.keep_going,
+                "inject_faults": args.inject_faults,
+                "fault_seed": args.fault_seed,
             },
+            failures=[record.to_dict() for record in failures],
         )
     if args.manifest:
         try:
@@ -349,7 +508,13 @@ def main(argv=None) -> int:
         print(observe.render_metrics_report(), file=sys.stderr)
     if args.profile:
         print(observe.render_profile_report(), file=sys.stderr)
-    return 0
+    if failures:
+        print(
+            f"warning: {len(failures)} program(s) failed; exiting "
+            f"{EXIT_PARTIAL} (partial results)", file=sys.stderr,
+        )
+        return EXIT_PARTIAL
+    return EXIT_OK
 
 
 if __name__ == "__main__":

@@ -1,45 +1,75 @@
-"""Process-pool fan-out of the experiment pipeline.
+"""Fault-tolerant process-pool fan-out of the experiment pipeline.
 
 The two-phase experiment is embarrassingly parallel across programs:
 each program's trace generation and one-pass simulation depend only on
 that program's workload source, and the on-disk cache is safe for
 concurrent writers (atomic write-then-rename everywhere).  This module
 fans :func:`~repro.experiments.pipeline.load_program_data` out across a
-:class:`~concurrent.futures.ProcessPoolExecutor`, one task per program.
+:class:`~concurrent.futures.ProcessPoolExecutor`, one task per program,
+and survives the failures a long batch run actually sees:
 
-Observability survives the fan-out.  :mod:`repro.observe` state is
-per-process, so each worker starts from a fresh, parent-matching
-configuration (enabled/disabled, profiling stride), runs its program,
-and ships a picklable :func:`repro.observe.dump_snapshot` payload back;
-the parent :func:`repro.observe.merge_snapshot`-s it — counters add,
-histograms merge raw observations, notes append — and grafts the
-worker's span tree under a ``worker:<name>`` span whose clock is
-rebased into the parent's ``perf_counter`` timeline.  ``--manifest``,
-``--history``, ``--profile``, and ``--trace-out`` therefore keep
-working unchanged: a merged manifest carries the same counter totals
-and ``stages`` rollup a serial run would, plus one ``worker:<name>``
-span per program recording the fan-out envelope.
+* a **crashed worker** (``BrokenProcessPool`` — the process died, was
+  OOM-killed, or hit an injected ``worker:crash``) is retried with
+  capped exponential backoff on a recreated pool; after repeated pool
+  breakage the remaining programs fall back to serial in-parent
+  execution;
+* a **hung worker** is bounded by the ``worker_timeout`` wall-clock
+  watchdog: the pool is killed, the overdue program is rescheduled
+  (counting an attempt), and in-flight victims are resubmitted without
+  penalty;
+* a **fatal error** (:class:`~repro.errors.ReproError` — bad config,
+  malformed session, injected ``worker:fatal``) is never retried: the
+  run either aborts immediately — cancelling queued work and killing
+  live workers so the abort does not burn CPU — or, under
+  ``keep_going``, records the program in its ``failures`` list and
+  completes with the survivors.
+
+Every recovery action is visible through :mod:`repro.observe`:
+``retry.attempts``/``retry.backoff_seconds``, ``fault.worker.hung``,
+``fault.pool.{broken,recreated,serial_fallback}``,
+``fault.program.failed``, a ``worker_attempt:<name>`` error span per
+failed attempt, and a ``failures`` note list — the raw material of the
+manifest's ``failures`` section.  See ``docs/RESILIENCE.md``.
+
+Observability survives the fan-out exactly as before: each worker ships
+a :func:`repro.observe.dump_snapshot` payload back and the parent merges
+it under a clock-rebased ``worker:<name>`` span, so ``--manifest``/
+``--history``/``--profile``/``--trace-out`` keep working unchanged.
 
 Results are deterministic: workers are pure functions of (program,
 config), so ``--jobs N`` produces bit-identical tables to a serial run
-regardless of completion order (the returned dict preserves the
-configured program order).
+regardless of completion order, retries, or recovered faults (the
+returned dict preserves the configured program order).
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from typing import Dict, Optional
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
-from repro import observe
+from repro import faults, observe
+from repro.errors import WorkerTimeoutError
 from repro.experiments.pipeline import (
+    DEFAULT_RETRIES,
     ExperimentConfig,
+    FailureRecord,
     Progress,
     ProgramData,
+    RETRY_BASE_S,
     load_program_data,
+    load_programs_serial,
+    retry_backoff_s,
 )
+
+__all__ = ["load_experiment_data_parallel"]
 from repro.observe.spans import SpanRecord
+
+#: After this many pool recreations the pipeline stops trusting the pool
+#: and runs the remaining programs serially in the parent.
+MAX_POOL_RECREATIONS = 2
 
 
 def _run_worker(
@@ -47,13 +77,18 @@ def _run_worker(
     config: ExperimentConfig,
     observing: bool,
     profile_stride: int,
+    fault_spec: Optional[str],
+    fault_seed: int,
+    attempt: int,
 ):
     """Pool target: one program's phase 1 + phase 2 in a fresh process.
 
     Must stay a module-level function (the pool pickles it by reference).
     Returns ``(program data, worker clock origin, observation snapshot)``;
     the origin lets the parent rebase the worker's ``perf_counter`` span
-    timestamps into its own timeline.
+    timestamps into its own timeline.  ``attempt`` is 1-based: fault-plan
+    clauses default to firing on attempt 1 only, so a retried worker
+    recovers deterministically.
     """
     origin = time.perf_counter()
     # Start from a clean slate whatever the start method: a forked child
@@ -68,9 +103,18 @@ def _run_worker(
         observe.enable_profiling(profile_stride)
     else:
         observe.disable_profiling()
+    # Same clean-slate rule for fault plans: reinstall per task so the
+    # plan's occurrence counters and attempt number are this task's, not
+    # a forked parent's or a previous task's on a reused pool process.
+    if fault_spec:
+        faults.install(fault_spec, seed=fault_seed, scope=name, attempt=attempt)
+    else:
+        faults.clear_plan()
     # Workers run quiet: interleaved per-event progress from N processes
     # is noise; the parent reports dispatch/completion per program.
+    faults.faultpoint("worker.start", program=name)
     data = load_program_data(name, config)
+    faults.faultpoint("worker.mid", program=name)
     snapshot = observe.dump_snapshot() if observing else None
     return data, origin, snapshot
 
@@ -108,24 +152,70 @@ def _graft_worker(
     registry.observe_value(f"span.{worker_name}.seconds", duration)
 
 
+@dataclass
+class _Task:
+    """Parent-side scheduling state for one program."""
+
+    name: str
+    attempts: int = 0        #: attempts that have ended (in failure)
+    not_before: float = 0.0  #: backoff gate on the parent's clock
+    started: float = 0.0     #: first dispatch time (for elapsed accounting)
+
+
+def _kill_pool(pool: Optional[ProcessPoolExecutor]) -> None:
+    """Tear a pool down *now*: cancel queued work, kill live workers.
+
+    Used on abort (so a failed run doesn't keep burning CPU on the other
+    programs for minutes), on watchdog expiry (a hung worker never
+    returns on its own), and after ``BrokenProcessPool`` (the executor
+    is unusable anyway).  ``shutdown(wait=False, cancel_futures=True)``
+    alone is not enough: a live worker would finish its current task —
+    or sleep in an injected hang forever — and the interpreter would
+    join it at exit, so the processes are killed outright.
+    """
+    if pool is None:
+        return
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+    for proc in list((getattr(pool, "_processes", None) or {}).values()):
+        try:
+            proc.kill()
+        except Exception:
+            pass
+    try:
+        pool.shutdown(wait=True, cancel_futures=True)
+    except Exception:
+        pass
+
+
 def load_experiment_data_parallel(
     config: ExperimentConfig,
     progress: Progress = None,
     jobs: Optional[int] = None,
+    *,
+    retries: int = DEFAULT_RETRIES,
+    worker_timeout: Optional[float] = None,
+    keep_going: bool = False,
+    failures: Optional[List[FailureRecord]] = None,
+    retry_base_s: float = RETRY_BASE_S,
 ) -> Dict[str, ProgramData]:
     """Phase 1 + phase 2 for every configured program, fanned out.
 
     ``jobs`` overrides ``config.jobs``; it is clamped to the number of
     programs (extra workers would sit idle).  With one job or one
-    program this degrades to the serial path.
+    program this degrades to the (equally resilient) serial path.
+    See the module docstring for the retry/timeout/keep-going policy.
     """
     jobs = config.jobs if jobs is None else jobs
     names = list(config.programs)
     jobs = max(1, min(jobs, len(names)))
     if jobs == 1 or len(names) <= 1:
-        return {
-            name: load_program_data(name, config, progress) for name in names
-        }
+        return load_programs_serial(
+            config, names, progress, retries=retries, keep_going=keep_going,
+            failures=failures, retry_base_s=retry_base_s,
+        )
 
     observing = observe.is_enabled()
     profile_stride = (
@@ -133,36 +223,225 @@ def load_experiment_data_parallel(
     )
     parent_path = observe.current_span_path() if observing else None
     observe.set_gauge("pipeline.jobs", jobs)
+    plan = faults.active_plan()
+    fault_spec = plan.spec if plan is not None else None
+    fault_seed = plan.seed if plan is not None else 0
 
+    max_attempts = max(1, retries + 1)
+    tasks = [_Task(name) for name in names]
+    pending: List[_Task] = list(tasks)
+    running: Dict[Future, _Task] = {}
+    submit_s: Dict[Future, float] = {}
     data: Dict[str, ProgramData] = {}
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        submit_times: Dict[str, float] = {}
-        futures = {}
-        for name in names:
-            submit_times[name] = time.perf_counter()
-            future = pool.submit(
-                _run_worker, name, config, observing, profile_stride
-            )
-            futures[future] = name
-            if progress:
-                progress(f"[{name}] dispatched to worker pool (jobs={jobs})")
-        for future in as_completed(futures):
-            name = futures[future]
-            # A worker failure (e.g. PipelineError on an unknown
-            # program) propagates here and aborts the run, matching
-            # serial semantics.
-            program_data, origin_s, snapshot = future.result()
-            done_s = time.perf_counter()
-            data[name] = program_data
+    pool: Optional[ProcessPoolExecutor] = None
+    recreations = 0
+    serial_mode = False
+
+    def record_attempt_span(task: _Task, started: float, error: str) -> None:
+        if not observing:
+            return
+        attempt_name = f"worker_attempt:{task.name}"
+        path = f"{parent_path}/{attempt_name}" if parent_path else attempt_name
+        observe.get_registry().add_span(SpanRecord(
+            name=attempt_name, path=path, parent=parent_path or "",
+            start_s=started, duration_s=time.perf_counter() - started,
+            error=True,
+            attrs={"program": task.name, "attempt": str(task.attempts + 1),
+                   "error": error},
+        ))
+
+    def fail_task(task: _Task, exc: BaseException) -> None:
+        """Final failure for one program: record, and abort unless
+        keeping going (the abort cancels queued work and kills live
+        workers so it doesn't burn CPU on results nobody will see)."""
+        nonlocal pool
+        elapsed = time.perf_counter() - task.started if task.started else 0.0
+        record = FailureRecord(
+            program=task.name, error=type(exc).__name__, message=str(exc),
+            attempts=max(1, task.attempts), elapsed_s=elapsed,
+        )
+        observe.inc("fault.program.failed")
+        observe.note(
+            "failures",
+            f"{record.program}: {record.error} after {record.attempts} "
+            f"attempt(s): {record.message}",
+        )
+        if keep_going:
+            if failures is not None:
+                failures.append(record)
             if progress:
                 progress(
-                    f"[{name}] worker finished in "
-                    f"{done_s - submit_times[name]:.1f}s"
+                    f"[{task.name}] FAILED ({record.error}) after "
+                    f"{record.attempts} attempt(s); continuing without it "
+                    f"(--keep-going)"
                 )
-            if observing and snapshot is not None:
-                _graft_worker(
-                    name, snapshot, origin_s, submit_times[name], done_s,
-                    parent_path,
+            return
+        if progress:
+            progress(
+                f"[{task.name}] fatal {record.error}; aborting and "
+                f"cancelling the remaining programs"
+            )
+        _kill_pool(pool)
+        pool = None
+        running.clear()
+        submit_s.clear()
+        raise exc
+
+    def handle_failure(task: _Task, exc: BaseException, started: float) -> None:
+        """One attempt ended in ``exc``: retry with backoff or fail."""
+        record_attempt_span(task, started, type(exc).__name__)
+        task.attempts += 1
+        transient = faults.classify_failure(exc) == "transient"
+        if not transient or task.attempts >= max_attempts:
+            fail_task(task, exc)
+            return
+        delay = retry_backoff_s(task.attempts, retry_base_s)
+        observe.inc("retry.attempts")
+        observe.observe_value("retry.backoff_seconds", delay)
+        if progress:
+            progress(
+                f"[{task.name}] {type(exc).__name__}: {exc}; retrying in "
+                f"{delay:.2f}s (attempt {task.attempts + 1}/{max_attempts})"
+            )
+        task.not_before = time.perf_counter() + delay
+        pending.append(task)
+
+    try:
+        while pending or running:
+            if serial_mode:
+                remaining = [task.name for task in pending]
+                pending.clear()
+                data.update(load_programs_serial(
+                    config, remaining, progress, retries=retries,
+                    keep_going=keep_going, failures=failures,
+                    retry_base_s=retry_base_s,
+                ))
+                break
+
+            now = time.perf_counter()
+            still_waiting: List[_Task] = []
+            for task in pending:
+                if task.not_before > now:
+                    still_waiting.append(task)
+                    continue
+                if pool is None:
+                    pool = ProcessPoolExecutor(max_workers=jobs)
+                if not task.started:
+                    task.started = now
+                attempt = task.attempts + 1
+                future = pool.submit(
+                    _run_worker, task.name, config, observing, profile_stride,
+                    fault_spec, fault_seed, attempt,
                 )
+                running[future] = task
+                submit_s[future] = time.perf_counter()
+                if progress:
+                    suffix = f", attempt {attempt}" if attempt > 1 else ""
+                    progress(
+                        f"[{task.name}] dispatched to worker pool "
+                        f"(jobs={jobs}{suffix})"
+                    )
+            pending = still_waiting
+
+            if not running:
+                # Everything is backing off; sleep to the earliest gate.
+                delay = min(task.not_before for task in pending) \
+                    - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                continue
+
+            # Sleep until a worker finishes, the watchdog must fire, or a
+            # backoff gate opens — whichever comes first.
+            deadlines = [task.not_before for task in pending]
+            if worker_timeout:
+                deadlines.extend(
+                    submitted + worker_timeout for submitted in submit_s.values()
+                )
+            timeout = None
+            if deadlines:
+                timeout = max(0.02, min(deadlines) - time.perf_counter())
+            done, _ = wait(set(running), timeout=timeout,
+                           return_when=FIRST_COMPLETED)
+
+            broke = False
+            for future in done:
+                task = running.pop(future)
+                started = submit_s.pop(future)
+                try:
+                    program_data, origin_s, snapshot = future.result()
+                except BrokenProcessPool as exc:
+                    broke = True
+                    observe.inc("fault.pool.broken")
+                    handle_failure(task, exc, started)
+                    continue
+                except Exception as exc:
+                    handle_failure(task, exc, started)
+                    continue
+                done_s = time.perf_counter()
+                data[task.name] = program_data
+                if progress:
+                    progress(
+                        f"[{task.name}] worker finished in "
+                        f"{done_s - started:.1f}s"
+                    )
+                if observing and snapshot is not None:
+                    _graft_worker(
+                        task.name, snapshot, origin_s, started, done_s,
+                        parent_path,
+                    )
+
+            if worker_timeout:
+                now = time.perf_counter()
+                overdue = [
+                    future for future, submitted in submit_s.items()
+                    if now - submitted > worker_timeout
+                ]
+                for future in overdue:
+                    broke = True
+                    task = running.pop(future)
+                    started = submit_s.pop(future)
+                    observe.inc("fault.worker.hung")
+                    if progress:
+                        progress(
+                            f"[{task.name}] worker exceeded "
+                            f"--worker-timeout {worker_timeout:g}s; killing it"
+                        )
+                    handle_failure(task, WorkerTimeoutError(
+                        f"worker for {task.name!r} exceeded --worker-timeout "
+                        f"{worker_timeout:g}s"
+                    ), started)
+
+            if broke:
+                # The pool is unusable (a worker died or was killed for
+                # hanging): resubmit the innocent in-flight tasks without
+                # an attempt penalty and recreate the pool — unless it
+                # keeps breaking, in which case stop trusting it.
+                for future in list(running):
+                    task = running.pop(future)
+                    submit_s.pop(future, None)
+                    task.not_before = 0.0
+                    pending.append(task)
+                _kill_pool(pool)
+                pool = None
+                recreations += 1
+                observe.inc("fault.pool.recreated")
+                if recreations > MAX_POOL_RECREATIONS:
+                    serial_mode = True
+                    observe.inc("fault.pool.serial_fallback")
+                    if progress:
+                        progress(
+                            f"worker pool broke {recreations} times; falling "
+                            f"back to serial execution for the remaining "
+                            f"programs"
+                        )
+    finally:
+        if running:
+            # Abnormal exit with workers still live (an unexpected error
+            # escaped the scheduler): don't leave orphans burning CPU.
+            _kill_pool(pool)
+        elif pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
     # Completion order is nondeterministic; hand back configured order.
-    return {name: data[name] for name in names}
+    return {name: data[name] for name in names if name in data}

@@ -32,12 +32,14 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
-from repro import observe
-from repro.errors import PipelineError
+from repro import faults, observe
+from repro.errors import PipelineError, ReproError
+from repro.faults import faultpoint
 from repro.sessions import discover_sessions
 from repro.simulate import (
     ENGINE_CHOICES,
@@ -57,6 +59,43 @@ _CACHE_VERSION = 4
 
 #: The keys a cached simulation payload must carry.
 _SIM_PAYLOAD_KEYS = frozenset(("meta", "registry", "result"))
+
+#: Retry policy defaults shared by the serial and parallel pipelines.
+DEFAULT_RETRIES = 2
+RETRY_BASE_S = 0.1
+RETRY_CAP_S = 2.0
+
+
+def retry_backoff_s(
+    attempts: int, base_s: float = RETRY_BASE_S, cap_s: float = RETRY_CAP_S
+) -> float:
+    """Capped exponential backoff before retry number ``attempts + 1``."""
+    return min(cap_s, base_s * (2 ** max(0, attempts - 1)))
+
+
+@dataclass
+class FailureRecord:
+    """One program the pipeline could not produce data for.
+
+    Collected under ``--keep-going`` and recorded in the run manifest's
+    ``failures`` section, so a partial run documents exactly what went
+    wrong, how hard recovery tried, and what it cost.
+    """
+
+    program: str
+    error: str          #: exception class name, e.g. "PipelineError"
+    message: str
+    attempts: int
+    elapsed_s: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "program": self.program,
+            "error": self.error,
+            "message": self.message,
+            "attempts": self.attempts,
+            "elapsed_s": self.elapsed_s,
+        }
 
 
 @dataclass(frozen=True)
@@ -149,6 +188,25 @@ def _discard_corrupt(
         pass
 
 
+def _note_readonly(
+    kind: str, path: Path, exc: OSError, name: str, progress: Progress
+) -> None:
+    """Account a cache write that failed at the OS level.
+
+    An unwritable or read-only ``.repro_cache`` (permissions, full or
+    read-only filesystem) must not abort the run — the cache is an
+    optimization, so the pipeline degrades to cache-less operation and
+    leaves an audit trail instead of crashing.
+    """
+    if progress:
+        progress(
+            f"[{name}] cache unwritable ({type(exc).__name__}: {exc}); "
+            f"continuing without caching {path.name}"
+        )
+    observe.inc("cache.readonly")
+    observe.note("cache.readonly", path.name)
+
+
 def _atomic_pickle_dump(payload: object, path: Path) -> None:
     """Pickle ``payload`` to ``path`` via write-to-temp + ``os.replace``.
 
@@ -157,6 +215,7 @@ def _atomic_pickle_dump(payload: object, path: Path) -> None:
     file and the last rename wins, which is fine because both computed
     the same payload for the same cache key.
     """
+    faultpoint("io.write", kind="sim")
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp_name = tempfile.mkstemp(
         dir=path.parent, prefix=path.name + ".", suffix=".tmp"
@@ -188,6 +247,7 @@ def _trace_for(
         # in ``--trace-out`` exports.
         with observe.span("cache_load", program=workload.name, kind="trace"):
             try:
+                faultpoint("cache.read", program=workload.name, kind="trace")
                 loaded = load_trace(trace_path)
             except Exception as exc:
                 # Torn .npz (killed writer pre-PR, full disk), or any
@@ -203,8 +263,13 @@ def _trace_for(
     observe.inc("cache.trace.misses")
     run = run_workload(workload, scale, on_progress=progress)
     if config.use_cache:
-        save_trace(run.trace, run.registry, trace_path)
-        observe.note("cache.trace.written", trace_path.name)
+        try:
+            faultpoint("cache.write", program=workload.name, kind="trace")
+            save_trace(run.trace, run.registry, trace_path)
+        except OSError as exc:
+            _note_readonly("trace", trace_path, exc, workload.name, progress)
+        else:
+            observe.note("cache.trace.written", trace_path.name)
     return run.trace, run.registry
 
 
@@ -218,6 +283,7 @@ def _load_sim_payload(
         progress(f"[{name}] loading cached simulation {sim_path.name}")
     with observe.span("cache_load", program=name, kind="sim"):
         try:
+            faultpoint("cache.read", program=name, kind="sim")
             with open(sim_path, "rb") as handle:
                 payload = pickle.load(handle)
             if not isinstance(payload, dict) or set(payload) != _SIM_PAYLOAD_KEYS:
@@ -266,14 +332,104 @@ def load_program_data(
             )
         payload = {"meta": trace.meta, "registry": registry, "result": result}
         if config.use_cache:
-            _atomic_pickle_dump(payload, sim_path)
-            observe.note("cache.sim.written", sim_path.name)
+            try:
+                faultpoint("cache.write", program=name, kind="sim")
+                _atomic_pickle_dump(payload, sim_path)
+            except OSError as exc:
+                _note_readonly("sim", sim_path, exc, name, progress)
+            else:
+                observe.note("cache.sim.written", sim_path.name)
     return ProgramData(name=name, scale=scale, **payload)
+
+
+def _record_failure(
+    name: str,
+    exc: BaseException,
+    attempts: int,
+    elapsed_s: float,
+    keep_going: bool,
+    failures: Optional[List[FailureRecord]],
+    progress: Progress,
+) -> None:
+    """Account one program's final failure; re-raise unless keeping going."""
+    record = FailureRecord(
+        program=name, error=type(exc).__name__, message=str(exc),
+        attempts=max(1, attempts), elapsed_s=elapsed_s,
+    )
+    observe.inc("fault.program.failed")
+    observe.note(
+        "failures",
+        f"{record.program}: {record.error} after {record.attempts} "
+        f"attempt(s): {record.message}",
+    )
+    if not keep_going:
+        raise exc
+    if failures is not None:
+        failures.append(record)
+    if progress:
+        progress(
+            f"[{name}] FAILED ({record.error}) after {record.attempts} "
+            f"attempt(s); continuing without it (--keep-going)"
+        )
+
+
+def load_programs_serial(
+    config: ExperimentConfig,
+    names: List[str],
+    progress: Progress = None,
+    *,
+    retries: int = DEFAULT_RETRIES,
+    keep_going: bool = False,
+    failures: Optional[List[FailureRecord]] = None,
+    retry_base_s: float = RETRY_BASE_S,
+) -> Dict[str, ProgramData]:
+    """Run ``names`` in-process, with the shared retry/failure policy.
+
+    Transient failures (:func:`repro.faults.classify_failure`) are
+    retried up to ``retries`` times with capped exponential backoff;
+    fatal ones are not.  A program that still fails either aborts the
+    run (default) or, under ``keep_going``, is recorded in ``failures``
+    and skipped so the surviving programs still produce tables.
+    """
+    max_attempts = max(1, retries + 1)
+    data: Dict[str, ProgramData] = {}
+    for name in names:
+        started = time.monotonic()
+        attempts = 0
+        while True:
+            try:
+                data[name] = load_program_data(name, config, progress)
+                break
+            except Exception as exc:
+                attempts += 1
+                transient = faults.classify_failure(exc) == "transient"
+                if not transient or attempts >= max_attempts:
+                    _record_failure(
+                        name, exc, attempts, time.monotonic() - started,
+                        keep_going, failures, progress,
+                    )
+                    break
+                delay = retry_backoff_s(attempts, retry_base_s)
+                observe.inc("retry.attempts")
+                observe.observe_value("retry.backoff_seconds", delay)
+                if progress:
+                    progress(
+                        f"[{name}] transient {type(exc).__name__}: {exc}; "
+                        f"retrying in {delay:.2f}s "
+                        f"(attempt {attempts + 1}/{max_attempts})"
+                    )
+                time.sleep(delay)
+    return data
 
 
 def load_experiment_data(
     config: ExperimentConfig = ExperimentConfig(),
     progress: Progress = None,
+    *,
+    retries: int = DEFAULT_RETRIES,
+    worker_timeout: Optional[float] = None,
+    keep_going: bool = False,
+    failures: Optional[List[FailureRecord]] = None,
 ) -> Dict[str, ProgramData]:
     """Phase 1 + phase 2 for every configured program.
 
@@ -281,12 +437,20 @@ def load_experiment_data(
     process pool (:mod:`repro.experiments.parallel`); results and, when
     observation is on, each worker's metrics/spans are identical to a
     serial run's, modulo the extra ``worker:<name>`` spans.
+
+    Both paths share one failure policy: transient errors retry with
+    capped exponential backoff, fatal ones abort (or are recorded into
+    ``failures`` under ``keep_going``); ``worker_timeout`` additionally
+    bounds each parallel worker's wall clock.
     """
     if config.jobs > 1 and len(config.programs) > 1:
         from repro.experiments.parallel import load_experiment_data_parallel
 
-        return load_experiment_data_parallel(config, progress)
-    return {
-        name: load_program_data(name, config, progress)
-        for name in config.programs
-    }
+        return load_experiment_data_parallel(
+            config, progress, retries=retries, worker_timeout=worker_timeout,
+            keep_going=keep_going, failures=failures,
+        )
+    return load_programs_serial(
+        config, list(config.programs), progress,
+        retries=retries, keep_going=keep_going, failures=failures,
+    )

@@ -1,0 +1,59 @@
+"""Deterministic fault injection for the experiment pipeline.
+
+``repro.faults`` lets a run rehearse the failures a long batch job will
+actually see — crashed and hung workers, torn cache files, unwritable
+disks — under a seeded, reproducible plan, so every recovery path in
+the pipeline can be exercised systematically instead of waiting for a
+bad day.  Off by default: with no plan installed, every
+:func:`faultpoint` is a single global check (the same contract as
+:mod:`repro.observe`'s disabled path).
+
+Activate with the CLI's ``--inject-faults SPEC`` (plus ``--fault-seed``),
+the ``REPRO_FAULTS`` environment variable, or programmatically::
+
+    from repro import faults
+    faults.install("worker:crash@gcc", seed=7)
+
+See :mod:`repro.faults.plan` for the spec grammar and
+``docs/RESILIENCE.md`` for the full guide (grammar, retry/timeout
+semantics, failure-manifest schema).
+"""
+
+from repro.faults.plan import ACTIONS, FaultClause, FaultPlan, parse_plan
+from repro.faults.runtime import (
+    DEFAULT_HANG_SECONDS,
+    InjectedCorruption,
+    InjectedFault,
+    InjectedOSError,
+    active_plan,
+    classify_failure,
+    clear_plan,
+    faultpoint,
+    install,
+    install_from_env,
+    install_plan,
+    is_active,
+)
+
+# REPRO_FAULTS in the environment arms this process at import time, so
+# spawned workers and nested tools inherit the plan without plumbing.
+install_from_env()
+
+__all__ = [
+    "ACTIONS",
+    "DEFAULT_HANG_SECONDS",
+    "FaultClause",
+    "FaultPlan",
+    "InjectedCorruption",
+    "InjectedFault",
+    "InjectedOSError",
+    "active_plan",
+    "classify_failure",
+    "clear_plan",
+    "faultpoint",
+    "install",
+    "install_from_env",
+    "install_plan",
+    "is_active",
+    "parse_plan",
+]

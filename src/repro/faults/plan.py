@@ -1,0 +1,216 @@
+"""Fault plans: the compact spec grammar and its seeded evaluator.
+
+A *fault plan* is a comma-separated list of clauses, each describing one
+deterministic fault to inject at a named :func:`~repro.faults.faultpoint`
+site::
+
+    plan      := clause (',' clause)*
+    clause    := site ':' action ['@' qualifier] ['*' times]
+    site      := dotted lowercase name; matches a faultpoint whose name
+                 equals the site or extends it at a '.' boundary
+                 ("worker" matches "worker.start" and "worker.mid")
+    action    := corrupt | oserror | crash | hang | fatal
+    qualifier := INT    fire on exactly the Nth matching hit (1-based,
+                        counted per installed plan)
+               | FLOAT  fire on each matching hit with probability p,
+                        drawn from the plan's seeded RNG (must contain
+                        a '.', e.g. "0.1")
+               | NAME   fire only on hits whose ``program`` context
+                        equals NAME
+    times     := INT | 'inf'   the highest *attempt* number the clause
+                 stays armed for (default 1: first attempt only, so a
+                 retried worker recovers)
+
+Examples::
+
+    cache.read:corrupt@2        # 2nd cache read loads a corrupt entry
+    worker:crash@gcc            # SIGKILL the first worker running gcc
+    worker:hang@spice           # hang the first worker running spice
+    io.write:oserror@0.1        # each atomic write fails with p=0.1
+    worker:fatal@gcc*inf        # gcc fails fatally on every attempt
+
+Evaluation is fully deterministic: occurrence counters live on the
+installed plan, and the probability RNG is seeded from ``(seed, scope)``
+— the scope is the worker's program name (or ``"cli"`` in the parent) —
+so a given plan, seed, and schedule always injects the same faults.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+from math import inf
+from typing import List, Optional, Tuple
+
+from repro.errors import FaultSpecError
+
+#: The injectable behaviours; see :mod:`repro.faults` for what each does.
+ACTIONS = ("corrupt", "oserror", "crash", "hang", "fatal")
+
+_SITE_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$")
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_-]*$")
+
+
+@dataclass(frozen=True)
+class FaultClause:
+    """One parsed ``site:action[@qualifier][*times]`` clause."""
+
+    site: str
+    action: str
+    #: Exactly one of nth/probability/program is set when qualified.
+    nth: Optional[int] = None
+    probability: Optional[float] = None
+    program: Optional[str] = None
+    #: Highest attempt number the clause fires on (default 1).
+    max_attempt: float = 1
+
+    def describe(self) -> str:
+        qualifier = ""
+        if self.nth is not None:
+            qualifier = f"@{self.nth}"
+        elif self.probability is not None:
+            qualifier = f"@{self.probability:g}"
+        elif self.program is not None:
+            qualifier = f"@{self.program}"
+        times = "" if self.max_attempt == 1 else (
+            "*inf" if self.max_attempt == inf else f"*{int(self.max_attempt)}"
+        )
+        return f"{self.site}:{self.action}{qualifier}{times}"
+
+
+def _parse_clause(text: str) -> FaultClause:
+    head, times_text = (text.split("*", 1) + [""])[:2] if "*" in text \
+        else (text, "")
+    site_action, qualifier = (head.split("@", 1) + [""])[:2] if "@" in head \
+        else (head, "")
+    if ":" not in site_action:
+        raise FaultSpecError(
+            f"bad fault clause {text!r}: expected 'site:action'"
+        )
+    site, action = site_action.split(":", 1)
+    if not _SITE_RE.match(site):
+        raise FaultSpecError(f"bad fault site {site!r} in clause {text!r}")
+    if action not in ACTIONS:
+        raise FaultSpecError(
+            f"unknown fault action {action!r} in clause {text!r}; "
+            f"choose from {ACTIONS}"
+        )
+
+    nth = probability = program = None
+    if qualifier:
+        if qualifier.isdigit():
+            nth = int(qualifier)
+            if nth < 1:
+                raise FaultSpecError(
+                    f"occurrence qualifier must be >= 1 in clause {text!r}"
+                )
+        elif "." in qualifier:
+            try:
+                probability = float(qualifier)
+            except ValueError:
+                raise FaultSpecError(
+                    f"bad probability {qualifier!r} in clause {text!r}"
+                ) from None
+            if not 0.0 < probability <= 1.0:
+                raise FaultSpecError(
+                    f"probability must be in (0, 1] in clause {text!r}"
+                )
+        elif _NAME_RE.match(qualifier):
+            program = qualifier
+        else:
+            raise FaultSpecError(
+                f"bad qualifier {qualifier!r} in clause {text!r}"
+            )
+
+    max_attempt: float = 1
+    if times_text:
+        if times_text == "inf":
+            max_attempt = inf
+        elif times_text.isdigit() and int(times_text) >= 1:
+            max_attempt = int(times_text)
+        else:
+            raise FaultSpecError(
+                f"bad times suffix {times_text!r} in clause {text!r}; "
+                "expected a positive int or 'inf'"
+            )
+
+    return FaultClause(
+        site=site, action=action, nth=nth, probability=probability,
+        program=program, max_attempt=max_attempt,
+    )
+
+
+def parse_plan(spec: str) -> Tuple[FaultClause, ...]:
+    """Parse a plan spec string into clauses (:class:`FaultSpecError` on
+    any syntax problem — a bad plan must fail loudly at configuration
+    time, never silently inject nothing)."""
+    if not isinstance(spec, str) or not spec.strip():
+        raise FaultSpecError("empty fault plan spec")
+    return tuple(
+        _parse_clause(chunk.strip())
+        for chunk in spec.split(",") if chunk.strip()
+    )
+
+
+def _site_matches(clause_site: str, site: str) -> bool:
+    return site == clause_site or site.startswith(clause_site + ".")
+
+
+class FaultPlan:
+    """A parsed plan plus its per-process evaluation state.
+
+    ``attempt`` is the 1-based attempt number of the process evaluating
+    the plan (workers are told theirs on each (re)dispatch); clauses are
+    armed only while ``attempt <= times``, so by default an injected
+    worker fault fires once and the retry recovers.
+    """
+
+    def __init__(
+        self, spec: str, seed: int = 0, scope: str = "", attempt: int = 1
+    ) -> None:
+        self.spec = spec
+        self.clauses = parse_plan(spec)
+        self.seed = int(seed)
+        self.scope = scope
+        self.attempt = max(1, int(attempt))
+        self._hits = [0] * len(self.clauses)
+        self._rng = random.Random(f"{self.seed}|{self.scope}")
+
+    def hit(self, site: str, program: Optional[str]) -> Optional[FaultClause]:
+        """Record one faultpoint hit; return the clause that fires, if any.
+
+        Every clause's occurrence counter and RNG draw happens whether or
+        not an earlier clause already fired, so adding a clause to a plan
+        never perturbs the schedule of the others.  The first firing
+        clause (in spec order) wins.
+        """
+        fired: Optional[FaultClause] = None
+        for index, clause in enumerate(self.clauses):
+            if not _site_matches(clause.site, site):
+                continue
+            if clause.program is not None and clause.program != program:
+                continue
+            self._hits[index] += 1
+            if clause.probability is not None \
+                    and self._rng.random() >= clause.probability:
+                continue
+            if self.attempt > clause.max_attempt:
+                continue
+            if clause.nth is not None and self._hits[index] != clause.nth:
+                continue
+            if fired is None:
+                fired = clause
+        return fired
+
+    def describe(self) -> str:
+        clauses = ",".join(clause.describe() for clause in self.clauses)
+        return (
+            f"FaultPlan({clauses} seed={self.seed} scope={self.scope!r} "
+            f"attempt={self.attempt})"
+        )
+
+    __repr__ = describe
+
+
+__all__: List[str] = ["ACTIONS", "FaultClause", "FaultPlan", "parse_plan"]

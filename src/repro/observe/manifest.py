@@ -109,6 +109,9 @@ class RunManifest:
     histograms: Dict[str, Dict[str, float]] = field(default_factory=dict)
     stages: Dict[str, Dict[str, float]] = field(default_factory=dict)
     cache: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    #: Programs the run could not produce data for (``--keep-going``):
+    #: one record each with program/error/message/attempts/elapsed_s.
+    failures: List[Dict[str, object]] = field(default_factory=list)
     schema_version: int = MANIFEST_SCHEMA_VERSION
 
     @classmethod
@@ -117,6 +120,7 @@ class RunManifest:
         registry: Optional[MetricsRegistry] = None,
         target: str = "",
         config: Optional[Dict[str, object]] = None,
+        failures: Optional[List[Dict[str, object]]] = None,
     ) -> "RunManifest":
         """Snapshot ``registry`` (default: the process one) into a manifest."""
         snapshot = (registry or get_registry()).snapshot()
@@ -131,6 +135,7 @@ class RunManifest:
             histograms=snapshot["histograms"],
             stages=_stages_from_spans(spans),
             cache=_cache_from_registry(counters, snapshot["notes"]),
+            failures=[dict(record) for record in (failures or [])],
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -146,6 +151,7 @@ class RunManifest:
             "histograms": self.histograms,
             "stages": self.stages,
             "cache": self.cache,
+            "failures": self.failures,
         }
 
     def digest(self) -> str:
@@ -203,6 +209,26 @@ def validate_manifest(data: Dict[str, object]) -> None:
             raise ManifestFormatError(
                 f"cache section {kind!r} must carry 'hits' and 'misses'"
             )
+    # Optional (absent in pre-fault-tolerance manifests): the partial-
+    # result failure records written under --keep-going.
+    if "failures" in data:
+        if not isinstance(data["failures"], list):
+            raise ManifestFormatError("manifest field 'failures' must be a list")
+        for index, record in enumerate(data["failures"]):
+            if not isinstance(record, dict):
+                raise ManifestFormatError(f"failure #{index} must be a dict")
+            missing_keys = [
+                key for key in ("program", "error", "attempts", "elapsed_s")
+                if key not in record
+            ]
+            if missing_keys:
+                raise ManifestFormatError(
+                    f"failure #{index} missing keys: {missing_keys}"
+                )
+            if not isinstance(record["attempts"], int) or record["attempts"] < 1:
+                raise ManifestFormatError(
+                    f"failure #{index}: 'attempts' must be an int >= 1"
+                )
 
 
 def load_manifest(path: Union[str, Path]) -> RunManifest:
@@ -222,5 +248,6 @@ def load_manifest(path: Union[str, Path]) -> RunManifest:
         histograms=data["histograms"],
         stages=data["stages"],
         cache=data["cache"],
+        failures=data.get("failures", []),
         schema_version=data["schema_version"],
     )

@@ -18,6 +18,7 @@ from typing import Tuple, Union
 import numpy as np
 
 from repro.errors import TraceFormatError
+from repro.faults import faultpoint
 from repro.trace.events import EventTrace, TraceMeta
 from repro.trace.objects import ObjectDesc, ObjectRegistry
 
@@ -36,6 +37,8 @@ def save_trace(
     previous entry intact.
     """
     path = Path(path)
+    faultpoint("trace.save", path=path.name)
+    faultpoint("io.write", kind="trace")
     path.parent.mkdir(parents=True, exist_ok=True)
     meta_doc = {
         "version": _FORMAT_VERSION,
@@ -81,6 +84,7 @@ def save_trace(
 def load_trace(path: Union[str, Path]) -> Tuple[EventTrace, ObjectRegistry]:
     """Load a trace + registry saved by :func:`save_trace`."""
     path = Path(path)
+    faultpoint("trace.load", path=path.name)
     with np.load(path) as archive:
         try:
             meta_doc = json.loads(bytes(archive["meta"].tobytes()).decode("utf-8"))

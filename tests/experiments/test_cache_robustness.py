@@ -124,6 +124,63 @@ class TestCorruptionRecovery:
         assert counters["cache.trace.misses"] == 1
 
 
+class TestReadonlyCache:
+    """An unwritable cache dir degrades the run, never aborts it."""
+
+    # A cache dir nested under a regular file: mkdir and every write
+    # raise OSError (chmod-based setups don't bind when running as root).
+
+    def test_run_succeeds_cacheless(self, tmp_path, observing):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        config = ExperimentConfig(
+            programs=(PROGRAM,), scale="smoke", cache_dir=blocker / "cache"
+        )
+        messages = []
+        data = load_program_data(PROGRAM, config, messages.append)
+        assert data.result.counts
+        snapshot = observing.snapshot()
+        assert snapshot["counters"]["cache.readonly"] >= 1
+        assert any("unwritable" in message for message in messages)
+        # Nothing claims to have been written.
+        assert "cache.trace.written" not in snapshot["notes"]
+        assert "cache.sim.written" not in snapshot["notes"]
+
+    def test_cacheless_run_matches_cached_run(self, tmp_path, warm_cache):
+        _, baseline = warm_cache
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        config = ExperimentConfig(
+            programs=(PROGRAM,), scale="smoke", cache_dir=blocker / "cache"
+        )
+        data = load_program_data(PROGRAM, config)
+        assert data.result.counts == baseline.result.counts
+
+
+class TestEndToEndRecovery:
+    """Corruption recovery exercised through the real CLI entry point."""
+
+    def test_truncated_trace_npz_recovers_through_cli(self, tmp_path):
+        from repro.experiments.cli import main as cli_main
+
+        cache_dir = tmp_path / "cache"
+        args = ["table4", "--scale", "smoke", "--programs", PROGRAM,
+                "--cache-dir", str(cache_dir), "--quiet"]
+        clean = tmp_path / "clean.txt"
+        assert cli_main(args + ["--out", str(clean)]) == 0
+
+        sim = [p for p in cache_dir.iterdir() if p.name.endswith(".pkl")]
+        for path in sim:
+            path.unlink()  # force the trace entry to be read
+        (trace_path,) = [p for p in cache_dir.iterdir()
+                         if p.name.endswith(".npz")]
+        trace_path.write_bytes(trace_path.read_bytes()[:100])
+
+        recovered = tmp_path / "recovered.txt"
+        assert cli_main(args + ["--out", str(recovered)]) == 0
+        assert recovered.read_text() == clean.read_text()
+
+
 class TestAtomicWrites:
     def test_no_temp_files_left_behind(self, warm_cache):
         config, _ = warm_cache

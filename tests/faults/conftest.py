@@ -1,0 +1,42 @@
+"""Shared fixtures for the fault-injection suite.
+
+Every test here must leave the process clean: no installed fault plan,
+no leaked ``REPRO_FAULTS``/``REPRO_FAULT_SEED`` environment, and the
+observe registry back where it started.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import faults, observe
+
+_FAULT_ENV = ("REPRO_FAULTS", "REPRO_FAULT_SEED", "REPRO_FAULT_SCOPE",
+              "REPRO_FAULT_HANG_S")
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_state():
+    """No plan installed and no fault env leaks, before and after."""
+    saved = {name: os.environ.pop(name, None) for name in _FAULT_ENV}
+    faults.clear_plan()
+    yield
+    faults.clear_plan()
+    for name, value in saved.items():
+        if value is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = value
+
+
+@pytest.fixture()
+def observing():
+    was_enabled = observe.is_enabled()
+    observe.reset()
+    observe.enable()
+    yield observe.get_registry()
+    if not was_enabled:
+        observe.disable()
+    observe.reset()

@@ -1,0 +1,121 @@
+"""Faultpoint runtime: install/clear, env activation, triggers, classify."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults, observe
+from repro.errors import (
+    FaultSpecError, PipelineError, SessionError, TraceFormatError,
+    WorkerTimeoutError,
+)
+from repro.faults import (
+    InjectedCorruption, InjectedFault, InjectedOSError, classify_failure,
+    faultpoint,
+)
+
+try:
+    from concurrent.futures.process import BrokenProcessPool
+except ImportError:  # pragma: no cover
+    BrokenProcessPool = None
+
+
+class TestLifecycle:
+    def test_disabled_faultpoint_is_a_noop(self):
+        assert not faults.is_active()
+        faultpoint("cache.read", program="qcd")  # must not raise
+
+    def test_install_and_clear(self):
+        faults.install("cache.read:corrupt")
+        assert faults.is_active()
+        assert faults.active_plan().spec == "cache.read:corrupt"
+        faults.clear_plan()
+        assert not faults.is_active()
+        faultpoint("cache.read")
+
+    def test_install_rejects_bad_spec(self):
+        with pytest.raises(FaultSpecError):
+            faults.install("cache.read:explode")
+        assert not faults.is_active()
+
+    def test_install_from_env(self):
+        plan = faults.install_from_env(
+            {"REPRO_FAULTS": "worker:crash@gcc", "REPRO_FAULT_SEED": "7"}
+        )
+        assert plan is not None and plan.seed == 7
+        assert faults.is_active()
+
+    def test_install_from_env_without_spec_is_a_noop(self):
+        assert faults.install_from_env({}) is None
+        assert not faults.is_active()
+
+
+class TestTriggers:
+    def test_corrupt_raises_injected_corruption(self):
+        faults.install("cache.read:corrupt")
+        with pytest.raises(InjectedCorruption):
+            faultpoint("cache.read", program="qcd")
+
+    def test_oserror_is_a_real_oserror(self):
+        faults.install("io.write:oserror")
+        with pytest.raises(OSError) as excinfo:
+            faultpoint("io.write")
+        assert isinstance(excinfo.value, InjectedOSError)
+        assert isinstance(excinfo.value, InjectedFault)
+
+    def test_fatal_raises_pipeline_error(self):
+        faults.install("worker:fatal")
+        with pytest.raises(PipelineError):
+            faultpoint("worker.start", program="gcc")
+
+    def test_injected_faults_are_not_repro_errors(self):
+        # The retry classifier must see injected faults as external
+        # failures, not as classified repro errors.
+        from repro.errors import ReproError
+        assert not issubclass(InjectedCorruption, ReproError)
+        assert not issubclass(InjectedOSError, ReproError)
+
+    def test_trigger_counts_and_notes(self, observing):
+        faults.install("cache.read:corrupt")
+        with pytest.raises(InjectedCorruption):
+            faultpoint("cache.read", program="qcd")
+        snapshot = observing.snapshot()
+        assert snapshot["counters"]["fault.injected.cache.read.corrupt"] == 1
+        assert "cache.read:corrupt@qcd" in snapshot["notes"]["fault.injected"]
+
+    def test_hang_respects_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_HANG_S", "0.05")
+        faults.install("worker:hang")
+        import time
+        start = time.monotonic()
+        faultpoint("worker.mid", program="gcc")
+        elapsed = time.monotonic() - start
+        assert 0.04 <= elapsed < 2.0
+
+
+class TestClassifyFailure:
+    def test_worker_timeout_is_transient_despite_being_a_repro_error(self):
+        # WorkerTimeoutError subclasses PipelineError, so the order of
+        # the classifier's checks matters: watchdog kills must retry.
+        assert classify_failure(WorkerTimeoutError("t")) == "transient"
+
+    @pytest.mark.parametrize("exc", [
+        OSError("disk"),
+        InjectedCorruption("x"),
+        InjectedOSError(5, "x"),
+    ])
+    def test_io_and_injected_faults_are_transient(self, exc):
+        assert classify_failure(exc) == "transient"
+
+    def test_broken_process_pool_is_transient(self):
+        assert classify_failure(BrokenProcessPool("dead")) == "transient"
+
+    @pytest.mark.parametrize("exc", [
+        PipelineError("p"),
+        SessionError("s"),
+        TraceFormatError("t"),
+        ValueError("bug"),
+        KeyError("bug"),
+    ])
+    def test_repro_errors_and_bugs_are_fatal(self, exc):
+        assert classify_failure(exc) == "fatal"

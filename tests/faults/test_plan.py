@@ -1,0 +1,144 @@
+"""Fault plan grammar: parsing, matching, and deterministic evaluation."""
+
+from __future__ import annotations
+
+from math import inf
+
+import pytest
+
+from repro.errors import FaultSpecError
+from repro.faults.plan import ACTIONS, FaultClause, FaultPlan, parse_plan
+
+
+class TestParsing:
+    def test_bare_clause(self):
+        (clause,) = parse_plan("cache.read:corrupt")
+        assert clause == FaultClause(site="cache.read", action="corrupt")
+
+    def test_all_actions_parse(self):
+        for action in ACTIONS:
+            (clause,) = parse_plan(f"io.write:{action}")
+            assert clause.action == action
+
+    def test_nth_qualifier(self):
+        (clause,) = parse_plan("cache.read:corrupt@2")
+        assert clause.nth == 2
+        assert clause.probability is None and clause.program is None
+
+    def test_probability_qualifier_needs_a_dot(self):
+        (clause,) = parse_plan("io.write:oserror@0.1")
+        assert clause.probability == pytest.approx(0.1)
+
+    def test_program_qualifier(self):
+        (clause,) = parse_plan("worker:crash@gcc")
+        assert clause.program == "gcc"
+
+    def test_times_suffix(self):
+        (clause,) = parse_plan("worker:fatal@gcc*3")
+        assert clause.max_attempt == 3
+        (clause,) = parse_plan("worker:fatal*inf")
+        assert clause.max_attempt == inf
+
+    def test_multiple_clauses(self):
+        clauses = parse_plan("worker:crash@gcc, cache.read:corrupt@2")
+        assert [c.site for c in clauses] == ["worker", "cache.read"]
+
+    def test_describe_round_trips(self):
+        spec = "worker:crash@gcc,cache.read:corrupt@2,io.write:oserror@0.5,worker:fatal*inf"
+        clauses = parse_plan(spec)
+        assert ",".join(c.describe() for c in clauses) == spec
+
+    @pytest.mark.parametrize("bad", [
+        "",
+        "   ",
+        "worker",                 # no action
+        "worker:explode",         # unknown action
+        "Worker:crash",           # uppercase site
+        "worker.:crash",          # trailing dot
+        "worker:crash@0",         # nth must be >= 1
+        "worker:crash@1.5",       # probability out of (0, 1]
+        "worker:crash@0.0",       # probability must be > 0
+        "worker:crash@!bad",      # junk qualifier
+        "worker:crash*0",         # times must be >= 1
+        "worker:crash*soon",      # junk times
+    ])
+    def test_bad_specs_raise_fault_spec_error(self, bad):
+        with pytest.raises(FaultSpecError):
+            parse_plan(bad)
+
+
+class TestSiteMatching:
+    def test_exact_match_fires(self):
+        plan = FaultPlan("worker.start:fatal")
+        assert plan.hit("worker.start", None) is not None
+
+    def test_prefix_matches_at_dot_boundary(self):
+        plan = FaultPlan("worker:fatal*inf")
+        assert plan.hit("worker.start", "any") is not None
+        assert plan.hit("worker.mid", "any") is not None
+
+    def test_prefix_does_not_match_mid_word(self):
+        plan = FaultPlan("work:fatal*inf")
+        assert plan.hit("worker.start", None) is None
+
+    def test_unrelated_site_never_fires(self):
+        plan = FaultPlan("cache.read:corrupt")
+        assert plan.hit("io.write", None) is None
+
+
+class TestEvaluation:
+    def test_nth_occurrence_counts_per_plan(self):
+        plan = FaultPlan("cache.read:corrupt@2")
+        assert plan.hit("cache.read", "qcd") is None
+        assert plan.hit("cache.read", "qcd") is not None
+        assert plan.hit("cache.read", "qcd") is None  # only the 2nd
+
+    def test_unqualified_clause_fires_on_every_hit_while_armed(self):
+        plan = FaultPlan("cache.read:corrupt")
+        assert plan.hit("cache.read", None) is not None
+        assert plan.hit("cache.read", None) is not None
+
+    def test_program_qualifier_filters_hits(self):
+        plan = FaultPlan("worker:crash@gcc")
+        assert plan.hit("worker.start", "qcd") is None
+        assert plan.hit("worker.start", "gcc") is not None
+
+    def test_attempt_gating_default_first_attempt_only(self):
+        assert FaultPlan("worker:fatal", attempt=1).hit("worker.start", None) \
+            is not None
+        assert FaultPlan("worker:fatal", attempt=2).hit("worker.start", None) \
+            is None
+
+    def test_attempt_gating_times_and_inf(self):
+        assert FaultPlan("worker:fatal*2", attempt=2).hit("worker.start", None) \
+            is not None
+        assert FaultPlan("worker:fatal*2", attempt=3).hit("worker.start", None) \
+            is None
+        assert FaultPlan("worker:fatal*inf", attempt=99).hit("worker.start", None) \
+            is not None
+
+    def test_probability_is_deterministic_per_seed_and_scope(self):
+        def schedule(seed, scope):
+            plan = FaultPlan("io.write:oserror@0.5", seed=seed, scope=scope)
+            return [plan.hit("io.write", None) is not None for _ in range(64)]
+
+        assert schedule(7, "gcc") == schedule(7, "gcc")
+        assert schedule(7, "gcc") != schedule(8, "gcc")
+        assert schedule(7, "gcc") != schedule(7, "qcd")
+        assert any(schedule(7, "gcc")) and not all(schedule(7, "gcc"))
+
+    def test_first_firing_clause_wins_but_all_counters_advance(self):
+        plan = FaultPlan("cache.read:corrupt@2,cache.read:oserror@2")
+        assert plan.hit("cache.read", None) is None
+        fired = plan.hit("cache.read", None)
+        assert fired is not None and fired.action == "corrupt"
+
+    def test_adding_a_clause_does_not_perturb_others(self):
+        lone = FaultPlan("io.write:oserror@3")
+        paired = FaultPlan("cache.read:corrupt,io.write:oserror@3")
+        lone_fires = [lone.hit("io.write", None) is not None for _ in range(4)]
+        paired.hit("cache.read", None)
+        paired_fires = [
+            paired.hit("io.write", None) is not None for _ in range(4)
+        ]
+        assert lone_fires == paired_fires == [False, False, True, False]

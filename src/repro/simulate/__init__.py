@@ -29,17 +29,18 @@ unavailable).  Equivalence is enforced by the differential suite in
 ``engine-equivalence`` job.
 """
 
-from typing import Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.errors import PipelineError
 from repro.sessions.types import SessionDef
 from repro.simulate.counting import CountingVariables, VmPageCounts
 from repro.simulate.engine import (
     SimulationResult,
+    SimulationStream,
     simulate_sessions as simulate_sessions_python,
     validate_page_sizes,
 )
-from repro.trace.events import EventTrace
+from repro.trace.events import EventTrace, TraceMeta
 from repro.trace.objects import ObjectRegistry
 
 #: Recognized values for the ``engine`` argument / ``--engine`` flag.
@@ -104,13 +105,84 @@ def simulate_sessions(
     return simulate_sessions_python(trace, registry, sessions, page_sizes)
 
 
+def open_simulation_stream(
+    registry: ObjectRegistry,
+    sessions: Sequence[SessionDef],
+    page_sizes: Sequence[int] = (4096, 8192),
+    engine: str = "auto",
+    expected_events: Optional[int] = None,
+):
+    """An incremental ``feed``/``feed_chunk``/``finish`` simulation.
+
+    Resolves ``engine`` like :func:`simulate_sessions` does, using
+    ``expected_events`` (the stream's total event count, when known —
+    e.g. a trace file's footer) as the size hint for ``"auto"``; an
+    unknown-size stream resolves as a large trace.  Returns a
+    :class:`~repro.simulate.engine.SimulationStream` (scalar: bounded
+    memory) or a
+    :class:`~repro.simulate.vector_engine.VectorSimulationStream`
+    (accumulates columns, vectorized pass at ``finish``); both produce
+    results bit-identical to the whole-trace path.
+    """
+    backend = resolve_engine(engine, expected_events)
+    if backend == "numpy":
+        from repro.simulate.vector_engine import VectorSimulationStream
+
+        return VectorSimulationStream(registry, sessions, page_sizes)
+    return SimulationStream(registry, sessions, page_sizes)
+
+
+def simulate_chunks(
+    chunks: Iterable,
+    registry: ObjectRegistry,
+    sessions: Sequence[SessionDef],
+    page_sizes: Sequence[int] = (4096, 8192),
+    engine: str = "auto",
+    meta: Optional[TraceMeta] = None,
+    expected_events: Optional[int] = None,
+) -> SimulationResult:
+    """Drive a chunk source through a simulation stream to a result.
+
+    ``chunks`` is any iterable of :class:`~repro.trace.stream.TraceChunk`
+    — a :class:`~repro.trace.stream.ChunkChannel`, a
+    :class:`~repro.trace.tracefile.TraceStreamReader`, or
+    :func:`~repro.trace.stream.iter_chunks` over an in-memory trace.
+    ``meta``/``expected_events`` default to the source's ``meta`` /
+    ``n_events`` attributes when it has them (readers do; a channel's
+    ``meta`` is set by its producer at close, i.e. after iteration).
+    When the expected total is known the stream is checked against it,
+    so a silently truncated stream fails loudly instead of producing
+    undercounted results.
+    """
+    if expected_events is None:
+        expected_events = getattr(chunks, "n_events", None)
+    stream = open_simulation_stream(
+        registry, sessions, page_sizes, engine=engine,
+        expected_events=expected_events,
+    )
+    for chunk in chunks:
+        stream.feed_chunk(chunk)
+    if meta is None:
+        meta = getattr(chunks, "meta", None)
+    if meta is None:
+        meta = TraceMeta()
+    if expected_events is None:
+        declared = meta.n_writes + meta.n_installs + meta.n_removes
+        if declared > 0:
+            expected_events = declared
+    return stream.finish(meta, expected_events=expected_events)
+
+
 __all__ = [
     "AUTO_NUMPY_MIN_EVENTS",
     "ENGINE_CHOICES",
     "CountingVariables",
     "VmPageCounts",
     "SimulationResult",
+    "SimulationStream",
+    "open_simulation_stream",
     "resolve_engine",
+    "simulate_chunks",
     "simulate_sessions",
     "simulate_sessions_python",
     "validate_page_sizes",

@@ -603,3 +603,94 @@ def simulate_sessions_numpy(
         if event_samples:
             observe_profile.get_profiler().record_engine(event_samples)
     return result
+
+
+class VectorSimulationStream:
+    """The NumPy backend's ``feed``/``finish`` adapter.
+
+    The vectorized engine is a whole-trace algorithm — its packed-key
+    sorts and grouped running sums need every event at once — so this
+    stream *accumulates* chunk columns and runs
+    :func:`simulate_sessions_numpy` over their concatenation at
+    :meth:`finish`.  It keeps the streaming API uniform across backends
+    (and overlaps phase 1 with chunk transport and checksum
+    verification), but unlike the scalar
+    :class:`~repro.simulate.engine.SimulationStream` its memory grows
+    with the trace: peak ~= the full columns plus one chunk.  For
+    bounded-memory replay of a larger-than-RAM trace, use
+    ``engine="python"``.
+    """
+
+    def __init__(
+        self,
+        registry: ObjectRegistry,
+        sessions: Sequence[SessionDef],
+        page_sizes: Sequence[int] = (4096, 8192),
+    ) -> None:
+        if len(sessions) == 0:
+            raise PipelineError("no sessions to simulate")
+        validate_page_sizes(page_sizes)
+        self._registry = registry
+        self._sessions = list(sessions)
+        self._page_sizes = tuple(page_sizes)
+        self._kinds: List[np.ndarray] = []
+        self._col_a: List[np.ndarray] = []
+        self._col_b: List[np.ndarray] = []
+        self._col_c: List[np.ndarray] = []
+        self._n_events = 0
+        self._next_seq = 0
+        self._finished = False
+
+    def feed(self, kinds, col_a, col_b, col_c) -> None:
+        """Buffer the next batch of events (any split point is legal)."""
+        if self._finished:
+            raise PipelineError("feed() on a finished simulation stream")
+        kinds = np.ascontiguousarray(kinds, dtype=np.int8)
+        self._kinds.append(kinds)
+        self._col_a.append(np.ascontiguousarray(col_a, dtype=np.int64))
+        self._col_b.append(np.ascontiguousarray(col_b, dtype=np.int64))
+        self._col_c.append(np.ascontiguousarray(col_c, dtype=np.int64))
+        self._n_events += int(kinds.size)
+
+    def feed_chunk(self, chunk, verify: bool = True) -> None:
+        """Buffer one :class:`~repro.trace.stream.TraceChunk`, enforcing
+        sequence order and (with ``verify``) its framing checksums."""
+        if chunk.seq != self._next_seq:
+            raise PipelineError(
+                f"chunk {chunk.seq} fed out of order; expected "
+                f"{self._next_seq}"
+            )
+        self._next_seq += 1
+        if verify:
+            chunk.verify()
+        self.feed(chunk.kinds, chunk.col_a, chunk.col_b, chunk.col_c)
+
+    @property
+    def events_fed(self) -> int:
+        return self._n_events
+
+    def finish(self, meta, expected_events: Optional[int] = None):
+        """Concatenate the buffered columns and run the vectorized pass."""
+        if self._finished:
+            raise PipelineError("finish() on a finished simulation stream")
+        self._finished = True
+        if expected_events is not None and self._n_events != expected_events:
+            raise PipelineError(
+                f"truncated chunk stream: fed {self._n_events} events, "
+                f"expected {expected_events}"
+            )
+        if self._kinds:
+            kinds = np.concatenate(self._kinds)
+            col_a = np.concatenate(self._col_a)
+            col_b = np.concatenate(self._col_b)
+            col_c = np.concatenate(self._col_c)
+        else:
+            kinds = np.empty(0, dtype=np.int8)
+            col_a = np.empty(0, dtype=np.int64)
+            col_b = np.empty(0, dtype=np.int64)
+            col_c = np.empty(0, dtype=np.int64)
+        self._kinds = self._col_a = self._col_b = self._col_c = []
+        trace = EventTrace.from_arrays(kinds, col_a, col_b, col_c, meta)
+        return simulate_sessions_numpy(
+            trace, self._registry, self._sessions, self._page_sizes
+        )

@@ -17,7 +17,21 @@ matching the paper.
 from repro.trace.objects import ObjectDesc, ObjectRegistry
 from repro.trace.events import EventKind, EventTrace, TraceColumns, TraceMeta
 from repro.trace.tracer import Tracer, trace_program
-from repro.trace.tracefile import save_trace, load_trace
+from repro.trace.stream import (
+    DEFAULT_CHANNEL_CAPACITY,
+    DEFAULT_CHUNK_EVENTS,
+    ChunkChannel,
+    ChunkingTracer,
+    TraceChunk,
+    iter_chunks,
+)
+from repro.trace.tracefile import (
+    ChunkedTraceWriter,
+    TraceStreamReader,
+    load_trace,
+    save_trace,
+    save_trace_chunked,
+)
 
 __all__ = [
     "ObjectDesc",
@@ -28,6 +42,15 @@ __all__ = [
     "TraceMeta",
     "Tracer",
     "trace_program",
+    "DEFAULT_CHANNEL_CAPACITY",
+    "DEFAULT_CHUNK_EVENTS",
+    "ChunkChannel",
+    "ChunkingTracer",
+    "TraceChunk",
+    "iter_chunks",
+    "ChunkedTraceWriter",
+    "TraceStreamReader",
     "save_trace",
+    "save_trace_chunked",
     "load_trace",
 ]

@@ -71,24 +71,34 @@ class Tracer:
 
     def finish(self, state: Optional[CpuState] = None) -> EventTrace:
         """Close all open monitor windows and finalize metadata."""
+        self._close_windows()
+        self._finalize_meta()
+        self.trace.validate()
+        self._report_counters(len(self.trace))
+        return self.trace
+
+    def _close_windows(self) -> None:
+        """Emit the closing removes for everything still live, unhook."""
         for address, (object_id, size) in list(self._live_heap.items()):
             self.trace.append_remove(object_id, address, address + size)
         self._live_heap.clear()
         for object_id, address, size in self._static_ranges:
             self.trace.append_remove(object_id, address, address + size)
         self.cpu.tracer = None
+
+    def _finalize_meta(self) -> None:
         self.trace.meta.cycles = self.cpu.cycles
         self.trace.meta.instructions = self.cpu.instructions
         self.trace.meta.stores = self.cpu.stores
-        self.trace.validate()
+
+    def _report_counters(self, n_events: int) -> None:
         if observe.is_enabled():
             meta = self.trace.meta
-            observe.inc("trace.events", len(self.trace))
+            observe.inc("trace.events", n_events)
             observe.inc("trace.writes", meta.n_writes)
             observe.inc("trace.installs", meta.n_installs)
             observe.inc("trace.removes", meta.n_removes)
             observe.inc("trace.objects_registered", len(self.registry))
-        return self.trace
 
     # ------------------------------------------------------------------
     # CPU tracer protocol

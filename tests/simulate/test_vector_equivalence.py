@@ -19,20 +19,28 @@ pipeline scale on the five benchmark programs.
 """
 
 import random
+import threading
 
 import pytest
 
-from repro.errors import PipelineError
+from repro.errors import PipelineError, TraceFormatError
 from repro.sessions.types import SessionDef, ONE_HEAP, ALL_HEAP_IN_FUNC
 from repro.simulate import (
     AUTO_NUMPY_MIN_EVENTS,
+    open_simulation_stream,
     resolve_engine,
+    simulate_chunks,
     simulate_sessions,
 )
+from repro.simulate.engine import SimulationStream
 from repro.simulate.engine import simulate_sessions as simulate_python
-from repro.simulate.vector_engine import simulate_sessions_numpy
+from repro.simulate.vector_engine import (
+    VectorSimulationStream,
+    simulate_sessions_numpy,
+)
 from repro.trace import EventTrace, ObjectRegistry
 from repro.trace.events import TraceMeta
+from repro.trace.stream import ChunkChannel, TraceChunk, iter_chunks
 
 #: Page-size configurations the sweep replays every trace under: the
 #: production pair, single sizes, and degenerate tiny pages (4-byte
@@ -183,6 +191,115 @@ class TestDifferential:
         assert vm.protects == 1
         assert vm.unprotects == 1  # defensive EOF flush closed it
         assert vm.active_page_misses == 1
+
+
+class TestStreamingDifferential:
+    """Chunked feeding must be bit-identical to whole-trace simulation.
+
+    Chunk boundaries are framing only (docs/TRACE_FORMAT.md section 2),
+    so any re-chunking of the same event sequence — including degenerate
+    one-event chunks — must leave every counting variable unchanged on
+    both engines.
+    """
+
+    @pytest.mark.parametrize("engine", ["python", "numpy"])
+    def test_randomized_chunked_sweep(self, engine):
+        for seed in range(30):
+            trace, registry, sessions = build_random(seed)
+            chunk_events = random.Random(seed).choice([1, 3, 17, 50, 10_000])
+            batch = simulate_sessions(trace, registry, sessions, (4096, 8192),
+                                      engine=engine)
+            streamed = simulate_chunks(
+                iter_chunks(trace, chunk_events), registry, sessions,
+                (4096, 8192), engine=engine, meta=trace.meta,
+                expected_events=len(trace),
+            )
+            assert_identical(batch, streamed)
+            assert_invariants(streamed)
+
+    @pytest.mark.parametrize("stream_cls,batch_fn", [
+        (SimulationStream, simulate_python),
+        (VectorSimulationStream, simulate_sessions_numpy),
+    ], ids=["python", "numpy"])
+    def test_feed_chunk_incremental(self, stream_cls, batch_fn):
+        trace, registry, sessions = build_random(11)
+        batch = batch_fn(trace, registry, sessions, (4096,))
+        stream = stream_cls(registry, sessions, (4096,))
+        for chunk in iter_chunks(trace, 23):
+            stream.feed_chunk(chunk)
+        streamed = stream.finish(trace.meta, expected_events=len(trace))
+        assert_identical(batch, streamed)
+
+    def test_channel_threaded_replay(self):
+        """Producer thread -> bounded channel -> engine, as the pipeline
+        wires it, still bit-identical."""
+        trace, registry, sessions = build_random(19)
+        batch = simulate_python(trace, registry, sessions, (4096, 8192))
+        stream = open_simulation_stream(registry, sessions, (4096, 8192),
+                                        engine="python")
+        channel = ChunkChannel(capacity=2)
+
+        def produce():
+            try:
+                for chunk in iter_chunks(trace, 11):
+                    channel.put(chunk)
+            except BaseException as exc:  # pragma: no cover - diagnostics
+                channel.close(error=exc)
+            else:
+                channel.close(meta=trace.meta)
+
+        producer = threading.Thread(target=produce, daemon=True)
+        producer.start()
+        for chunk in channel:
+            stream.feed_chunk(chunk)
+        producer.join(10.0)
+        streamed = stream.finish(trace.meta, expected_events=len(trace))
+        assert_identical(batch, streamed)
+
+    @pytest.mark.parametrize("stream_cls", [
+        SimulationStream, VectorSimulationStream,
+    ], ids=["python", "numpy"])
+    def test_truncated_stream_fails_loudly(self, stream_cls):
+        trace, registry, sessions = build_random(5)
+        chunks = list(iter_chunks(trace, 25))
+        stream = stream_cls(registry, sessions, (4096,))
+        stream.feed_chunk(chunks[0])
+        with pytest.raises(PipelineError, match="truncated chunk stream"):
+            stream.finish(trace.meta, expected_events=len(trace))
+
+    @pytest.mark.parametrize("stream_cls", [
+        SimulationStream, VectorSimulationStream,
+    ], ids=["python", "numpy"])
+    def test_reordered_chunks_rejected(self, stream_cls):
+        trace, registry, sessions = build_random(5)
+        chunks = list(iter_chunks(trace, 25))
+        assert len(chunks) >= 2
+        stream = stream_cls(registry, sessions, (4096,))
+        with pytest.raises(PipelineError, match="out of order"):
+            stream.feed_chunk(chunks[1])
+
+    def test_corrupt_chunk_rejected_at_feed(self):
+        trace, registry, sessions = build_random(5)
+        chunk = next(iter_chunks(trace, 25))
+        tampered = TraceChunk(
+            chunk.seq, chunk.kinds, chunk.col_a.copy(), chunk.col_b,
+            chunk.col_c, checksums=chunk.checksums,
+        )
+        tampered.col_a[0] ^= 1
+        stream = SimulationStream(registry, sessions, (4096,))
+        with pytest.raises(TraceFormatError, match="checksum"):
+            stream.feed_chunk(tampered)
+
+    def test_simulate_chunks_auto_engine_unknown_size(self):
+        # With no size hint the dispatcher must still pick a valid
+        # engine (numpy) and match the batch result.
+        trace, registry, sessions = build_random(23)
+        batch = simulate_sessions(trace, registry, sessions, (4096,))
+        streamed = simulate_chunks(
+            iter_chunks(trace, 40), registry, sessions, (4096,),
+            meta=trace.meta,
+        )
+        assert_identical(batch, streamed)
 
 
 class TestDispatcher:

@@ -1,0 +1,269 @@
+"""Tests for the chunked (v2) trace container and its readers.
+
+The byte-level contract is ``docs/TRACE_FORMAT.md``: incremental chunk
+members plus a ``stream`` footer, atomic publish, and loud failure on
+truncation, reordering, checksum mismatch, or an unknown version.  Both
+container versions must load through both access paths
+(:func:`load_trace` and :class:`TraceStreamReader`), which is what makes
+cache entries interchangeable between ``--stream`` and batch runs.
+"""
+
+from __future__ import annotations
+
+import json
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.errors import PipelineError, TraceFormatError
+from repro.trace import (
+    EventTrace,
+    ObjectRegistry,
+    load_trace,
+    save_trace,
+)
+from repro.trace.events import TraceMeta
+from repro.trace.stream import TraceChunk, iter_chunks
+from repro.trace.tracefile import (
+    ChunkedTraceWriter,
+    TraceStreamReader,
+    save_trace_chunked,
+)
+
+
+def build_fixture(n_events=100):
+    """A deterministic trace + registry with every object kind."""
+    registry = ObjectRegistry()
+    registry.global_("g", 4)
+    registry.local("main", "i", 4, is_param=False)
+    registry.static("leaf", "seen", 4)
+    registry.heap("main", ("main",), 16)
+    trace = EventTrace("chunked-test")
+    for i in range(n_events):
+        which = i % 5
+        base = 0x1000 + 8 * i
+        if which == 0:
+            trace.append_install(i % 4, base, base + 8)
+        elif which == 1:
+            trace.append_remove(i % 4, base, base + 8)
+        else:
+            trace.append_write(base, base + 4)
+    trace.meta.cycles = 1234
+    trace.meta.instructions = 567
+    trace.meta.stores = n_events
+    return trace, registry
+
+
+def assert_same_trace(loaded, original):
+    trace, registry = loaded
+    assert vars(trace.meta) == vars(original[0].meta)
+    got = trace.as_arrays()
+    want = original[0].as_arrays()
+    for field in got._fields:
+        assert np.array_equal(
+            np.asarray(getattr(got, field)), np.asarray(getattr(want, field))
+        ), field
+    assert [vars(obj) for obj in registry.objects] == \
+        [vars(obj) for obj in original[1].objects]
+
+
+def _members(path):
+    """All archive members as {name-without-.npy: ndarray}."""
+    with np.load(path) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def _write_zip(path, arrays):
+    """Rebuild an archive from a member dict (the corruption helper)."""
+    with zipfile.ZipFile(path, "w") as zf:
+        for name, array in arrays.items():
+            with zf.open(name + ".npy", "w") as member:
+                np.lib.format.write_array(member, array, allow_pickle=False)
+
+
+def _edit_footer(path, mutate):
+    """Parse the v2 footer JSON, apply ``mutate(doc)``, write it back."""
+    arrays = _members(path)
+    doc = json.loads(bytes(arrays["stream"].tobytes()).decode("utf-8"))
+    mutate(doc)
+    arrays["stream"] = np.frombuffer(
+        json.dumps(doc).encode("utf-8"), dtype=np.uint8
+    )
+    _write_zip(path, arrays)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("chunk_events", [1, 7, 100, 1000])
+    def test_chunked_save_load(self, tmp_path, chunk_events):
+        original = build_fixture()
+        path = tmp_path / "trace.npz"
+        save_trace_chunked(*original, path, chunk_events=chunk_events)
+        assert_same_trace(load_trace(path), original)
+
+    def test_v1_and_v2_materialize_identically(self, tmp_path):
+        original = build_fixture()
+        save_trace(*original, tmp_path / "v1.npz")
+        save_trace_chunked(*original, tmp_path / "v2.npz", chunk_events=13)
+        assert_same_trace(load_trace(tmp_path / "v1.npz"), original)
+        assert_same_trace(load_trace(tmp_path / "v2.npz"), original)
+
+    def test_empty_trace_round_trips(self, tmp_path):
+        registry = ObjectRegistry()
+        registry.heap("main", ("main",), 8)
+        empty = EventTrace("empty")
+        path = tmp_path / "empty.npz"
+        save_trace_chunked(empty, registry, path)
+        trace, loaded_registry = load_trace(path)
+        assert len(trace) == 0
+        assert len(loaded_registry.objects) == 1
+        with TraceStreamReader(path) as reader:
+            assert reader.n_chunks == 0
+            assert list(reader.chunks()) == []
+
+
+class TestStreamReader:
+    def test_reads_v2_chunk_by_chunk(self, tmp_path):
+        original = build_fixture()
+        path = tmp_path / "trace.npz"
+        save_trace_chunked(*original, path, chunk_events=17)
+        with TraceStreamReader(path) as reader:
+            assert reader.version == 2
+            assert reader.n_events == len(original[0])
+            assert reader.n_chunks == -(-100 // 17)
+            assert vars(reader.meta) == vars(original[0].meta)
+            chunks = list(reader)
+            assert [chunk.seq for chunk in chunks] == \
+                list(range(reader.n_chunks))
+            joined = np.concatenate([chunk.kinds for chunk in chunks])
+            assert np.array_equal(
+                joined, np.asarray(original[0].as_arrays().kinds)
+            )
+            reader.verify()
+
+    def test_reads_v1_by_rechunking(self, tmp_path):
+        original = build_fixture()
+        path = tmp_path / "v1.npz"
+        save_trace(*original, path)
+        with TraceStreamReader(path, chunk_events=30) as reader:
+            assert reader.version == 1
+            assert reader.n_events == 100
+            assert reader.n_chunks == 4
+            assert [chunk.n_events for chunk in reader] == [30, 30, 30, 10]
+
+    def test_rejects_archive_with_neither_version(self, tmp_path):
+        path = tmp_path / "mystery.npz"
+        np.savez(path, payload=np.zeros(4))
+        with pytest.raises(TraceFormatError, match="unrecognized trace file"):
+            TraceStreamReader(path)
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+
+class TestCorruptionDetection:
+    @pytest.fixture
+    def saved(self, tmp_path):
+        original = build_fixture()
+        path = tmp_path / "trace.npz"
+        save_trace_chunked(*original, path, chunk_events=25)
+        return path
+
+    def test_missing_chunk_member_is_truncation(self, saved):
+        arrays = _members(saved)
+        del arrays["chunk-00000002.col_b"]
+        _write_zip(saved, arrays)
+        with pytest.raises(
+            TraceFormatError,
+            match="truncated chunked trace: missing member chunk-00000002",
+        ):
+            TraceStreamReader(saved)
+        with pytest.raises(TraceFormatError):
+            load_trace(saved)
+
+    def test_bitflip_in_column_fails_checksum(self, saved):
+        arrays = _members(saved)
+        tampered = arrays["chunk-00000001.col_a"].copy()
+        tampered[3] ^= 1
+        arrays["chunk-00000001.col_a"] = tampered
+        _write_zip(saved, arrays)
+        with TraceStreamReader(saved) as reader:
+            with pytest.raises(
+                TraceFormatError, match="chunk 1: column col_a checksum"
+            ):
+                list(reader)
+        with pytest.raises(TraceFormatError, match="checksum"):
+            load_trace(saved)
+
+    def test_unknown_version_rejected(self, saved):
+        _edit_footer(saved, lambda doc: doc.update(version=3))
+        with pytest.raises(
+            TraceFormatError, match="unsupported trace format version 3"
+        ):
+            TraceStreamReader(saved)
+
+    def test_footer_event_total_mismatch(self, saved):
+        _edit_footer(saved, lambda doc: doc.update(n_events=doc["n_events"] + 1))
+        with pytest.raises(TraceFormatError, match="footer says"):
+            TraceStreamReader(saved)
+
+    def test_reordered_chunk_index_rejected(self, saved):
+        def swap(doc):
+            doc["chunks"][0], doc["chunks"][1] = \
+                doc["chunks"][1], doc["chunks"][0]
+
+        _edit_footer(saved, swap)
+        with pytest.raises(TraceFormatError, match="chunk index out of order"):
+            TraceStreamReader(saved)
+
+    def test_garbage_footer_is_corrupt_metadata(self, saved):
+        arrays = _members(saved)
+        arrays["stream"] = np.frombuffer(b"not json at all", dtype=np.uint8)
+        _write_zip(saved, arrays)
+        with pytest.raises(TraceFormatError, match="corrupt trace metadata"):
+            TraceStreamReader(saved)
+
+
+class TestWriterProtocol:
+    def test_abort_leaves_destination_untouched(self, tmp_path):
+        original = build_fixture()
+        dest = tmp_path / "trace.npz"
+        save_trace_chunked(*original, dest, chunk_events=40)
+        before = dest.read_bytes()
+        writer = ChunkedTraceWriter(dest)
+        writer.write_chunk(next(iter_chunks(original[0], 10)))
+        writer.abort()
+        # The published entry is intact; the temp file is gone.
+        assert dest.read_bytes() == before
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["trace.npz"]
+
+    def test_context_exit_without_finalize_publishes_nothing(self, tmp_path):
+        original = build_fixture()
+        dest = tmp_path / "trace.npz"
+        with pytest.raises(RuntimeError, match="mid-write"):
+            with ChunkedTraceWriter(dest) as writer:
+                for chunk in iter_chunks(original[0], 30):
+                    writer.write_chunk(chunk)
+                    raise RuntimeError("simulated crash mid-write")
+        assert not dest.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_rejects_out_of_order_chunks(self, tmp_path):
+        original = build_fixture()
+        chunks = list(iter_chunks(original[0], 30))
+        with ChunkedTraceWriter(tmp_path / "trace.npz") as writer:
+            writer.write_chunk(chunks[0])
+            with pytest.raises(PipelineError, match="out of order"):
+                writer.write_chunk(chunks[2])
+
+    def test_write_after_finalize_rejected(self, tmp_path):
+        trace, registry = build_fixture()
+        chunks = list(iter_chunks(trace, 60))
+        with ChunkedTraceWriter(tmp_path / "trace.npz") as writer:
+            writer.write_chunk(chunks[0])
+            writer.write_chunk(chunks[1])
+            writer.finalize(trace.meta, registry)
+            with pytest.raises(PipelineError, match="closed trace writer"):
+                writer.write_chunk(TraceChunk.build(
+                    2, np.zeros(0, np.int8), np.zeros(0, np.int64),
+                    np.zeros(0, np.int64), np.zeros(0, np.int64),
+                ))

@@ -120,6 +120,34 @@ def test_enabled_run_records_engine_counters(quiet_registry, engine):
 
 
 @pytest.mark.parametrize("engine", ["python", "numpy"])
+def test_disabled_events_record_nothing(quiet_registry, engine):
+    """The flight recorder shares the disabled-path contract: with events
+    off, ``emit`` is one flag check and the ring stays empty."""
+    observe.disable_events()
+    recorder = observe.get_recorder()
+    before = len(recorder.entries())
+    trace, registry, sessions = _build_trace()
+    simulate_sessions(trace, registry, sessions, (4096, 8192), engine=engine)
+    observe.emit_event("cache.hit", kind="trace")
+    assert len(recorder.entries()) == before
+    assert observe.events_summary() is None
+
+
+@pytest.mark.parametrize("engine", ["python", "numpy"])
+def test_enabled_events_stay_out_of_the_hot_loop(quiet_registry, engine):
+    """Events mark pipeline boundaries, never per-event engine work: an
+    engine run with the recorder armed must emit zero events."""
+    observe.enable_events()
+    try:
+        trace, registry, sessions = _build_trace()
+        simulate_sessions(trace, registry, sessions, (4096, 8192),
+                          engine=engine)
+        assert observe.get_recorder().entries() == []
+    finally:
+        observe.disable_events()
+
+
+@pytest.mark.parametrize("engine", ["python", "numpy"])
 def test_disabled_path_overhead_under_3_percent(quiet_registry, monkeypatch,
                                                 engine):
     trace, registry, sessions = _build_trace()

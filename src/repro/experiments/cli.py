@@ -19,17 +19,29 @@ Examples::
     repro-experiments trend --history BENCH_history.json
     repro-experiments table4 --profile --trace-out run.trace.json
 
+    # flight recorder: correlated event log, query, black box:
+    repro-experiments table4 --jobs 2 --events run.events.jsonl
+    repro-experiments events run.events.jsonl --severity WARNING
+
 ``--manifest FILE``, ``--metrics``, ``--history FILE``, ``--profile``,
-and ``--trace-out FILE`` all turn on the observability layer
-(:mod:`repro.observe`): the run executes under per-stage spans, and at
-the end a validated :class:`~repro.observe.manifest.RunManifest` JSON is
-written, a metrics/profile summary is printed to stderr, a history
-record is appended, and/or a Chrome trace-event JSON is exported.
+``--trace-out FILE``, and ``--events FILE`` all turn on the
+observability layer (:mod:`repro.observe`): the run executes under
+per-stage spans, and at the end a validated
+:class:`~repro.observe.manifest.RunManifest` JSON is written, a
+metrics/profile summary is printed to stderr, a history record is
+appended, a Chrome trace-event JSON is exported, and/or a JSONL event
+log accumulates (``--events``).  Any observed run arms the flight
+recorder (:mod:`repro.observe.events`): on a non-zero exit the last
+recorded events are dumped as a black box next to the manifest, and the
+manifest gains an ``events`` summary block.
 
 ``diff A.json B.json`` compares two manifests with per-family
 thresholds and exits non-zero on regression (``--report-only`` to
-disable the gate); ``trend --history FILE`` renders the benchmark
-trajectory.  See ``docs/OBSERVABILITY.md``.
+disable the gate; ``diff --history FILE`` compares the trajectory's
+last two records instead); ``trend --history FILE`` renders the
+benchmark trajectory; ``events LOG`` tails/filters an event log by
+severity, category, worker, and time range.  See
+``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -64,6 +76,7 @@ from repro.experiments.whatif import render_whatif_report
 from repro.simulate import ENGINE_CHOICES
 from repro.trace.stream import DEFAULT_CHUNK_EVENTS
 from repro.observe.diff import DiffThresholds, diff_manifests, render_diff_report
+from repro.observe.events import SEVERITIES, rank_severity
 
 _TARGETS = (
     "table1", "table2", "table3", "table4",
@@ -71,7 +84,7 @@ _TARGETS = (
 )
 
 #: Harness subcommands with their own argument shapes.
-_HARNESS_TARGETS = ("diff", "trend")
+_HARNESS_TARGETS = ("diff", "trend", "events")
 
 #: Stable exit codes (documented in --help and docs/RESILIENCE.md).
 EXIT_OK = 0
@@ -120,7 +133,8 @@ def _parse_args(argv):
         epilog="Harness subcommands: 'repro-experiments diff A.json B.json' "
         "compares two run manifests (non-zero exit on regression); "
         "'repro-experiments trend --history FILE' renders the benchmark "
-        "trajectory.  See docs/OBSERVABILITY.md.  " + _EXIT_CODE_DOC
+        "trajectory; 'repro-experiments events LOG' tails/filters a "
+        "--events JSONL log.  See docs/OBSERVABILITY.md.  " + _EXIT_CODE_DOC
         + "  Fault injection and the retry/timeout/keep-going policy are "
         "documented in docs/RESILIENCE.md.",
     )
@@ -226,6 +240,14 @@ def _parse_args(argv):
         help="enable observation and export the run's spans as Chrome "
         "trace-event JSON (Perfetto / chrome://tracing)",
     )
+    parser.add_argument(
+        "--events", default=None, metavar="FILE",
+        help="enable observation and append every flight-recorder event "
+        "to FILE (JSON Lines; query with 'repro-experiments events'); "
+        "one run_id correlates parent and worker events.  On any "
+        "non-zero exit the recorder's tail is dumped as a black box "
+        "next to the manifest (see docs/OBSERVABILITY.md)",
+    )
     return parser.parse_args(argv)
 
 
@@ -236,8 +258,16 @@ def _parse_diff_args(argv):
         "Exits 1 when a metric regressed past threshold (the perf gate), "
         "0 otherwise; 2 on unreadable/invalid manifests.",
     )
-    parser.add_argument("before", help="baseline manifest JSON")
-    parser.add_argument("after", help="candidate manifest JSON")
+    parser.add_argument("before", nargs="?", default=None,
+                        help="baseline manifest JSON")
+    parser.add_argument("after", nargs="?", default=None,
+                        help="candidate manifest JSON")
+    parser.add_argument(
+        "--history", default=None, metavar="FILE",
+        help="instead of two manifests, compare the last two records of "
+        "a --history trajectory file (headline metrics only; friendly "
+        "no-op when the file has fewer than two records)",
+    )
     parser.add_argument(
         "--fail-on-regression", dest="fail_on_regression",
         action="store_true", default=True,
@@ -273,8 +303,75 @@ def _parse_diff_args(argv):
     return parser.parse_args(argv)
 
 
+def _looks_like_history(path: str) -> bool:
+    """Whether ``path`` reads like a ``--history`` JSONL trajectory file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            first = handle.readline().strip()
+        return bool(first) and "manifest_digest" in json.loads(first)
+    except (OSError, json.JSONDecodeError):
+        return False
+
+
+def _flatten_headline(headline, prefix: str = ""):
+    """``{"stage_seconds": {"trace": 1.0}}`` -> ``{"stage_seconds.trace": 1.0}``."""
+    flat = {}
+    for key, value in headline.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(_flatten_headline(value, name + "."))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            flat[name] = float(value)
+    return flat
+
+
+def _diff_history(path: str) -> int:
+    """``diff --history FILE``: compare the trajectory's last two records."""
+    try:
+        records = observe.load_history(path)
+    except ManifestFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if len(records) < 2:
+        what = "is empty" if not records else "has only one record"
+        print(
+            f"history {path} {what}; nothing to compare yet — run with "
+            f"--history {path} at least twice, then diff again."
+        )
+        return 0
+    before, after = records[-2], records[-1]
+    lines = [
+        f"History diff — {path} "
+        f"({before.manifest_digest} -> {after.manifest_digest})",
+        f"  {'metric':<34} {'before':>12} {'after':>12} {'change':>9}",
+    ]
+    flat_before = _flatten_headline(before.headline)
+    flat_after = _flatten_headline(after.headline)
+    for metric in sorted(set(flat_before) | set(flat_after)):
+        old, new = flat_before.get(metric), flat_after.get(metric)
+        shown_old = f"{old:,.4g}" if old is not None else "-"
+        shown_new = f"{new:,.4g}" if new is not None else "-"
+        if old not in (None, 0) and new is not None:
+            delta = f"{100.0 * (new - old) / old:+.1f}%"
+        else:
+            delta = ""
+        lines.append(f"  {metric:<34} {shown_old:>12} {shown_new:>12} {delta:>9}")
+    print("\n".join(lines))
+    return 0
+
+
 def _diff_main(argv) -> int:
     args = _parse_diff_args(argv)
+    if args.history is not None:
+        if args.before or args.after:
+            print("error: --history replaces the manifest arguments; "
+                  "pass one or the other", file=sys.stderr)
+            return 2
+        return _diff_history(args.history)
+    if not args.before or not args.after:
+        print("error: diff needs two manifest files (or --history FILE)",
+              file=sys.stderr)
+        return 2
     thresholds = DiffThresholds(
         stage_rel=args.stage_rel,
         stage_abs_s=args.stage_abs_ms / 1000.0,
@@ -286,6 +383,15 @@ def _diff_main(argv) -> int:
         after = observe.load_manifest(args.after)
     except ManifestFormatError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        for path in (args.before, args.after):
+            if path and _looks_like_history(path):
+                print(
+                    f"hint: {path} looks like a --history trajectory file, "
+                    f"not a manifest; try 'repro-experiments diff --history "
+                    f"{path}' or 'repro-experiments trend --history {path}'",
+                    file=sys.stderr,
+                )
+                break
         return 2
     diff = diff_manifests(before, after, thresholds)
     if args.json:
@@ -325,6 +431,107 @@ def _trend_main(argv) -> int:
     return 0
 
 
+def _parse_events_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments events",
+        description="Tail and filter a JSONL event log written by "
+        "--events (or a black-box dump).  Filters compose; with no "
+        "filters the whole log prints.  Exits 2 on an unreadable or "
+        "schema-invalid log.",
+    )
+    parser.add_argument("log", help="event log (JSON Lines) to read")
+    parser.add_argument(
+        "--severity", choices=SEVERITIES, default=None,
+        help="minimum severity to show (e.g. WARNING shows WARNING+ERROR)",
+    )
+    parser.add_argument(
+        "--category", default=None, metavar="PREFIX",
+        help="dotted category prefix, e.g. 'cache' matches cache.hit "
+        "and cache.miss; 'fault.triggered' matches exactly",
+    )
+    parser.add_argument(
+        "--worker", default=None, metavar="NAME",
+        help="only events from worker NAME; use '' for parent-process "
+        "events (default: all)",
+    )
+    parser.add_argument(
+        "--since", type=float, default=None, metavar="SECONDS",
+        help="only events at or after SECONDS from the log's first event",
+    )
+    parser.add_argument(
+        "--until", type=float, default=None, metavar="SECONDS",
+        help="only events at or before SECONDS from the log's first event",
+    )
+    parser.add_argument(
+        "--tail", type=int, default=None, metavar="N",
+        help="only the last N events (after filtering)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print matching events as raw JSONL instead of the table",
+    )
+    return parser.parse_args(argv)
+
+
+def _events_main(argv) -> int:
+    args = _parse_events_args(argv)
+    if args.tail is not None and args.tail < 1:
+        print("error: --tail must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        events = observe.load_event_log(args.log)
+    except OSError as exc:
+        print(f"error: cannot read event log {args.log}: {exc}",
+              file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not events:
+        print(f"(event log {args.log} is empty)")
+        return 0
+    t0 = float(events[0]["t_wall"])
+    min_rank = rank_severity(args.severity) if args.severity else 0
+    selected = []
+    for event in events:
+        if rank_severity(str(event["severity"])) < min_rank:
+            continue
+        category = str(event["category"])
+        if args.category is not None and category != args.category \
+                and not category.startswith(args.category + "."):
+            continue
+        if args.worker is not None and event["worker"] != args.worker:
+            continue
+        offset = float(event["t_wall"]) - t0
+        if args.since is not None and offset < args.since:
+            continue
+        if args.until is not None and offset > args.until:
+            continue
+        selected.append((offset, event))
+    if args.tail is not None:
+        selected = selected[-args.tail:]
+    if args.json:
+        for _, event in selected:
+            print(json.dumps(event, sort_keys=True))
+        return 0
+    run_ids = sorted({str(event["run_id"]) for _, event in selected})
+    lines = [
+        f"{len(selected)} of {len(events)} event(s) from {args.log} "
+        f"(run {', '.join(run_ids) if run_ids else '-'})",
+    ]
+    for offset, event in selected:
+        payload = " ".join(
+            f"{key}={value}" for key, value in sorted(event["data"].items())
+        )
+        worker = str(event["worker"]) or "-"
+        lines.append(
+            f"  {offset:9.3f}s {event['severity']:<7} {worker:<8} "
+            f"{event['category']:<20} {payload}"
+        )
+    print("\n".join(lines))
+    return 0
+
+
 def _render_failures(failures: List[FailureRecord]) -> str:
     """The explicit-gap section appended to a ``--keep-going`` report."""
     lines = [
@@ -350,6 +557,8 @@ def main(argv=None) -> int:
         return _diff_main(argv[1:])
     if argv and argv[0] == "trend":
         return _trend_main(argv[1:])
+    if argv and argv[0] == "events":
+        return _events_main(argv[1:])
     args = _parse_args(argv)
     scale = args.scale
     if scale not in ("full", "smoke"):
@@ -391,7 +600,20 @@ def main(argv=None) -> int:
         os.environ["REPRO_FAULTS"] = args.inject_faults
         os.environ["REPRO_FAULT_SEED"] = str(args.fault_seed)
     try:
-        return _run(args, config)
+        try:
+            code = _run(args, config)
+        except BaseException as exc:
+            # Even an unclassified crash leaves the recorder's tail on
+            # disk before the traceback propagates.
+            observe.emit_event("run.aborted", "ERROR",
+                               error=type(exc).__name__)
+            _dump_blackbox(args)
+            raise
+        observe.emit_event("run.done", "INFO" if code == EXIT_OK else "WARNING",
+                           code=code)
+        if code != EXIT_OK:
+            _dump_blackbox(args)
+        return code
     finally:
         if env_before is not None:
             faults.clear_plan()
@@ -402,12 +624,40 @@ def main(argv=None) -> int:
                     os.environ[key] = value
 
 
+def _blackbox_path(args) -> Path:
+    """Where a failed run's black-box event dump lands.
+
+    Next to the manifest when one was requested, next to the event log
+    otherwise, and a fixed cwd name as the last resort.
+    """
+    if args.manifest:
+        return Path(args.manifest).with_suffix(".blackbox.jsonl")
+    if args.events:
+        return Path(args.events).with_suffix(".blackbox.jsonl")
+    return Path("repro.blackbox.jsonl")
+
+
+def _dump_blackbox(args) -> None:
+    """On a failed run, dump the recorder's tail as JSONL (best effort)."""
+    if not observe.events_enabled():
+        return
+    path = _blackbox_path(args)
+    try:
+        count = observe.write_blackbox(path)
+    except OSError as exc:
+        print(f"warning: cannot write black box {path}: {exc}",
+              file=sys.stderr)
+        return
+    print(f"[black box: last {count} event(s) written to {path}]",
+          file=sys.stderr)
+
+
 def _run(args, config: ExperimentConfig) -> int:
     """Execute one experiment target; classified errors exit cleanly."""
     progress = None if args.quiet else lambda msg: print(f"  .. {msg}", file=sys.stderr)
     observing = bool(
         args.manifest or args.metrics or args.history
-        or args.profile or args.trace_out
+        or args.profile or args.trace_out or args.events
     )
     if observing:
         # Fresh registry, span stacks, and profiles per invocation so
@@ -415,6 +665,16 @@ def _run(args, config: ExperimentConfig) -> int:
         # driven twice in the same process (tests, notebooks).
         observe.reset()
         observe.enable()
+        # The flight recorder rides along with observation even without
+        # --events: the in-memory ring is what the black-box dump and
+        # the manifest's events block read; the JSONL sink only attaches
+        # when --events names a file.
+        observe.enable_events(sink_path=args.events)
+        observe.emit_event(
+            "run.start", target=args.target, jobs=config.jobs,
+            programs=",".join(config.programs),
+            faults=args.inject_faults or "",
+        )
     if args.profile:
         observe.enable_profiling(args.profile_stride)
 

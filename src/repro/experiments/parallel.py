@@ -35,6 +35,11 @@ Observability survives the fan-out exactly as before: each worker ships
 a :func:`repro.observe.dump_snapshot` payload back and the parent merges
 it under a clock-rebased ``worker:<name>`` span, so ``--manifest``/
 ``--history``/``--profile``/``--trace-out`` keep working unchanged.
+With event recording on (``--events``) every transition above also
+emits a flight-recorder event — ``worker.dispatch``/``done``/``hung``,
+``pool.broken``/``recreated``/``serial_fallback``, ``program.retry``/
+``failed`` — and workers record under the parent's ``run_id`` so one id
+correlates the whole run (:mod:`repro.observe.events`).
 
 Results are deterministic: workers are pure functions of (program,
 config), so ``--jobs N`` produces bit-identical tables to a serial run
@@ -80,6 +85,8 @@ def _run_worker(
     fault_spec: Optional[str],
     fault_seed: int,
     attempt: int,
+    events_on: bool = False,
+    run_id: str = "",
 ):
     """Pool target: one program's phase 1 + phase 2 in a fresh process.
 
@@ -88,7 +95,9 @@ def _run_worker(
     the origin lets the parent rebase the worker's ``perf_counter`` span
     timestamps into its own timeline.  ``attempt`` is 1-based: fault-plan
     clauses default to firing on attempt 1 only, so a retried worker
-    recovers deterministically.
+    recovers deterministically.  With ``events_on`` the worker records
+    flight-recorder events under the parent's ``run_id`` (no sink of its
+    own); they ride home inside the snapshot.
     """
     origin = time.perf_counter()
     # Start from a clean slate whatever the start method: a forked child
@@ -99,6 +108,11 @@ def _run_worker(
         observe.enable()
     else:
         observe.disable()
+    if events_on:
+        observe.enable_events(run_id=run_id, worker=name)
+        observe.emit_event("worker.start", program=name, attempt=attempt)
+    else:
+        observe.disable_events()
     if profile_stride:
         observe.enable_profiling(profile_stride)
     else:
@@ -115,7 +129,7 @@ def _run_worker(
     faults.faultpoint("worker.start", program=name)
     data = load_program_data(name, config)
     faults.faultpoint("worker.mid", program=name)
-    snapshot = observe.dump_snapshot() if observing else None
+    snapshot = observe.dump_snapshot() if (observing or events_on) else None
     return data, origin, snapshot
 
 
@@ -218,6 +232,8 @@ def load_experiment_data_parallel(
         )
 
     observing = observe.is_enabled()
+    events_on = observe.events_enabled()
+    run_id = observe.current_run_id() if events_on else ""
     profile_stride = (
         observe.get_profiler().engine_stride if observe.is_profiling() else 0
     )
@@ -266,6 +282,10 @@ def load_experiment_data_parallel(
             f"{record.program}: {record.error} after {record.attempts} "
             f"attempt(s): {record.message}",
         )
+        observe.emit_event(
+            "program.failed", "ERROR", program=task.name, error=record.error,
+            attempts=record.attempts, kept_going=keep_going,
+        )
         if keep_going:
             if failures is not None:
                 failures.append(record)
@@ -298,6 +318,11 @@ def load_experiment_data_parallel(
         delay = retry_backoff_s(task.attempts, retry_base_s)
         observe.inc("retry.attempts")
         observe.observe_value("retry.backoff_seconds", delay)
+        observe.emit_event(
+            "program.retry", "WARNING", program=task.name,
+            attempt=task.attempts, max_attempts=max_attempts,
+            backoff_s=delay, error=type(exc).__name__,
+        )
         if progress:
             progress(
                 f"[{task.name}] {type(exc).__name__}: {exc}; retrying in "
@@ -310,6 +335,10 @@ def load_experiment_data_parallel(
         while pending or running:
             if serial_mode:
                 remaining = [task.name for task in pending]
+                observe.emit_event(
+                    "pool.serial_fallback", "WARNING",
+                    recreations=recreations, remaining=",".join(remaining),
+                )
                 pending.clear()
                 data.update(load_programs_serial(
                     config, remaining, progress, retries=retries,
@@ -331,10 +360,12 @@ def load_experiment_data_parallel(
                 attempt = task.attempts + 1
                 future = pool.submit(
                     _run_worker, task.name, config, observing, profile_stride,
-                    fault_spec, fault_seed, attempt,
+                    fault_spec, fault_seed, attempt, events_on, run_id,
                 )
                 running[future] = task
                 submit_s[future] = time.perf_counter()
+                observe.emit_event("worker.dispatch", program=task.name,
+                                   attempt=attempt, jobs=jobs)
                 if progress:
                     suffix = f", attempt {attempt}" if attempt > 1 else ""
                     progress(
@@ -373,6 +404,8 @@ def load_experiment_data_parallel(
                 except BrokenProcessPool as exc:
                     broke = True
                     observe.inc("fault.pool.broken")
+                    observe.emit_event("pool.broken", "WARNING",
+                                       program=task.name)
                     handle_failure(task, exc, started)
                     continue
                 except Exception as exc:
@@ -385,11 +418,22 @@ def load_experiment_data_parallel(
                         f"[{task.name}] worker finished in "
                         f"{done_s - started:.1f}s"
                     )
-                if observing and snapshot is not None:
-                    _graft_worker(
-                        task.name, snapshot, origin_s, started, done_s,
-                        parent_path,
-                    )
+                if snapshot is not None:
+                    if observing:
+                        _graft_worker(
+                            task.name, snapshot, origin_s, started, done_s,
+                            parent_path,
+                        )
+                    else:
+                        # Events-only run: no spans/metrics to graft, but
+                        # the worker's recorder entries still come home.
+                        observe.merge_events_state(
+                            snapshot.get("events"),
+                            clock_offset=started - origin_s,
+                            worker=task.name,
+                        )
+                observe.emit_event("worker.done", program=task.name,
+                                   elapsed_s=round(done_s - started, 6))
 
             if worker_timeout:
                 now = time.perf_counter()
@@ -402,6 +446,10 @@ def load_experiment_data_parallel(
                     task = running.pop(future)
                     started = submit_s.pop(future)
                     observe.inc("fault.worker.hung")
+                    observe.emit_event(
+                        "worker.hung", "WARNING", program=task.name,
+                        timeout_s=worker_timeout,
+                    )
                     if progress:
                         progress(
                             f"[{task.name}] worker exceeded "
@@ -426,6 +474,8 @@ def load_experiment_data_parallel(
                 pool = None
                 recreations += 1
                 observe.inc("fault.pool.recreated")
+                observe.emit_event("pool.recreated", "WARNING",
+                                   recreations=recreations)
                 if recreations > MAX_POOL_RECREATIONS:
                     serial_mode = True
                     observe.inc("fault.pool.serial_fallback")

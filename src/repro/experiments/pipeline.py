@@ -24,6 +24,12 @@ exports), and cache traffic is accounted under the ``cache.trace.*`` /
 ``cache.sim.*`` counters plus note lists naming exactly which
 ``.repro_cache/`` entries the run read and wrote — the raw material of
 the run manifest.
+
+When event recording is on (``--events``; :mod:`repro.observe.events`)
+the same sites also emit structured flight-recorder events —
+``program.start``/``done``/``retry``/``failed``, ``cache.hit``/``miss``/
+``corrupt``/``readonly``, ``stream.spill``/``feed`` — all correlated by
+the run's ``run_id``.
 """
 
 from __future__ import annotations
@@ -204,6 +210,10 @@ def _discard_corrupt(
         )
     observe.inc(f"cache.{kind}.corrupt")
     observe.note(f"cache.{kind}.corrupt", path.name)
+    observe.emit_event(
+        "cache.corrupt", "WARNING", kind=kind, program=name,
+        entry=path.name, error=type(exc).__name__,
+    )
     try:
         path.unlink()
     except OSError:
@@ -227,6 +237,10 @@ def _note_readonly(
         )
     observe.inc("cache.readonly")
     observe.note("cache.readonly", path.name)
+    observe.emit_event(
+        "cache.readonly", "WARNING", kind=kind, program=name,
+        entry=path.name, error=type(exc).__name__,
+    )
 
 
 def _atomic_pickle_dump(payload: object, path: Path) -> None:
@@ -281,8 +295,11 @@ def _trace_for(
         if loaded is not None:
             observe.inc("cache.trace.hits")
             observe.note("cache.trace.used", trace_path.name)
+            observe.emit_event("cache.hit", kind="trace",
+                               program=workload.name, entry=trace_path.name)
             return loaded
     observe.inc("cache.trace.misses")
+    observe.emit_event("cache.miss", kind="trace", program=workload.name)
     run = run_workload(workload, scale, on_progress=progress)
     if config.use_cache:
         try:
@@ -330,6 +347,8 @@ def _spill_streamed_trace(
         producer.start()
         try:
             for chunk in channel:
+                observe.emit_event("stream.spill", "DEBUG", program=name,
+                                   seq=chunk.seq, events=chunk.n_events)
                 with observe.span(
                     "stream.chunk", program=name, stage="spill",
                     seq=chunk.seq, events=chunk.n_events,
@@ -379,8 +398,11 @@ def _streamed_reader_for(
         if reader is not None:
             observe.inc("cache.trace.hits")
             observe.note("cache.trace.used", trace_path.name)
+            observe.emit_event("cache.hit", kind="trace", program=name,
+                               entry=trace_path.name)
             return reader, reader.close
     observe.inc("cache.trace.misses")
+    observe.emit_event("cache.miss", kind="trace", program=name)
 
     dest, temporary = trace_path, False
     if config.use_cache:
@@ -463,6 +485,8 @@ def _simulate_streamed(
     try:
         for chunk in channel:
             faultpoint("stream.feed", program=name, seq=chunk.seq)
+            observe.emit_event("stream.feed", "DEBUG", program=name,
+                               seq=chunk.seq, events=chunk.n_events)
             with observe.span(
                 "stream.chunk", program=name, stage="feed",
                 seq=chunk.seq, events=chunk.n_events,
@@ -517,14 +541,20 @@ def load_program_data(
     scale = config.scale_of(workload)
     sizes = "-".join(str(size) for size in config.page_sizes)
     sim_path = config.cache_dir / f"{_workload_key(workload, scale)}-sim-{sizes}.pkl"
+    observe.emit_event("program.start", program=name, scale=scale,
+                       stream=config.stream)
     with observe.span(f"program:{name}"):
         if config.use_cache:
             payload = _load_sim_payload(sim_path, name, progress)
             if payload is not None:
                 observe.inc("cache.sim.hits")
                 observe.note("cache.sim.used", sim_path.name)
+                observe.emit_event("cache.hit", kind="sim", program=name,
+                                   entry=sim_path.name)
+                observe.emit_event("program.done", program=name, cached=True)
                 return ProgramData(name=name, scale=scale, **payload)
         observe.inc("cache.sim.misses")
+        observe.emit_event("cache.miss", kind="sim", program=name)
 
         if config.stream:
             reader, cleanup = _streamed_reader_for(
@@ -570,6 +600,7 @@ def load_program_data(
                 _note_readonly("sim", sim_path, exc, name, progress)
             else:
                 observe.note("cache.sim.written", sim_path.name)
+    observe.emit_event("program.done", program=name, cached=False)
     return ProgramData(name=name, scale=scale, **payload)
 
 
@@ -592,6 +623,10 @@ def _record_failure(
         "failures",
         f"{record.program}: {record.error} after {record.attempts} "
         f"attempt(s): {record.message}",
+    )
+    observe.emit_event(
+        "program.failed", "ERROR", program=name, error=record.error,
+        attempts=record.attempts, kept_going=keep_going,
     )
     if not keep_going:
         raise exc
@@ -643,6 +678,11 @@ def load_programs_serial(
                 delay = retry_backoff_s(attempts, retry_base_s)
                 observe.inc("retry.attempts")
                 observe.observe_value("retry.backoff_seconds", delay)
+                observe.emit_event(
+                    "program.retry", "WARNING", program=name,
+                    attempt=attempts, max_attempts=max_attempts,
+                    backoff_s=delay, error=type(exc).__name__,
+                )
                 if progress:
                     progress(
                         f"[{name}] transient {type(exc).__name__}: {exc}; "

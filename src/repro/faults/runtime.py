@@ -100,6 +100,10 @@ def install_plan(plan: FaultPlan) -> FaultPlan:
     """Install ``plan`` (replacing any previous one) and return it."""
     global _PLAN
     _PLAN = plan
+    observe.emit_event(
+        "fault.armed", spec=plan.spec, seed=plan.seed,
+        scope=plan.scope, attempt=plan.attempt,
+    )
     return plan
 
 
@@ -160,6 +164,12 @@ def _trigger(
     label = f"{site}:{clause.action}" + (f"@{program}" if program else "")
     observe.inc(f"fault.injected.{clause.site}.{clause.action}")
     observe.note("fault.injected", label)
+    # Emitted *before* the action fires: a crash-injected worker never
+    # returns, but the ring entry still ships if the snapshot survives.
+    observe.emit_event(
+        "fault.triggered", "WARNING", site=site, action=clause.action,
+        program=program or "", **ctx,
+    )
     if clause.action == "corrupt":
         raise InjectedCorruption(f"injected corruption at {label}")
     if clause.action == "oserror":

@@ -48,6 +48,26 @@ from repro.observe.metrics import (
     set_gauge,
 )
 from repro.observe.spans import SpanRecord, current_span_path, span
+from repro.observe.events import (
+    DEFAULT_RECORDER_CAPACITY,
+    EVENT_SCHEMA_VERSION,
+    EventRecord,
+    FlightRecorder,
+    SEVERITIES,
+    current_run_id,
+    disable_events,
+    dump_events_state,
+    emit_event,
+    enable_events,
+    events_enabled,
+    events_summary,
+    get_recorder,
+    load_event_log,
+    merge_events_state,
+    validate_event_dict,
+    validate_event_log_lines,
+    write_blackbox,
+)
 from repro.observe.manifest import (
     MANIFEST_SCHEMA_VERSION,
     RunManifest,
@@ -91,9 +111,13 @@ from repro.observe.traceview import spans_to_trace_events, write_chrome_trace
 __all__ = [
     "Counter",
     "DEFAULT_HISTORY_FILE",
+    "DEFAULT_RECORDER_CAPACITY",
     "DEFAULT_SAMPLE_STRIDE",
     "DiffEntry",
     "DiffThresholds",
+    "EVENT_SCHEMA_VERSION",
+    "EventRecord",
+    "FlightRecorder",
     "Gauge",
     "HISTORY_SCHEMA_VERSION",
     "Histogram",
@@ -102,25 +126,36 @@ __all__ = [
     "MetricsRegistry",
     "MANIFEST_SCHEMA_VERSION",
     "RunManifest",
+    "SEVERITIES",
     "SNAPSHOT_VERSION",
     "SampleProfile",
     "SpanRecord",
     "append_record",
+    "current_run_id",
     "current_span_path",
     "diff_manifests",
     "disable",
+    "disable_events",
     "disable_profiling",
+    "dump_events_state",
     "dump_snapshot",
+    "emit_event",
     "enable",
+    "enable_events",
     "enable_profiling",
     "environment_fingerprint",
+    "events_enabled",
+    "events_summary",
     "get_profiler",
+    "get_recorder",
     "get_registry",
     "inc",
     "is_enabled",
     "is_profiling",
+    "load_event_log",
     "load_history",
     "load_manifest",
+    "merge_events_state",
     "merge_snapshot",
     "note",
     "observe_value",
@@ -135,6 +170,9 @@ __all__ = [
     "set_gauge",
     "span",
     "spans_to_trace_events",
+    "validate_event_dict",
+    "validate_event_log_lines",
     "validate_manifest",
+    "write_blackbox",
     "write_chrome_trace",
 ]

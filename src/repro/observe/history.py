@@ -214,4 +214,9 @@ def render_trend(
             f"  {record.timestamp:<25} {record.target:<10} "
             f"{record.manifest_digest:<12} {shown:>12} {delta:>8}  {bar}"
         )
+    if len(records) == 1:
+        lines.append(
+            "  (only one run recorded — a trend needs at least two; "
+            "run again with --history to compare)"
+        )
     return "\n".join(lines)

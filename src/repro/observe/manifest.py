@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.errors import ManifestFormatError
+from repro.observe.events import SEVERITIES, events_summary
 from repro.observe.metrics import MetricsRegistry, get_registry
 
 #: Bump when a field is added/renamed; validators check it.
@@ -112,6 +113,10 @@ class RunManifest:
     #: Programs the run could not produce data for (``--keep-going``):
     #: one record each with program/error/message/attempts/elapsed_s.
     failures: List[Dict[str, object]] = field(default_factory=list)
+    #: Flight-recorder summary (run_id, emitted/dropped/recorded counts,
+    #: per-severity and per-category tallies, sink path); ``None`` when
+    #: event recording was off — see ``docs/OBSERVABILITY.md``.
+    events: Optional[Dict[str, object]] = None
     schema_version: int = MANIFEST_SCHEMA_VERSION
 
     @classmethod
@@ -121,8 +126,13 @@ class RunManifest:
         target: str = "",
         config: Optional[Dict[str, object]] = None,
         failures: Optional[List[Dict[str, object]]] = None,
+        events: Optional[Dict[str, object]] = None,
     ) -> "RunManifest":
-        """Snapshot ``registry`` (default: the process one) into a manifest."""
+        """Snapshot ``registry`` (default: the process one) into a manifest.
+
+        ``events`` defaults to the process flight recorder's summary
+        (``None`` while event recording is off).
+        """
         snapshot = (registry or get_registry()).snapshot()
         spans = snapshot["spans"]
         counters = snapshot["counters"]
@@ -136,11 +146,12 @@ class RunManifest:
             stages=_stages_from_spans(spans),
             cache=_cache_from_registry(counters, snapshot["notes"]),
             failures=[dict(record) for record in (failures or [])],
+            events=events if events is not None else events_summary(),
         )
 
     def to_dict(self) -> Dict[str, object]:
         """The manifest as the plain dict that gets serialized."""
-        return {
+        data = {
             "schema_version": self.schema_version,
             "target": self.target,
             "config": self.config,
@@ -153,6 +164,11 @@ class RunManifest:
             "cache": self.cache,
             "failures": self.failures,
         }
+        # Omitted entirely when event recording was off, so manifests
+        # (and their digests) from event-less runs are unchanged.
+        if self.events is not None:
+            data["events"] = self.events
+        return data
 
     def digest(self) -> str:
         """Short content address of the manifest (sha256 of canonical JSON).
@@ -229,6 +245,33 @@ def validate_manifest(data: Dict[str, object]) -> None:
                 raise ManifestFormatError(
                     f"failure #{index}: 'attempts' must be an int >= 1"
                 )
+    # Optional (absent when event recording was off): the flight-recorder
+    # summary block written alongside an --events run.
+    if "events" in data:
+        events = data["events"]
+        if not isinstance(events, dict):
+            raise ManifestFormatError("manifest field 'events' must be a dict")
+        run_id = events.get("run_id")
+        if not isinstance(run_id, str) or not run_id:
+            raise ManifestFormatError(
+                "events summary 'run_id' must be a non-empty string"
+            )
+        for key in ("emitted", "dropped", "recorded"):
+            value = events.get(key)
+            if not isinstance(value, int) or value < 0:
+                raise ManifestFormatError(
+                    f"events summary {key!r} must be an int >= 0"
+                )
+        by_severity = events.get("by_severity")
+        if not isinstance(by_severity, dict):
+            raise ManifestFormatError(
+                "events summary 'by_severity' must be a dict"
+            )
+        for severity in by_severity:
+            if severity not in SEVERITIES:
+                raise ManifestFormatError(
+                    f"events summary has unknown severity {severity!r}"
+                )
 
 
 def load_manifest(path: Union[str, Path]) -> RunManifest:
@@ -249,5 +292,6 @@ def load_manifest(path: Union[str, Path]) -> RunManifest:
         stages=data["stages"],
         cache=data["cache"],
         failures=data.get("failures", []),
+        events=data.get("events"),
         schema_version=data["schema_version"],
     )

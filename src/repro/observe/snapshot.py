@@ -13,8 +13,17 @@ module closes that gap:
 * the parent calls :func:`merge_snapshot`, which folds counters,
   gauges, raw histogram observations, and notes into the parent
   registry, grafts the worker's span tree under a caller-chosen path
-  (``pipeline/worker:<name>/...``), and rebases worker
-  ``time.perf_counter`` span starts into the parent's clock.
+  (``pipeline/worker:<name>/...``), rebases worker
+  ``time.perf_counter`` span starts into the parent's clock, and
+  re-sequences the worker's flight-recorder events
+  (:mod:`repro.observe.events`) into the parent's recorder — and its
+  JSONL sink — with the same clock rebasing.
+
+Merging is tolerant of **partial snapshots**: a worker that died
+mid-task (or an older payload missing newer sections) merges whatever
+sections it does carry — missing ``metrics``/``profile``/``events``
+keys are skipped, and malformed event entries are counted as dropped
+rather than aborting the merge.
 
 Merged manifests therefore look like serial ones — same counter totals,
 same ``stages`` rollup (stage span names are unchanged by grafting) —
@@ -27,6 +36,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.observe.events import dump_events_state, merge_events_state
 from repro.observe.metrics import get_registry
 from repro.observe.profile import get_profiler
 from repro.observe.spans import SpanRecord
@@ -49,6 +59,8 @@ def dump_snapshot() -> Dict[str, object]:
         "version": SNAPSHOT_VERSION,
         "metrics": get_registry().dump_state(),
         "profile": profile,
+        # None while event recording is disabled; plain dicts otherwise.
+        "events": dump_events_state(),
     }
 
 
@@ -72,7 +84,9 @@ def merge_snapshot(
     if version != SNAPSHOT_VERSION:
         raise ValueError(f"unsupported snapshot version {version!r}")
     registry = get_registry()
-    state = snapshot["metrics"]
+    # .get throughout: a worker that died mid-task can ship a payload
+    # missing whole sections; merge what survived.
+    state = snapshot.get("metrics") or {}
     registry.merge_state(state)
     for record in state.get("spans", []):
         merged_attrs = dict(record.attrs)
@@ -93,3 +107,8 @@ def merge_snapshot(
         get_profiler().merge_samples(
             profile.get("cpu_opcodes", {}), profile.get("engine_events", {})
         )
+    merge_events_state(
+        snapshot.get("events"),
+        clock_offset=clock_offset,
+        worker=(attrs or {}).get("worker", ""),
+    )

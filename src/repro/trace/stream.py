@@ -275,6 +275,8 @@ class ChunkChannel:
         self.events_in += chunk.n_events
         observe.inc("stream.chunks")
         observe.inc("stream.events", chunk.n_events)
+        observe.emit_event("stream.emit", "DEBUG",
+                           seq=chunk.seq, events=chunk.n_events)
         with self._lock:
             self._resident += 1
             resident = self._resident

@@ -2,11 +2,12 @@
 
 The streaming pipeline exists so traces larger than RAM can replay from
 disk with bounded memory.  This benchmark measures both sides of that
-trade on the same spilled v2 archive:
+trade on the same spilled v2 archive, for **both** simulation backends:
 
 * **events/sec** — chunk-at-a-time feeding through
-  :class:`~repro.simulate.engine.SimulationStream` vs materializing the
-  whole trace and simulating it in one call;
+  :class:`~repro.simulate.engine.SimulationStream` /
+  :class:`~repro.simulate.vector_engine.VectorSimulationStream` vs
+  materializing the whole trace and simulating it in one call;
 * **peak memory** — ``tracemalloc`` peaks of both paths.  The streamed
   path must stay bounded by a handful of chunks while the whole-trace
   path pays for the full column set, and the
@@ -14,13 +15,20 @@ trade on the same spilled v2 archive:
   bound (the claim ``docs/TRACE_FORMAT.md`` and the ``--stream`` flag
   rest on).
 
-Both paths use the scalar engine: the NumPy backend concatenates chunks
-at ``finish()`` (documented trade-off), so ``engine="python"`` is the
-configuration the bounded-memory claim applies to.
+Both backends are truly incremental: the scalar engine carries dicts
+bounded by the live working set, and the NumPy engine runs its
+packed-key kernels per chunk and merges partial reductions across
+boundaries (see the :mod:`repro.simulate.vector_engine` docstring).
+The memory tests below pin both halves of that claim — the streamed
+peak sits far below the whole-trace peak, and on the NumPy backend it
+scales with the chunk size, not the trace size — and the identity test
+re-chunks the same archive at randomized boundaries to check streamed
+results stay bit-identical to batch on both backends.
 """
 
 from __future__ import annotations
 
+import random
 import threading
 import tracemalloc
 
@@ -28,8 +36,7 @@ import pytest
 
 from repro import observe
 from repro.sessions.types import SessionDef, ONE_HEAP, ALL_HEAP_IN_FUNC
-from repro.simulate import simulate_sessions
-from repro.simulate.engine import SimulationStream
+from repro.simulate import open_simulation_stream, simulate_sessions
 from repro.trace import EventTrace, ObjectRegistry, load_trace
 from repro.trace.stream import ChunkChannel, peak_resident_chunks
 from repro.trace.tracefile import TraceStreamReader, save_trace_chunked
@@ -41,9 +48,10 @@ STRIDE = 256
 CHUNK_EVENTS = 4_096
 CHANNEL_CAPACITY = 4
 PAGE_SIZES = (4096, 8192)
+ENGINES = ("python", "numpy")
 
 
-def _build_trace():
+def _build_trace(n_events=N_EVENTS):
     registry = ObjectRegistry()
     for _ in range(N_OBJECTS):
         registry.heap("f", ("main", "f"), 32)
@@ -56,7 +64,7 @@ def _build_trace():
         state = (state * 1103515245 + 12345) & 0x7FFFFFFF
         return state % bound
 
-    for _ in range(N_EVENTS):
+    for _ in range(n_events):
         roll = rand(100)
         if roll < 75:
             word = rand(N_OBJECTS * STRIDE // 4)
@@ -94,16 +102,29 @@ def spilled(tmp_path_factory):
     return path, sessions
 
 
-def _run_batch(path, sessions):
+@pytest.fixture(scope="module")
+def spilled_half(tmp_path_factory):
+    """The same generator stopped at half the events — the scaling
+    baseline for the chunk-size-not-trace-size assertion."""
+    trace, registry, sessions = _build_trace(N_EVENTS // 2)
+    path = tmp_path_factory.mktemp("stream-bench-half") / "trace.npz"
+    save_trace_chunked(trace, registry, path, chunk_events=CHUNK_EVENTS)
+    return path, sessions
+
+
+def _run_batch(path, sessions, engine="python"):
     trace, registry = load_trace(path)
     return simulate_sessions(trace, registry, sessions, PAGE_SIZES,
-                             engine="python")
+                             engine=engine)
 
 
-def _run_streamed(path, sessions):
+def _run_streamed(path, sessions, engine="python", chunk_events=CHUNK_EVENTS):
     """The pipeline wiring: reader thread -> bounded channel -> engine."""
-    with TraceStreamReader(path, chunk_events=CHUNK_EVENTS) as reader:
-        stream = SimulationStream(reader.registry, sessions, PAGE_SIZES)
+    with TraceStreamReader(path, chunk_events=chunk_events) as reader:
+        stream = open_simulation_stream(
+            reader.registry, sessions, PAGE_SIZES, engine=engine,
+            expected_events=reader.n_events,
+        )
         channel = ChunkChannel(capacity=CHANNEL_CAPACITY)
 
         def produce():
@@ -123,11 +144,12 @@ def _run_streamed(path, sessions):
         return stream.finish(reader.meta, expected_events=reader.n_events)
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("mode", ["batch", "stream"])
-def test_stream_throughput(benchmark, spilled, mode):
+def test_stream_throughput(benchmark, spilled, mode, engine):
     path, sessions = spilled
     runner = _run_batch if mode == "batch" else _run_streamed
-    result = benchmark(runner, path, sessions)
+    result = benchmark(runner, path, sessions, engine)
     assert result.total_writes > 0
     assert result.overlap_anomalies == 0
     benchmark.extra_info["events_per_sec"] = (
@@ -135,11 +157,9 @@ def test_stream_throughput(benchmark, spilled, mode):
     )
 
 
-def test_streamed_and_batch_results_identical(spilled):
-    path, sessions = spilled
-    batch = _run_batch(path, sessions)
-    streamed = _run_streamed(path, sessions)
+def _assert_same_counts(batch, streamed):
     assert batch.total_writes == streamed.total_writes
+    assert batch.overlap_anomalies == streamed.overlap_anomalies
     for cb, cs in zip(batch.counts, streamed.counts):
         assert (cb.installs, cb.removes, cb.hits, cb.misses,
                 cb.max_concurrent) == \
@@ -151,21 +171,39 @@ def test_streamed_and_batch_results_identical(spilled):
                  cs.vm[size].active_page_misses)
 
 
-def test_streamed_peak_memory_is_bounded(spilled):
-    """The bounded-memory claim: streamed replay must peak well below
-    the whole-trace path, and the resident-chunk gauge must respect the
+@pytest.mark.parametrize("engine", ENGINES)
+def test_streamed_and_batch_results_identical(spilled, engine):
+    """Streamed == batch on both backends, including re-chunked replays
+    at randomized chunk boundaries (chunk framing must not leak into
+    results)."""
+    path, sessions = spilled
+    batch = _run_batch(path, sessions, engine)
+    _assert_same_counts(batch, _run_streamed(path, sessions, engine))
+    rng = random.Random(0xD0C5)
+    for _ in range(2):
+        chunk_events = rng.randint(100, 3 * CHUNK_EVENTS)
+        _assert_same_counts(
+            batch, _run_streamed(path, sessions, engine, chunk_events)
+        )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_streamed_peak_memory_is_bounded(spilled, engine):
+    """The bounded-memory claim, per backend: streamed replay must peak
+    well below the whole-trace path, and the resident-chunk gauge —
+    queued chunks plus any consumer-retained batches — must respect the
     channel bound."""
     path, sessions = spilled
 
     tracemalloc.start()
-    _run_batch(path, sessions)
+    _run_batch(path, sessions, engine)
     _, batch_peak = tracemalloc.get_traced_memory()
     tracemalloc.stop()
 
     observe.reset()
     observe.enable()
     tracemalloc.start()
-    _run_streamed(path, sessions)
+    _run_streamed(path, sessions, engine)
     _, stream_peak = tracemalloc.get_traced_memory()
     tracemalloc.stop()
 
@@ -180,9 +218,37 @@ def test_streamed_peak_memory_is_bounded(spilled):
     observe.reset()
     observe.disable()
 
-    # The whole-trace path materializes every column (plus the scalar
-    # engine's whole-trace list conversion); the streamed path holds a
-    # few chunks.  Require a clear separation, not a tuned ratio.
+    # The whole-trace path materializes every column (plus the engine's
+    # whole-trace working arrays); the streamed path holds a few chunks
+    # plus working-set-sized carried state.  Require a clear separation,
+    # not a tuned ratio.
     assert stream_peak < batch_peak / 2, (
         f"streamed peak {stream_peak} not bounded vs batch {batch_peak}"
+    )
+
+
+def test_streamed_numpy_peak_scales_with_chunk_not_trace(spilled, spilled_half):
+    """Doubling the trace must not move the streamed NumPy peak: memory
+    follows the chunk size and the live working set, not trace length.
+    (The pre-incremental implementation concatenated all chunks at
+    ``finish()``, so the full-trace peak tracked the trace and this
+    assertion fails on it.)"""
+    path_full, sessions = spilled
+    path_half, sessions_half = spilled_half
+
+    def measure(path, sessions):
+        tracemalloc.start()
+        _run_streamed(path, sessions, "numpy")
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return peak
+
+    # Warm-up measurement first: the first numpy kernel pass allocates
+    # import-time and cache state that would skew the comparison.
+    measure(path_half, sessions_half)
+    peak_half = measure(path_half, sessions_half)
+    peak_full = measure(path_full, sessions)
+    assert peak_full < 1.5 * peak_half, (
+        f"streamed numpy peak grew with trace size: "
+        f"{peak_half} (half) -> {peak_full} (full)"
     )

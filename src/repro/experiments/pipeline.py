@@ -126,11 +126,10 @@ class ExperimentConfig:
     (``--stream``): phase 1 emits :class:`~repro.trace.stream.TraceChunk`
     batches of ``chunk_events`` events through a bounded channel into a
     chunked on-disk spill, and phase 2 replays that spill chunk-by-chunk
-    — so neither phase ever materializes the whole trace (with the
-    scalar engine; the NumPy backend accumulates columns, see
-    :class:`~repro.simulate.vector_engine.VectorSimulationStream`).
-    Results are bit-identical to batch runs, and the trace/sim cache
-    entries are interchangeable between the two modes.
+    — so neither phase ever materializes the whole trace, on either
+    simulation backend.  Results are bit-identical to batch runs, and
+    the trace/sim cache entries are interchangeable between the two
+    modes.
     """
 
     programs: Tuple[str, ...] = ("gcc", "ctex", "spice", "qcd", "bps")

@@ -15,7 +15,12 @@ implement the same pass and produce bit-identical results:
   ownership and lazy (page, session) bookkeeping;
 * ``"numpy"`` — the vectorized engine
   (:mod:`repro.simulate.vector_engine`): the same counting as a fixed
-  number of array passes, ~10-100x faster on multi-million-event traces.
+  number of array passes per chunk plus a cross-chunk merge, ~10-100x
+  faster on multi-million-event traces.
+
+Both backends are incremental: each exposes a ``feed``/``finish``
+stream whose memory is bounded by the live working set, and the
+whole-trace entry point is that stream fed once.
 
 :func:`simulate_sessions` dispatches between them.  The default
 ``engine="auto"`` picks NumPy when it is importable and the trace is
@@ -118,11 +123,12 @@ def open_simulation_stream(
     ``expected_events`` (the stream's total event count, when known —
     e.g. a trace file's footer) as the size hint for ``"auto"``; an
     unknown-size stream resolves as a large trace.  Returns a
-    :class:`~repro.simulate.engine.SimulationStream` (scalar: bounded
-    memory) or a
-    :class:`~repro.simulate.vector_engine.VectorSimulationStream`
-    (accumulates columns, vectorized pass at ``finish``); both produce
-    results bit-identical to the whole-trace path.
+    :class:`~repro.simulate.engine.SimulationStream` or a
+    :class:`~repro.simulate.vector_engine.VectorSimulationStream`;
+    both are truly incremental — memory bounded by the live working
+    set, not trace length — and both produce results bit-identical to
+    the whole-trace path (which is, on either backend, this stream fed
+    once).
     """
     backend = resolve_engine(engine, expected_events)
     if backend == "numpy":

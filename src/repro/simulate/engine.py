@@ -244,6 +244,11 @@ class SimulationStream:
             column.tolist() if hasattr(column, "dtype") else column
             for column in (kinds, col_a, col_b, col_c)
         )
+        if len({len(column) for column in columns}) != 1:
+            raise PipelineError(
+                "ragged feed: column lengths (kinds, col_a, col_b, col_c) "
+                f"= {tuple(len(column) for column in columns)} disagree"
+            )
 
         for kind, a, b, c in zip(*columns):
             if kind == WRITE:

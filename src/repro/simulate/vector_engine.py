@@ -3,66 +3,111 @@
 Computes *bit-identical* :class:`~repro.simulate.engine.SimulationResult`
 payloads to the scalar engine (:mod:`repro.simulate.engine`) — same
 counts, same anomaly totals, same session discard decisions — while
-replacing the per-event Python loop with a fixed number of array passes.
-The scalar engine's per-event work is interpreter-overhead-bound (dict
-lookups for word ownership, per-(page, session) transition bookkeeping);
-this backend is the Shasta/CodePatch move applied to the simulator
-itself: hoist the per-event checks into bulk operations.
+replacing the per-event Python loop with a fixed number of array passes
+per chunk.  The scalar engine's per-event work is
+interpreter-overhead-bound (dict lookups for word ownership,
+per-(page, session) transition bookkeeping); this backend is the
+Shasta/CodePatch move applied to the simulator itself: hoist the
+per-event checks into bulk operations.
 
-The passes, mirroring the scalar engine's three ideas — and built
-almost entirely out of ``np.sort`` over *packed integer keys* (group
-key in the high bits, row payload in the low bits), which profiles an
-order of magnitude faster than ``np.argsort``/``np.lexsort`` and turns
-every "query a running counter" step into a merge:
+Like the scalar engine, the vectorized pass is **incremental**: the
+whole-trace entry point :func:`simulate_sessions_numpy` is literally
+:class:`VectorSimulationStream` driven with a single ``feed`` call, so
+the streamed and batch paths share one kernel and are bit-identical by
+construction.  Each fed chunk is reduced on arrival to a compact
+per-chunk summary and merged into carried state bounded by the *live*
+working set — never by trace length:
+
+* **per-session tallies** — installs/removes/hits/active-now/max-active
+  arrays (``n_sessions`` ints);
+* **word ownership** — a sorted ``(word, owner)`` table of the words
+  currently covered by a live monitor (the vector form of the scalar
+  engine's ``word -> object`` dict);
+* **per-page write counters** — sorted ``(page, cumulative writes)``
+  per page size (the scalar engine's ``page_writes`` dict);
+* **open protect windows** — sorted ``((page, session), active count)``
+  pairs per page size for pairs whose active-monitor count is nonzero
+  (the scalar engine's ``pair_state`` dict, minus the window-start
+  counter, which the telescoping identity below makes unnecessary).
+
+The per-chunk kernels mirror the scalar engine's three ideas — and are
+built almost entirely out of ``np.sort`` over *packed integer keys*
+(group key in the high bits, row payload in the low bits), which
+profiles an order of magnitude faster than ``np.argsort``/``np.lexsort``
+and turns every "query a running counter" step into a merge:
 
 1. **Event classes** split with one ``np.flatnonzero`` over the packed
    ``kinds`` column: writes vs. install/remove transitions.
 
-2. **Word ownership as a merged timeline.**  The scalar engine keeps a
-   ``word -> object`` dict mutated in event order.  Equivalently: the
-   owner of word ``w`` at event ``e`` is decided by the *last*
-   install/remove endpoint touching ``w`` before ``e`` — an install
-   hands ``w`` to its object, a remove clears it (whatever installed
-   it; this is what makes the two engines agree on overlap-anomalous
-   traces).  Endpoint rows and write queries are packed into one key
-   array (``word | event | flags``), sorted together, and a forward
-   fill (``np.maximum.accumulate``) hands every query the nearest
-   preceding endpoint of its word.  Overlap anomalies are consecutive
-   same-word endpoints of the same polarity (install over an owned
-   word / remove of an unowned word).
+2. **Word ownership as a merged timeline.**  The owner of word ``w`` at
+   event ``e`` is decided by the *last* install/remove endpoint touching
+   ``w`` before ``e`` — an install hands ``w`` to its object, a remove
+   clears it (whatever installed it; this is what makes the two engines
+   agree on overlap-anomalous traces).  Endpoint rows and write queries
+   of one chunk are packed into one key array (``word | event+1 |
+   flags``), sorted together, and a forward fill
+   (``np.maximum.accumulate``) hands every query the nearest preceding
+   endpoint of its word.  Ownership carried in from earlier chunks
+   enters the merge as *pseudo-endpoints* at event slot 0 — one
+   synthetic install per carried word that this chunk touches — which
+   is exactly what makes a protect window straddling a chunk boundary
+   resolve the same hits and anomalies as the unsplit trace.  Overlap
+   anomalies are consecutive same-word endpoints of the same polarity
+   (install over an owned word / remove of an unowned word), with the
+   carried state standing in as the "previous endpoint" for each word's
+   first in-chunk endpoint.  After the merge, each word's *last*
+   endpoint updates the carried table.
 
 3. **Lazy page accounting as grouped running sums.**  Per page size,
-   transition events are expanded to ``(page, session)`` rows, packed
-   as ``pair_id | row | is_install`` keys, and sorted — rows are
-   generated in event order, so the low payload bits keep each
+   the chunk's transition events are expanded to ``(page, session)``
+   rows, packed as ``pair_id | row | is_install`` keys, and sorted —
+   rows are generated in event order, so the low payload bits keep each
    (page, session) group's events ordered without a multi-key sort.
    Within each group the active-monitor count is the *clamped* running
-   sum ``c_k = max(c_{k-1} + d_k, 0)`` (the clamp is exactly the scalar
-   engine's "remove on a dead pair is an anomaly, not a decrement");
-   clamping almost never fires, so the engine takes a plain grouped
-   cumsum and falls back to the running-minimum identity
-   ``c_k = S_k - min(0, min_{j<=k} S_j)`` only when some group dips
-   below zero.  Protects are the ``0 -> 1`` rows, unprotects the
-   ``1 -> 0`` rows, and the per-session active-write total telescopes::
+   sum ``c_k = max(c_{k-1} + d_k, 0)`` **seeded with the carried count
+   of that pair** (the clamp is exactly the scalar engine's "remove on
+   a dead pair is an anomaly, not a decrement"); clamping almost never
+   fires, so the engine takes a plain grouped cumsum and falls back to
+   the running-minimum identity ``c_k = S_k - min(0, min_{j<=k} S_j)``
+   only when some group dips below zero.  Protects are the ``0 -> 1``
+   rows, unprotects the ``1 -> 0`` rows, and each group's final count
+   is merged back into the carried pair table.  The per-session
+   active-write total telescopes *across chunks*::
 
        raw[s] = sum W(unprotect) - sum W(protect) + sum W_total(open)
 
-   where ``W(row)`` is "writes to the row's page before its event" —
-   every protect opens exactly one window that either closes at an
-   unprotect or flushes at end of trace, so the per-window differences
-   collapse into three signed sums and no window matching is needed.
-   ``W`` itself comes from one more packed merge per page size: write
-   rows and per-op queries sorted by ``(page, event)``, a cumulative
-   count of write rows, and a per-page base subtraction.
+   where ``W(row)`` is "writes to the row's page before its event",
+   globally — every protect opens exactly one window that either closes
+   at an unprotect (any later chunk) or flushes at end of trace, so the
+   per-window differences collapse into three signed sums and no
+   window state other than the active count crosses a chunk boundary.
+   ``W`` itself is one more packed merge per (chunk, page size): the
+   chunk's write rows and per-op queries sorted by ``(page, event)``, a
+   cumulative count of in-chunk write rows, plus the carried per-page
+   counter as the cross-chunk base.  The open-window flush at
+   :meth:`~VectorSimulationStream.finish` reads ``W_total`` straight
+   off the final carried counters.
 
 Everything is integer arithmetic, so "bit-identical" is exact, not
-approximate; the differential suite
-(``tests/simulate/test_vector_equivalence.py``) drives both engines over
-randomized traces including the awkward cases (overlap anomalies,
-multi-word writes, open windows, one-word pages).
+approximate — and because addition commutes, the per-chunk partial sums
+land on exactly the whole-trace totals at any chunk split.  The
+differential suite (``tests/simulate/test_vector_equivalence.py``)
+drives both engines over randomized traces including the awkward cases
+(overlap anomalies, multi-word writes, windows straddling randomized
+chunk boundaries, empty and one-event chunks, one-word pages).
+
+Memory: carried state is O(live words + touched pages + open pairs +
+sessions); chunk kernels allocate O(chunk events).  Tiny fed batches
+are coalesced to :data:`MIN_KERNEL_EVENTS` before a kernel runs, so
+per-event kernel overhead stays amortized without unbounded buffering —
+the retained buffer is accounted to the
+``stream.retained_chunks``/``stream.peak_resident_chunks`` gauges via
+:func:`repro.trace.stream.note_retained_chunks`, keeping the
+bounded-memory claim measurable on this backend too (asserted by
+``benchmarks/test_stream_throughput.py``).
 
 Observation follows the scalar engine's contract: one flag read per
-run, the same ``engine.*`` counters afterwards, plus an
+stream, the same ``engine.*`` counters after ``finish``, plus an
 ``engine.backend`` note so manifests record which backend produced the
 (identical) numbers.  ``engine.events_per_sec`` is therefore directly
 comparable across backends.
@@ -83,9 +128,19 @@ from repro.simulate.counting import CountingVariables, VmPageCounts
 from repro.simulate.engine import SimulationResult, validate_page_sizes
 from repro.trace.events import EventKind, EventTrace
 from repro.trace.objects import ObjectRegistry
+from repro.trace.stream import note_retained_chunks
 
 _WRITE = int(EventKind.WRITE)
 _INSTALL = int(EventKind.INSTALL)
+
+#: Fed batches smaller than this are buffered and coalesced before a
+#: kernel pass runs: the fixed per-pass setup (array views, sorts)
+#: would otherwise dominate degenerate one-event chunks.  The buffer is
+#: bounded by this constant plus one chunk, so coalescing never
+#: un-bounds streamed memory.
+MIN_KERNEL_EVENTS = 4096
+
+_EMPTY_I64 = np.empty(0, np.int64)
 
 
 def _bits(value: int) -> int:
@@ -168,6 +223,76 @@ def _group_firsts(group_keys: np.ndarray) -> np.ndarray:
     return first
 
 
+def _find_sorted(haystack: np.ndarray, needles: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Membership probe of ``needles`` in a sorted unique ``haystack``.
+
+    Returns ``(found_mask, position)`` where ``position`` is only valid
+    at found rows.
+    """
+    pos = np.searchsorted(haystack, needles)
+    found = pos < haystack.size
+    found[found] = haystack[pos[found]] == needles[found]
+    return found, pos
+
+
+def _gather_sorted(
+    keys: np.ndarray, values: np.ndarray, queries: np.ndarray
+) -> np.ndarray:
+    """``values[keys.index(q)]`` per query against a sorted table, 0 if absent."""
+    out = np.zeros(queries.size, np.int64)
+    if keys.size and queries.size:
+        found, pos = _find_sorted(keys, queries)
+        out[found] = values[pos[found]]
+    return out
+
+
+def _merge_replace(
+    keys: np.ndarray,
+    values: np.ndarray,
+    new_keys: np.ndarray,
+    new_values: np.ndarray,
+    drop_zero: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Replace entries of a sorted table: rows keyed by ``new_keys`` take
+    ``new_values`` (``new_keys`` sorted unique); other rows are kept.
+    With ``drop_zero`` the merged table keeps only nonzero values."""
+    if keys.size:
+        found, _ = _find_sorted(new_keys, keys)
+        keys = keys[~found]
+        values = values[~found]
+    if drop_zero:
+        live = new_values != 0
+        new_keys, new_values = new_keys[live], new_values[live]
+    if keys.size == 0:
+        return new_keys, new_values
+    if new_keys.size == 0:
+        return keys, values
+    merged_k = np.concatenate([keys, new_keys])
+    merged_v = np.concatenate([values, new_values])
+    order = np.argsort(merged_k)
+    return merged_k[order], merged_v[order]
+
+
+def _merge_add(
+    keys: np.ndarray,
+    counts: np.ndarray,
+    add_keys: np.ndarray,
+    add_counts: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Add counts into a sorted counter table (``add_keys`` sorted unique)."""
+    if keys.size == 0:
+        return add_keys.copy(), add_counts.copy()
+    found, pos = _find_sorted(keys, add_keys)
+    if found.all():
+        counts[pos] += add_counts
+        return keys, counts
+    counts[pos[found]] += add_counts[found]
+    merged_k = np.concatenate([keys, add_keys[~found]])
+    merged_v = np.concatenate([counts, add_counts[~found]])
+    order = np.argsort(merged_k)
+    return merged_k[order], merged_v[order]
+
+
 def _writes_before(
     write_pages: np.ndarray,
     write_events: np.ndarray,
@@ -180,7 +305,9 @@ def _writes_before(
     One merge: write rows and query rows are packed into ``(page, event,
     query id)`` keys and sorted together; a cumulative count of write
     rows minus a per-page base answers every query at once.  Queries may
-    use ``event == n_events`` to mean "end of trace" (whole-page total).
+    use ``event == n_events`` to mean "end of chunk" (whole-chunk
+    total).  Events are chunk-local; the caller adds the carried
+    cross-chunk per-page base.
     """
     n_queries = query_pages.size
     out = np.zeros(n_queries, np.int64)
@@ -217,213 +344,491 @@ def _writes_before(
     return out
 
 
-def simulate_sessions_numpy(
-    trace: EventTrace,
-    registry: ObjectRegistry,
-    sessions: Sequence[SessionDef],
-    page_sizes: Sequence[int] = (4096, 8192),
-) -> SimulationResult:
-    """Vectorized phase 2; drop-in equivalent of the scalar engine.
+class VectorSimulationStream:
+    """The NumPy one-pass simulation as an incremental ``feed``/``finish`` pair.
 
-    See the module docstring for the algorithm and
-    :func:`repro.simulate.simulate_sessions` for backend selection.
+    The whole-trace entry point :func:`simulate_sessions_numpy` is
+    literally this class driven with a single :meth:`feed` call — the
+    streamed and batch paths share one set of chunk kernels, which is
+    what makes them bit-identical by construction (the differential
+    suite in ``tests/simulate/test_vector_equivalence.py`` checks it
+    anyway, at randomized chunk boundaries).
+
+    All carried state is bounded by the *live* working set — the sorted
+    word-ownership table, per-page write counters, and open
+    (page, session) pair counts — never by trace length, so feeding a
+    trace chunk-by-chunk (e.g. from a
+    :class:`~repro.trace.stream.ChunkChannel` or a
+    :class:`~repro.trace.tracefile.TraceStreamReader`) runs in memory
+    proportional to one kernel batch plus the working set.  See the
+    module docstring for the per-chunk kernels and the cross-chunk
+    merge.
+
+    Chunk boundaries are framing only: ``feed`` may split the event
+    stream anywhere, and results depend only on total event order.
     """
-    n_sessions = len(sessions)
-    if n_sessions == 0:
-        raise PipelineError("no sessions to simulate")
-    validate_page_sizes(page_sizes)
-    observing = observe.is_enabled()
-    start_time = time.perf_counter() if observing else 0.0
 
-    columns = trace.as_arrays()
-    kinds = np.asarray(columns.kinds)
-    col_a = np.asarray(columns.col_a, dtype=np.int64)
-    col_b = np.asarray(columns.col_b, dtype=np.int64)
-    col_c = np.asarray(columns.col_c, dtype=np.int64)
-    n_events = int(kinds.size)
-    n_objects = len(registry.objects)
+    def __init__(
+        self,
+        registry: ObjectRegistry,
+        sessions: Sequence[SessionDef],
+        page_sizes: Sequence[int] = (4096, 8192),
+    ) -> None:
+        n_sessions = len(sessions)
+        if n_sessions == 0:
+            raise PipelineError("no sessions to simulate")
+        validate_page_sizes(page_sizes)
+        # One flag read per *stream*; the kernels are never instrumented.
+        observing = observe.is_enabled()
+        start_time = time.perf_counter() if observing else 0.0
 
-    membership = _Membership(registry, sessions)
+        self._registry = registry
+        self._sessions = list(sessions)
+        self._page_sizes = tuple(page_sizes)
+        self._n_sessions = n_sessions
+        self._n_objects = len(registry.objects)
+        self._membership = _Membership(registry, sessions)
+        self._sb = _bits(n_sessions - 1)
+        self._shifts = [size.bit_length() - 1 for size in page_sizes]
 
-    # -- event classes ------------------------------------------------------
-    write_idx = np.flatnonzero(kinds == _WRITE)
-    op_idx = np.flatnonzero(kinds != _WRITE)
-    total_writes = int(write_idx.size)
-    n_ops = int(op_idx.size)
-    op_obj = col_a[op_idx]
-    op_begin = col_b[op_idx]
-    op_end = col_c[op_idx]
-    op_is_install = kinds[op_idx] == _INSTALL
+        # Per-session tallies (the scalar engine's counter lists).
+        self._installs = np.zeros(n_sessions, np.int64)
+        self._removes = np.zeros(n_sessions, np.int64)
+        self._hits = np.zeros(n_sessions, np.int64)
+        self._active_now = np.zeros(n_sessions, np.int64)
+        self._max_active = np.zeros(n_sessions, np.int64)
+        self._total_writes = 0
+        self._overlap_anomalies = 0
 
-    overlap_anomalies = 0
+        # Word ownership carried across chunks: sorted words, owners.
+        self._owned_words = _EMPTY_I64
+        self._owned_objs = _EMPTY_I64
 
-    # -- word ownership: one merged (endpoint + query) timeline -------------
-    op_word_counts = np.maximum((op_end - op_begin + 3) >> 2, 0)
-    ep_rows, ep_words = _expand_ranges(op_begin, op_word_counts, 4)
-    ep_events = op_idx[ep_rows]
-    ep_install = op_is_install[ep_rows].astype(np.int64)
+        # Per page size: cumulative write counters (sorted pages), open
+        # (page, session) pair counts (sorted packed pairs, count > 0),
+        # and the per-session protect/unprotect/raw-active accumulators.
+        n_sizes = len(self._page_sizes)
+        self._page_nums = [_EMPTY_I64] * n_sizes
+        self._page_counts = [_EMPTY_I64] * n_sizes
+        self._pair_keys = [_EMPTY_I64] * n_sizes
+        self._pair_counts = [_EMPTY_I64] * n_sizes
+        self._prot = [np.zeros(n_sessions, np.int64) for _ in range(n_sizes)]
+        self._unprot = [np.zeros(n_sessions, np.int64) for _ in range(n_sizes)]
+        self._raw = [np.zeros(n_sessions, np.int64) for _ in range(n_sizes)]
 
-    write_begin = col_a[write_idx]
-    write_end = col_b[write_idx]
-    single = (write_end - write_begin) <= 4
-    q_words = write_begin[single]
-    q_events = write_idx[single]
-    multi_idx = np.flatnonzero(~single)
-    if multi_idx.size:
-        mw_begin = write_begin[multi_idx]
-        mw_counts = np.maximum((write_end[multi_idx] - mw_begin + 3) >> 2, 0)
-        mw_rows, mw_words = _expand_ranges(mw_begin, mw_counts, 4)
-        q_words = np.concatenate([q_words, mw_words])
-        q_events = np.concatenate([q_events, write_idx[multi_idx][mw_rows]])
-        is_multi_event = np.zeros(n_events, bool)
-        is_multi_event[write_idx[multi_idx]] = True
+        # Coalescing buffer for sub-kernel-size feeds.
+        self._pending_kinds: List[np.ndarray] = []
+        self._pending_a: List[np.ndarray] = []
+        self._pending_b: List[np.ndarray] = []
+        self._pending_c: List[np.ndarray] = []
+        self._pending_events = 0
+        self._retained_feeds = 0
 
-    hits = np.zeros(n_sessions, np.int64)
-    eb = _bits(n_events)
-    if ep_words.size:
-        max_word = int(
-            max(ep_words.max(initial=0), q_words.max(initial=0), 0)
+        self._n_events = 0
+        self._n_processed = 0
+        self._next_seq = 0
+        self._finished = False
+        self._sample_counts: Dict[int, int] = {}
+        self._observing = observing
+        self._elapsed = (
+            time.perf_counter() - start_time if observing else 0.0
         )
-        if _bits(max_word) + eb + 2 > 63:
-            uniq = np.unique(np.concatenate([ep_words, q_words]))
-            ep_words = np.searchsorted(uniq, ep_words)
-            q_words = np.searchsorted(uniq, q_words)
-            if _bits(uniq.size) + eb + 2 > 63:  # pragma: no cover
-                raise PipelineError("trace too large for packed word keys")
-        # key = word | event | is_install | is_query; events are unique
-        # per row, so (word, event) already orders the merge.
-        ep_keys = ((ep_words << eb | ep_events) << 2) | (ep_install << 1)
-        q_keys = ((q_words << eb | q_events) << 2) | 1
-        key = np.concatenate([ep_keys, q_keys])
-        key.sort()
-        isq = key & 1
-        # Rank of the latest endpoint at or before each row, indexing the
-        # compressed endpoint subsequence (-1 when none precedes).
-        ep_rank = np.cumsum(1 - isq, dtype=np.int64) - 1
-        ep_sub = key[isq == 0]
 
-        # Endpoint anomalies: previous endpoint on the same word has the
-        # same polarity (install over an owned word / remove of an
-        # unowned one).  Adjacent rows of the compressed endpoint
-        # subsequence are exactly "previous endpoint" pairs.
-        ep_inst = (ep_sub >> 1) & 1
-        ep_owned = np.empty(ep_sub.size, np.int64)
-        ep_owned[0] = 0
-        np.multiply(
-            (ep_sub[1:] >> (eb + 2)) == (ep_sub[:-1] >> (eb + 2)),
-            ep_inst[:-1],
-            out=ep_owned[1:],
-        )
-        overlap_anomalies += int(np.count_nonzero(ep_inst == ep_owned))
+    # -- feeding ------------------------------------------------------------
 
-        # Query owners: nearest preceding endpoint of the same word, if
-        # it is an install.
-        q_pos = np.flatnonzero(isq == 1)
-        q_rank = ep_rank[q_pos]
-        epk = ep_sub[np.maximum(q_rank, 0)]
-        q_key = key[q_pos]
-        owned = (
-            (q_rank >= 0)
-            & ((epk >> (eb + 2)) == (q_key >> (eb + 2)))
-            & ((epk & 2) != 0)
-        )
-        emask = (np.int64(1) << eb) - 1
-        hit_objs = col_a[(epk[owned] >> 2) & emask]
-        hit_events = (q_key[owned] >> 2) & emask
-        if multi_idx.size:
-            from_multi = is_multi_event[hit_events]
+    def feed(self, kinds, col_a, col_b, col_c) -> None:
+        """Consume the next batch of events (any split point is legal)."""
+        if self._finished:
+            raise PipelineError("feed() on a finished simulation stream")
+        observing = self._observing
+        chunk_start = time.perf_counter() if observing else 0.0
+        kinds = np.ascontiguousarray(kinds, dtype=np.int8)
+        col_a = np.ascontiguousarray(col_a, dtype=np.int64)
+        col_b = np.ascontiguousarray(col_b, dtype=np.int64)
+        col_c = np.ascontiguousarray(col_c, dtype=np.int64)
+        n = int(kinds.size)
+        if not (col_a.size == col_b.size == col_c.size == n):
+            raise PipelineError(
+                "ragged feed: column lengths (kinds, col_a, col_b, col_c) = "
+                f"({n}, {col_a.size}, {col_b.size}, {col_c.size}) disagree"
+            )
+        if n:
+            self._pending_kinds.append(kinds)
+            self._pending_a.append(col_a)
+            self._pending_b.append(col_b)
+            self._pending_c.append(col_c)
+            self._pending_events += n
+            self._n_events += n
+            if self._pending_events >= MIN_KERNEL_EVENTS:
+                self._flush_pending()
+            else:
+                # Count batches retained *across* feed calls; the batch
+                # that trips a flush is in flight, not retained — the
+                # same slack the channel grants its consumer's
+                # in-hand chunk.
+                self._retained_feeds += 1
+                note_retained_chunks(1)
+        if observing:
+            self._elapsed += time.perf_counter() - chunk_start
+
+    def feed_chunk(self, chunk, verify: bool = True) -> None:
+        """Consume one :class:`~repro.trace.stream.TraceChunk`.
+
+        Enforces sequence order (a reordered or duplicated chunk raises
+        :class:`PipelineError`) and, with ``verify``, the chunk's
+        framing checksums.
+        """
+        if chunk.seq != self._next_seq:
+            raise PipelineError(
+                f"chunk {chunk.seq} fed out of order; expected "
+                f"{self._next_seq}"
+            )
+        self._next_seq += 1
+        if verify:
+            chunk.verify()
+        self.feed(chunk.kinds, chunk.col_a, chunk.col_b, chunk.col_c)
+
+    @property
+    def events_fed(self) -> int:
+        return self._n_events
+
+    def _flush_pending(self) -> None:
+        """Run the chunk kernels over the coalesced pending buffer."""
+        buffers = self._pending_kinds
+        if len(buffers) == 1:
+            kinds = buffers[0]
+            col_a = self._pending_a[0]
+            col_b = self._pending_b[0]
+            col_c = self._pending_c[0]
+        elif buffers:
+            kinds = np.concatenate(buffers)
+            col_a = np.concatenate(self._pending_a)
+            col_b = np.concatenate(self._pending_b)
+            col_c = np.concatenate(self._pending_c)
         else:
-            from_multi = np.zeros(hit_objs.size, bool)
+            kinds = None
+        self._pending_kinds = []
+        self._pending_a = []
+        self._pending_b = []
+        self._pending_c = []
+        self._pending_events = 0
+        try:
+            if kinds is not None and kinds.size:
+                self._process(kinds, col_a, col_b, col_c)
+                self._n_processed += int(kinds.size)
+        finally:
+            if self._retained_feeds:
+                note_retained_chunks(-self._retained_feeds)
+                self._retained_feeds = 0
 
-        # Single-word hits: one per (write, owning object) -> every
-        # member session, multiplicity kept.
-        single_objs = hit_objs[~from_multi]
-        if single_objs.size:
+    # -- the per-chunk kernels ----------------------------------------------
+
+    def _process(self, kinds, col_a, col_b, col_c) -> None:
+        n = int(kinds.size)
+        n_sessions = self._n_sessions
+        n_objects = self._n_objects
+        membership = self._membership
+
+        # Sampling profiler: a 1-in-N systematic sample of the event-kind
+        # mix, taken from the packed ``kinds`` column (per kernel batch,
+        # never per event), with the phase carried across batches so the
+        # sampled positions match the whole-trace run's.
+        profile_stride = observe_profile.engine_sample_stride()
+        if profile_stride:
+            offset = (-self._n_processed) % profile_stride
+            sub = kinds[offset::profile_stride]
+            if sub.size:
+                samples = self._sample_counts
+                sampled_kinds, sample_counts = np.unique(
+                    sub, return_counts=True
+                )
+                for kind, count in zip(sampled_kinds, sample_counts):
+                    kind = int(kind)
+                    samples[kind] = samples.get(kind, 0) + int(count)
+
+        # -- event classes --------------------------------------------------
+        write_idx = np.flatnonzero(kinds == _WRITE)
+        op_idx = np.flatnonzero(kinds != _WRITE)
+        self._total_writes += int(write_idx.size)
+        n_ops = int(op_idx.size)
+        op_obj = col_a[op_idx]
+        op_begin = col_b[op_idx]
+        op_end = col_c[op_idx]
+        op_is_install = kinds[op_idx] == _INSTALL
+
+        # -- word ownership: one merged (endpoint + query) timeline ---------
+        op_word_counts = np.maximum((op_end - op_begin + 3) >> 2, 0)
+        ep_rows, ep_words = _expand_ranges(op_begin, op_word_counts, 4)
+        ep_events = op_idx[ep_rows]
+        ep_install = op_is_install[ep_rows].astype(np.int64)
+
+        write_begin = col_a[write_idx]
+        write_end = col_b[write_idx]
+        single = (write_end - write_begin) <= 4
+        q_words = write_begin[single]
+        q_events = write_idx[single]
+        multi_idx = np.flatnonzero(~single)
+        if multi_idx.size:
+            mw_begin = write_begin[multi_idx]
+            mw_counts = np.maximum((write_end[multi_idx] - mw_begin + 3) >> 2, 0)
+            mw_rows, mw_words = _expand_ranges(mw_begin, mw_counts, 4)
+            q_words = np.concatenate([q_words, mw_words])
+            q_events = np.concatenate([q_events, write_idx[multi_idx][mw_rows]])
+            is_multi_event = np.zeros(n, bool)
+            is_multi_event[write_idx[multi_idx]] = True
+
+        # Carried ownership enters the merge as pseudo-endpoints: one
+        # synthetic install (at event slot 0, before every real event)
+        # per carried word this chunk touches.  Untouched carried words
+        # stay in the table unchanged.
+        pseudo_words = _EMPTY_I64
+        pseudo_objs = _EMPTY_I64
+        if self._owned_words.size and (ep_words.size or q_words.size):
+            chunk_words = np.unique(np.concatenate([ep_words, q_words]))
+            found, pos = _find_sorted(self._owned_words, chunk_words)
+            pseudo_words = chunk_words[found]
+            pseudo_objs = self._owned_objs[pos[found]]
+
+        hits = self._hits
+        # Events are packed as ``e + 1`` so slot 0 is free for the
+        # pseudo-endpoints carrying pre-chunk ownership.
+        eb = _bits(n)
+        if ep_words.size or pseudo_words.size:
+            max_word = int(
+                max(
+                    ep_words.max(initial=0),
+                    q_words.max(initial=0),
+                    pseudo_words.max(initial=0),
+                    0,
+                )
+            )
+            if _bits(max_word) + eb + 2 > 63:
+                uniq = np.unique(
+                    np.concatenate([ep_words, q_words, pseudo_words])
+                )
+                ep_words = np.searchsorted(uniq, ep_words)
+                q_words = np.searchsorted(uniq, q_words)
+                pseudo_words = np.searchsorted(uniq, pseudo_words)
+                if _bits(uniq.size) + eb + 2 > 63:  # pragma: no cover
+                    raise PipelineError("trace too large for packed word keys")
+            # key = word | event+1 | is_install | is_query; events are
+            # unique per row, so (word, event) already orders the merge
+            # and pseudo-endpoints (event slot 0) lead their word group.
+            ep_keys = ((ep_words << eb | (ep_events + 1)) << 2) | (ep_install << 1)
+            q_keys = ((q_words << eb | (q_events + 1)) << 2) | 1
+            key = np.concatenate([ep_keys, (pseudo_words << (eb + 2)) | 2, q_keys])
+            key.sort()
+            isq = key & 1
+            # Rank of the latest endpoint at or before each row, indexing
+            # the compressed endpoint subsequence (-1 when none precedes).
+            ep_rank = np.cumsum(1 - isq, dtype=np.int64) - 1
+            ep_sub = key[isq == 0]
+
+            # Endpoint anomalies: previous endpoint on the same word has
+            # the same polarity (install over an owned word / remove of
+            # an unowned one).  Adjacent rows of the compressed endpoint
+            # subsequence are exactly "previous endpoint" pairs, with a
+            # pseudo-endpoint standing in for pre-chunk ownership; a
+            # pseudo row itself is always first of its group, so it is
+            # never flagged.
+            ep_inst = (ep_sub >> 1) & 1
+            ep_owned = np.empty(ep_sub.size, np.int64)
+            ep_owned[0] = 0
+            np.multiply(
+                (ep_sub[1:] >> (eb + 2)) == (ep_sub[:-1] >> (eb + 2)),
+                ep_inst[:-1],
+                out=ep_owned[1:],
+            )
+            self._overlap_anomalies += int(np.count_nonzero(ep_inst == ep_owned))
+
+            emask = (np.int64(1) << eb) - 1
+
+            def owners_of(ep_keys_sel: np.ndarray) -> np.ndarray:
+                """Owning object per selected endpoint row: real installs
+                name their op event (whose ``col_a`` is the object);
+                pseudo-endpoints resolve through the carried table."""
+                ev_field = (ep_keys_sel >> 2) & emask
+                owners = np.empty(ep_keys_sel.size, np.int64)
+                real = ev_field > 0
+                owners[real] = col_a[ev_field[real] - 1]
+                if not real.all():
+                    word_field = ep_keys_sel[~real] >> (eb + 2)
+                    owners[~real] = pseudo_objs[
+                        np.searchsorted(pseudo_words, word_field)
+                    ]
+                return owners
+
+            # Query owners: nearest preceding endpoint of the same word,
+            # if it is an install.
+            q_pos = np.flatnonzero(isq == 1)
+            if q_pos.size:
+                q_rank = ep_rank[q_pos]
+                epk = ep_sub[np.maximum(q_rank, 0)]
+                q_key = key[q_pos]
+                owned = (
+                    (q_rank >= 0)
+                    & ((epk >> (eb + 2)) == (q_key >> (eb + 2)))
+                    & ((epk & 2) != 0)
+                )
+                hit_objs = owners_of(epk[owned])
+                hit_events = ((q_key[owned] >> 2) & emask) - 1
+                if multi_idx.size:
+                    from_multi = is_multi_event[hit_events]
+                else:
+                    from_multi = np.zeros(hit_objs.size, bool)
+
+                # Single-word hits: one per (write, owning object) ->
+                # every member session, multiplicity kept.
+                single_objs = hit_objs[~from_multi]
+                if single_objs.size:
+                    membership.scatter_per_object(
+                        hits, np.bincount(single_objs, minlength=n_objects)
+                    )
+
+                # Multi-word hits: one per (write, session) however many
+                # member words were touched — dedupe (write, object),
+                # expand to sessions, dedupe (write, session): the
+                # scalar ``touched`` set.
+                if multi_idx.size and from_multi.any():
+                    ob = _bits(n_objects)
+                    pair_keys = np.unique(
+                        (hit_events[from_multi] << ob) | hit_objs[from_multi]
+                    )
+                    pair_objs = pair_keys & ((np.int64(1) << ob) - 1)
+                    expanded_rows, expanded_sessions = membership.expand(pair_objs)
+                    touched = np.unique(
+                        (pair_keys >> ob)[expanded_rows] * np.int64(n_sessions)
+                        + expanded_sessions
+                    )
+                    hits += np.bincount(
+                        touched % np.int64(n_sessions), minlength=n_sessions
+                    ).astype(np.int64)
+
+            # Carry-out: each word's *last* endpoint decides its
+            # post-chunk ownership (a pseudo-last means the chunk only
+            # queried the word — ownership unchanged).
+            gw = ep_sub >> (eb + 2)
+            last = np.empty(ep_sub.size, bool)
+            last[-1] = True
+            np.not_equal(gw[1:], gw[:-1], out=last[:-1])
+            last_keys = ep_sub[last]
+            still_owned = (last_keys & 2) != 0
+            final_keys = last_keys[still_owned]
+            final_words = final_keys >> (eb + 2)
+            final_objs = owners_of(final_keys)
+            touched_words = gw[last]
+            if max_word == 0 or _bits(max_word) + eb + 2 <= 63:
+                raw_touched = touched_words
+                raw_final = final_words
+            else:
+                raw_touched = uniq[touched_words]
+                raw_final = uniq[final_words]
+            self._owned_words, self._owned_objs = _merge_replace(
+                self._owned_words, self._owned_objs, raw_touched,
+                np.full(raw_touched.size, -1, np.int64),
+            )
+            # Two-step replace (clear touched, insert still-owned) keeps
+            # the helper simple; fold the still-owned back in.
+            if raw_final.size or self._owned_words.size:
+                cleared = self._owned_objs >= 0
+                base_words = self._owned_words[cleared]
+                base_objs = self._owned_objs[cleared]
+                if raw_final.size:
+                    merged_w = np.concatenate([base_words, raw_final])
+                    merged_o = np.concatenate([base_objs, final_objs])
+                    order = np.argsort(merged_w)
+                    self._owned_words = merged_w[order]
+                    self._owned_objs = merged_o[order]
+                else:
+                    self._owned_words = base_words
+                    self._owned_objs = base_objs
+
+        # -- install/remove tallies (per object, scattered to sessions) -----
+        if n_ops:
             membership.scatter_per_object(
-                hits, np.bincount(single_objs, minlength=n_objects)
+                self._installs,
+                np.bincount(op_obj[op_is_install], minlength=n_objects),
+            )
+            membership.scatter_per_object(
+                self._removes,
+                np.bincount(op_obj[~op_is_install], minlength=n_objects),
             )
 
-        # Multi-word hits: one per (write, session) however many member
-        # words were touched — dedupe (write, object), expand to
-        # sessions, dedupe (write, session): the scalar ``touched`` set.
-        if multi_idx.size and from_multi.any():
-            ob = _bits(n_objects)
-            pair_keys = np.unique(
-                (hit_events[from_multi] << ob) | hit_objs[from_multi]
+        # -- shared (op, member session) row expansion -----------------------
+        op_rows, op_sessions = membership.expand(op_obj)
+        n_rows = int(op_rows.size)
+        # Packed payload shared by every grouped sort below: parent op in
+        # the high bits (ops are event-ordered, so payload order IS event
+        # order within any group) and the install flag in bit 0.  Two
+        # rows of one group may share an op only via membership
+        # multiplicity, where the deltas are equal and relative order is
+        # irrelevant.
+        ob_bits = _bits(n_ops)
+        opc = (np.arange(n_ops, dtype=np.int64) << 1) | op_is_install
+        op_code = opc[op_rows] if n_rows else _EMPTY_I64
+
+        # -- max concurrent monitors per session ------------------------------
+        if n_rows:
+            key = (op_sessions << (ob_bits + 1)) | op_code
+            key.sort()
+            delta = ((key & 1) << 1) - 1
+            g_sess = key >> (ob_bits + 1)
+            first = _group_firsts(g_sess)
+            # The scalar engine never clamps active_now (removes
+            # decrement unconditionally) and raises the max only on
+            # installs; a group's running max is never attained at a
+            # non-leading remove row, so the carried-base-plus-group-max
+            # matches install-only peaks (the carried max already covers
+            # the base itself).
+            total = np.cumsum(delta, dtype=np.int64)
+            seg_starts = np.flatnonzero(first)
+            base = np.empty(seg_starts.size, np.int64)
+            base[0] = 0
+            base[1:] = total[seg_starts[1:] - 1]
+            seg_max = np.maximum.reduceat(total, seg_starts) - base
+            seg_ends = np.append(seg_starts[1:], key.size) - 1
+            seg_sum = total[seg_ends] - base
+            sess = g_sess[seg_starts]
+            base_active = self._active_now[sess]
+            self._max_active[sess] = np.maximum(
+                self._max_active[sess], base_active + seg_max
             )
-            pair_objs = pair_keys & ((np.int64(1) << ob) - 1)
-            expanded_rows, expanded_sessions = membership.expand(pair_objs)
-            touched = np.unique(
-                (pair_keys >> ob)[expanded_rows] * np.int64(n_sessions)
-                + expanded_sessions
-            )
-            hits += np.bincount(
-                touched % np.int64(n_sessions), minlength=n_sessions
-            ).astype(np.int64)
+            self._active_now[sess] = base_active + seg_sum
 
-    # -- install/remove tallies (per object, scattered to sessions) ---------
-    installs = np.zeros(n_sessions, np.int64)
-    removes = np.zeros(n_sessions, np.int64)
-    if n_ops:
-        membership.scatter_per_object(
-            installs,
-            np.bincount(op_obj[op_is_install], minlength=n_objects),
-        )
-        membership.scatter_per_object(
-            removes,
-            np.bincount(op_obj[~op_is_install], minlength=n_objects),
-        )
+        # -- per-page-size lazy accounting -------------------------------------
+        for i in range(len(self._page_sizes)):
+            shift = self._shifts[i]
+            write_pages = write_begin >> shift
+            if n_rows:
+                self._process_pages(
+                    i, op_idx, op_obj, op_begin, op_end, op_is_install,
+                    op_rows, op_sessions, op_code, ob_bits, n_ops,
+                    write_pages, write_idx, n,
+                )
+            # Fold the chunk's writes into the carried per-page counters
+            # *after* the transition queries consumed the pre-chunk base.
+            if write_pages.size:
+                upd_pages, upd_counts = np.unique(
+                    write_pages, return_counts=True
+                )
+                self._page_nums[i], self._page_counts[i] = _merge_add(
+                    self._page_nums[i], self._page_counts[i],
+                    upd_pages, upd_counts,
+                )
 
-    # -- shared (op, member session) row expansion ---------------------------
-    op_rows, op_sessions = membership.expand(op_obj)
-    n_rows = int(op_rows.size)
-    # Packed payload shared by every grouped sort below: parent op in the
-    # high bits (ops are event-ordered, so payload order IS event order
-    # within any group) and the install flag in bit 0.  Two rows of one
-    # group may share an op only via membership multiplicity, where the
-    # deltas are equal and relative order is irrelevant.
-    ob_bits = _bits(n_ops)
-    opc = (np.arange(n_ops, dtype=np.int64) << 1) | op_is_install
-    op_code = opc[op_rows] if n_rows else np.empty(0, np.int64)
-
-    # -- max concurrent monitors per session ---------------------------------
-    max_active = np.zeros(n_sessions, np.int64)
-    if n_rows:
-        key = (op_sessions << (ob_bits + 1)) | op_code
-        key.sort()
-        delta = ((key & 1) << 1) - 1
-        g_sess = key >> (ob_bits + 1)
-        first = _group_firsts(g_sess)
-        # The scalar engine never clamps active_now (removes decrement
-        # unconditionally) and raises the max only on installs; a group's
-        # running max is never attained at a non-leading remove row, so
-        # the plain group max (clamped at 0) matches install-only peaks.
-        total = np.cumsum(delta, dtype=np.int64)
-        seg_starts = np.flatnonzero(first)
-        base = np.empty(seg_starts.size, np.int64)
-        base[0] = 0
-        base[1:] = total[seg_starts[1:] - 1]
-        seg_max = np.maximum.reduceat(total, seg_starts) - base
-        max_active[g_sess[seg_starts]] = np.maximum(seg_max, 0)
-
-    # -- per-page-size lazy accounting ----------------------------------------
-    protects: List[np.ndarray] = []
-    unprotects: List[np.ndarray] = []
-    raw_active: List[np.ndarray] = []
-    for size in page_sizes:
-        shift = size.bit_length() - 1
-        prot = np.zeros(n_sessions, np.int64)
-        unprot = np.zeros(n_sessions, np.int64)
-        raw = np.zeros(n_sessions, np.int64)
-        protects.append(prot)
-        unprotects.append(unprot)
-        raw_active.append(raw)
-        if n_rows == 0:
-            continue
+    def _process_pages(
+        self, i, op_idx, op_obj, op_begin, op_end, op_is_install,
+        op_rows, op_sessions, op_code, ob_bits, n_ops,
+        write_pages, write_idx, n,
+    ) -> None:
+        """One page size's transition kernel over one chunk."""
+        shift = self._shifts[i]
+        n_sessions = self._n_sessions
+        sb = self._sb
+        membership = self._membership
 
         first_page = op_begin >> shift
         last_page = (op_end - 1) >> shift
-        write_pages = write_begin >> shift
         # Every (op, member session, page) row carries ``op_code`` — the
         # parent op id + install flag — as its sort payload: op order is
         # event order, and an op reaches a given (page, session) group at
@@ -433,7 +838,6 @@ def simulate_sessions_numpy(
         # entries are appended after the per-op ones.
         span = np.flatnonzero(last_page > first_page)
         max_page = int(last_page.max())
-        sb = _bits(n_sessions - 1)
         page_shifted = first_page << sb
         pair = page_shifted[op_rows] | op_sessions
         code = op_code
@@ -470,227 +874,202 @@ def simulate_sessions_numpy(
         if pair_ranks is not None:
             g_pair = pair_ranks[g_pair]
 
-        total = np.cumsum(2 * inst - 1, dtype=np.int64)
         starts = np.flatnonzero(first)
+        sizes = np.diff(np.append(starts, key.size))
+        start_pairs = g_pair[starts]
+        # Carried active counts seed each group's running sum — the
+        # cross-chunk merge for windows straddling a chunk boundary.
+        base_cnt = _gather_sorted(
+            self._pair_keys[i], self._pair_counts[i], start_pairs
+        )
+
+        total = np.cumsum(2 * inst - 1, dtype=np.int64)
         base = np.empty(starts.size, np.int64)
         base[0] = 0
         base[1:] = total[starts[1:] - 1]
-        sizes = np.diff(np.append(starts, key.size))
-        local = total - np.repeat(base, sizes)
-        if local.min(initial=0) >= 0:
+        count = total - np.repeat(base - base_cnt, sizes)
+        if count.min(initial=0) >= 0:
             # No dead-pair removes anywhere: a row is a 0 -> 1 protect or
             # a 1 -> 0 unprotect exactly when its post-count equals its
             # install flag.
-            count = local
-            trans = np.flatnonzero(local == inst)
+            trans = np.flatnonzero(count == inst)
         else:
             # Clamped path (anomalous trace): remove on a dead pair
             # counts one anomaly per affected pair per page size and
             # does not decrement.
             seg_id = np.cumsum(first, dtype=np.int64) - 1
-            big = np.int64(2 * key.size + 2)
-            shifted = local - seg_id * big
+            big = np.int64(2 * (key.size + int(base_cnt.max(initial=0))) + 2)
+            shifted = count - seg_id * big
             running_min = np.minimum.accumulate(shifted) + seg_id * big
-            count = local - np.minimum(running_min, 0)
+            count = count - np.minimum(running_min, 0)
             c_prev = np.empty(key.size, np.int64)
-            c_prev[0] = 0
             c_prev[1:] = count[:-1]
-            c_prev[first] = 0
+            c_prev[starts] = base_cnt
             t = c_prev + inst
             trans = np.flatnonzero(t == 1)
-            overlap_anomalies += int(np.count_nonzero(t == 0))
-
-        # Open windows at end of trace: the scalar engine's defensive
-        # flush closes them, charging the whole remaining page total.
-        ends = np.append(starts[1:], key.size) - 1
-        open_ends = ends[count[ends] > 0]
-        pair_open = g_pair[open_ends]
-        smask = (np.int64(1) << sb) - 1
-        sess_open = pair_open & smask
+            self._overlap_anomalies += int(np.count_nonzero(t == 0))
 
         inst_t = inst[trans]
         pair_t = g_pair[trans]
+        smask = (np.int64(1) << sb) - 1
         sess_t = pair_t & smask
-        prot += np.bincount(sess_t[inst_t == 1], minlength=n_sessions)
-        unprot += np.bincount(sess_t[inst_t == 0], minlength=n_sessions)
-        if open_ends.size:
-            unprot += np.bincount(sess_open, minlength=n_sessions)
+        self._prot[i] += np.bincount(sess_t[inst_t == 1], minlength=n_sessions)
+        self._unprot[i] += np.bincount(sess_t[inst_t == 0], minlength=n_sessions)
 
         # raw[s] telescopes over windows:  sum W(unprotect) -
-        # sum W(protect) + sum W_total(open page).  W is answered once
-        # per (op, page) by a single merge against the write rows, then
-        # gathered at transition rows straight off the op payload; open
-        # flushes only need whole-page write totals.
-        w = _writes_before(
-            write_pages, write_idx, q_pages, q_events, n_events
-        )
-        op_t = (key[trans] >> 1) & ((np.int64(1) << ob_bits) - 1)
-        w_idx = op_t
-        if x_keys is not None:
-            page_t = pair_t >> sb
-            is_extra = page_t != first_page[op_t]
-            if is_extra.any():
-                w_idx = op_t.copy()
-                w_idx[is_extra] = n_ops + np.searchsorted(
-                    x_keys, (op_t[is_extra] << pb) | page_t[is_extra]
+        # sum W(protect) + sum W_total(open page at end of trace).  W is
+        # answered once per (op, page) by a single merge against the
+        # chunk's write rows plus the carried per-page base, then
+        # gathered at transition rows straight off the op payload; the
+        # open-window flush happens at ``finish`` against the final
+        # carried counters.
+        if trans.size:
+            w = _writes_before(write_pages, write_idx, q_pages, q_events, n)
+            if self._page_nums[i].size:
+                w += _gather_sorted(
+                    self._page_nums[i], self._page_counts[i], q_pages
                 )
-        np.add.at(raw, sess_t, w[w_idx] * (1 - 2 * inst_t))
-        if open_ends.size:
-            page_open = pair_open >> sb
-            page_totals = np.bincount(
-                write_pages, minlength=int(page_open.max()) + 1
-            )
-            np.add.at(raw, sess_open, page_totals[page_open])
+            op_t = (key[trans] >> 1) & ((np.int64(1) << ob_bits) - 1)
+            w_idx = op_t
+            if x_keys is not None:
+                page_t = pair_t >> sb
+                is_extra = page_t != first_page[op_t]
+                if is_extra.any():
+                    w_idx = op_t.copy()
+                    w_idx[is_extra] = n_ops + np.searchsorted(
+                        x_keys, (op_t[is_extra] << pb) | page_t[is_extra]
+                    )
+            np.add.at(self._raw[i], sess_t, w[w_idx] * (1 - 2 * inst_t))
 
-    # -- result assembly (identical to the scalar engine) ---------------------
-    result = SimulationResult(
-        program=trace.meta.program,
-        meta=trace.meta,
-        page_sizes=tuple(page_sizes),
-        total_writes=total_writes,
-        overlap_anomalies=int(overlap_anomalies),
-    )
-    for session in sessions:
-        s = session.index
-        if hits[s] == 0:
-            result.n_discarded += 1
-            continue
-        counting = CountingVariables(
-            installs=int(installs[s]),
-            removes=int(removes[s]),
-            hits=int(hits[s]),
-            misses=total_writes - int(hits[s]),
-            max_concurrent=int(max_active[s]),
+        # Carry-out: each group's final count replaces the carried pair
+        # entry (zeros drop out — a zero-count pair is indistinguishable
+        # from an absent one, exactly like the scalar dict).
+        ends = np.append(starts[1:], key.size) - 1
+        self._pair_keys[i], self._pair_counts[i] = _merge_replace(
+            self._pair_keys[i], self._pair_counts[i],
+            start_pairs, count[ends], drop_zero=True,
         )
-        for i, size in enumerate(page_sizes):
-            counting.vm[size] = VmPageCounts(
-                protects=int(protects[i][s]),
-                unprotects=int(unprotects[i][s]),
-                active_page_misses=max(int(raw_active[i][s]) - int(hits[s]), 0),
-            )
-        result.sessions.append(session)
-        result.counts.append(counting)
 
-    if observing:
-        elapsed = time.perf_counter() - start_time
-        observe.inc("engine.runs")
-        observe.inc("engine.events", n_events)
-        observe.inc("engine.writes", total_writes)
-        observe.inc(
-            "engine.session_updates",
-            int(installs.sum() + removes.sum() + hits.sum()),
-        )
-        observe.inc(
-            "engine.page_transitions",
-            int(sum(p.sum() + u.sum() for p, u in zip(protects, unprotects))),
-        )
-        observe.inc("engine.sessions_studied", len(result.sessions))
-        observe.inc("engine.sessions_discarded", result.n_discarded)
-        observe.note("engine.backend", "numpy")
-        if elapsed > 0:
-            observe.observe_value("engine.events_per_sec", n_events / elapsed)
-
-    # Same post-pass sampling contract as the scalar engine.
-    profile_stride = observe_profile.engine_sample_stride()
-    if profile_stride:
-        sampled_kinds, sample_counts = np.unique(
-            kinds[::profile_stride], return_counts=True
-        )
-        event_samples: Dict[int, int] = {
-            int(kind): int(count)
-            for kind, count in zip(sampled_kinds, sample_counts)
-        }
-        if event_samples:
-            observe_profile.get_profiler().record_engine(event_samples)
-    return result
-
-
-class VectorSimulationStream:
-    """The NumPy backend's ``feed``/``finish`` adapter.
-
-    The vectorized engine is a whole-trace algorithm — its packed-key
-    sorts and grouped running sums need every event at once — so this
-    stream *accumulates* chunk columns and runs
-    :func:`simulate_sessions_numpy` over their concatenation at
-    :meth:`finish`.  It keeps the streaming API uniform across backends
-    (and overlaps phase 1 with chunk transport and checksum
-    verification), but unlike the scalar
-    :class:`~repro.simulate.engine.SimulationStream` its memory grows
-    with the trace: peak ~= the full columns plus one chunk.  For
-    bounded-memory replay of a larger-than-RAM trace, use
-    ``engine="python"``.
-    """
-
-    def __init__(
-        self,
-        registry: ObjectRegistry,
-        sessions: Sequence[SessionDef],
-        page_sizes: Sequence[int] = (4096, 8192),
-    ) -> None:
-        if len(sessions) == 0:
-            raise PipelineError("no sessions to simulate")
-        validate_page_sizes(page_sizes)
-        self._registry = registry
-        self._sessions = list(sessions)
-        self._page_sizes = tuple(page_sizes)
-        self._kinds: List[np.ndarray] = []
-        self._col_a: List[np.ndarray] = []
-        self._col_b: List[np.ndarray] = []
-        self._col_c: List[np.ndarray] = []
-        self._n_events = 0
-        self._next_seq = 0
-        self._finished = False
-
-    def feed(self, kinds, col_a, col_b, col_c) -> None:
-        """Buffer the next batch of events (any split point is legal)."""
-        if self._finished:
-            raise PipelineError("feed() on a finished simulation stream")
-        kinds = np.ascontiguousarray(kinds, dtype=np.int8)
-        self._kinds.append(kinds)
-        self._col_a.append(np.ascontiguousarray(col_a, dtype=np.int64))
-        self._col_b.append(np.ascontiguousarray(col_b, dtype=np.int64))
-        self._col_c.append(np.ascontiguousarray(col_c, dtype=np.int64))
-        self._n_events += int(kinds.size)
-
-    def feed_chunk(self, chunk, verify: bool = True) -> None:
-        """Buffer one :class:`~repro.trace.stream.TraceChunk`, enforcing
-        sequence order and (with ``verify``) its framing checksums."""
-        if chunk.seq != self._next_seq:
-            raise PipelineError(
-                f"chunk {chunk.seq} fed out of order; expected "
-                f"{self._next_seq}"
-            )
-        self._next_seq += 1
-        if verify:
-            chunk.verify()
-        self.feed(chunk.kinds, chunk.col_a, chunk.col_b, chunk.col_c)
-
-    @property
-    def events_fed(self) -> int:
-        return self._n_events
+    # -- finish -------------------------------------------------------------
 
     def finish(self, meta, expected_events: Optional[int] = None):
-        """Concatenate the buffered columns and run the vectorized pass."""
+        """Flush open windows and assemble the :class:`SimulationResult`.
+
+        ``expected_events`` (when known — e.g. from a trace file's
+        footer or a completed tracer's meta) guards against a silently
+        truncated stream.
+        """
         if self._finished:
             raise PipelineError("finish() on a finished simulation stream")
         self._finished = True
+        observing = self._observing
+        finish_start = time.perf_counter() if observing else 0.0
         if expected_events is not None and self._n_events != expected_events:
             raise PipelineError(
                 f"truncated chunk stream: fed {self._n_events} events, "
                 f"expected {expected_events}"
             )
-        if self._kinds:
-            kinds = np.concatenate(self._kinds)
-            col_a = np.concatenate(self._col_a)
-            col_b = np.concatenate(self._col_b)
-            col_c = np.concatenate(self._col_c)
-        else:
-            kinds = np.empty(0, dtype=np.int8)
-            col_a = np.empty(0, dtype=np.int64)
-            col_b = np.empty(0, dtype=np.int64)
-            col_c = np.empty(0, dtype=np.int64)
-        self._kinds = self._col_a = self._col_b = self._col_c = []
-        trace = EventTrace.from_arrays(kinds, col_a, col_b, col_c, meta)
-        return simulate_sessions_numpy(
-            trace, self._registry, self._sessions, self._page_sizes
+        self._flush_pending()
+
+        n_sessions = self._n_sessions
+        hits = self._hits
+        total_writes = self._total_writes
+        sb = self._sb
+        smask = (np.int64(1) << sb) - 1
+        # Defensive flush: close any windows the trace left open,
+        # charging each open (page, session) pair the whole remaining
+        # page total (its -W(protect) term was accumulated when the
+        # window opened, in whichever chunk that was).
+        for i in range(len(self._page_sizes)):
+            open_pairs = self._pair_keys[i]
+            if open_pairs.size == 0:
+                continue
+            sess_open = open_pairs & smask
+            pages_open = open_pairs >> sb
+            self._unprot[i] += np.bincount(sess_open, minlength=n_sessions)
+            np.add.at(
+                self._raw[i], sess_open,
+                _gather_sorted(
+                    self._page_nums[i], self._page_counts[i], pages_open
+                ),
+            )
+
+        # -- result assembly (identical to the scalar engine) -----------------
+        result = SimulationResult(
+            program=meta.program,
+            meta=meta,
+            page_sizes=self._page_sizes,
+            total_writes=total_writes,
+            overlap_anomalies=int(self._overlap_anomalies),
         )
+        for session in self._sessions:
+            s = session.index
+            if hits[s] == 0:
+                result.n_discarded += 1
+                continue
+            counting = CountingVariables(
+                installs=int(self._installs[s]),
+                removes=int(self._removes[s]),
+                hits=int(hits[s]),
+                misses=total_writes - int(hits[s]),
+                max_concurrent=int(self._max_active[s]),
+            )
+            for i, size in enumerate(self._page_sizes):
+                counting.vm[size] = VmPageCounts(
+                    protects=int(self._prot[i][s]),
+                    unprotects=int(self._unprot[i][s]),
+                    active_page_misses=max(
+                        int(self._raw[i][s]) - int(hits[s]), 0
+                    ),
+                )
+            result.sessions.append(session)
+            result.counts.append(counting)
+
+        if observing:
+            elapsed = self._elapsed + (time.perf_counter() - finish_start)
+            n_events = self._n_events
+            observe.inc("engine.runs")
+            observe.inc("engine.events", n_events)
+            observe.inc("engine.writes", total_writes)
+            observe.inc(
+                "engine.session_updates",
+                int(self._installs.sum() + self._removes.sum() + hits.sum()),
+            )
+            observe.inc(
+                "engine.page_transitions",
+                int(sum(
+                    p.sum() + u.sum()
+                    for p, u in zip(self._prot, self._unprot)
+                )),
+            )
+            observe.inc("engine.sessions_studied", len(result.sessions))
+            observe.inc("engine.sessions_discarded", result.n_discarded)
+            observe.note("engine.backend", "numpy")
+            if elapsed > 0:
+                observe.observe_value(
+                    "engine.events_per_sec", n_events / elapsed
+                )
+        # Same post-pass sampling contract as the scalar engine.
+        if self._sample_counts:
+            observe_profile.get_profiler().record_engine(self._sample_counts)
+        return result
+
+
+def simulate_sessions_numpy(
+    trace: EventTrace,
+    registry: ObjectRegistry,
+    sessions: Sequence[SessionDef],
+    page_sizes: Sequence[int] = (4096, 8192),
+) -> SimulationResult:
+    """Vectorized phase 2; drop-in equivalent of the scalar engine.
+
+    This is :class:`VectorSimulationStream` fed the whole trace in one
+    call — the streamed path runs the same chunk kernels, which is what
+    makes the two bit-identical by construction.  See the module
+    docstring for the algorithm and
+    :func:`repro.simulate.simulate_sessions` for backend selection.
+    """
+    stream = VectorSimulationStream(registry, sessions, page_sizes)
+    columns = trace.as_arrays()
+    stream.feed(columns.kinds, columns.col_a, columns.col_b, columns.col_c)
+    return stream.finish(trace.meta)

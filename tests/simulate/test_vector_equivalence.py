@@ -290,6 +290,113 @@ class TestStreamingDifferential:
         with pytest.raises(TraceFormatError, match="checksum"):
             stream.feed_chunk(tampered)
 
+    def _stream_at_splits(self, trace, registry, sessions, page_sizes,
+                          splits, stream_cls):
+        """Replay ``trace`` through a simulation stream, fed as the
+        column slices between consecutive ``splits`` (any monotone
+        sequence over [0, n]; repeated positions feed empty batches)."""
+        columns = trace.as_arrays()
+        stream = stream_cls(registry, sessions, page_sizes)
+        bounds = [0, *splits, len(trace)]
+        for begin, end in zip(bounds[:-1], bounds[1:]):
+            stream.feed(
+                columns.kinds[begin:end], columns.col_a[begin:end],
+                columns.col_b[begin:end], columns.col_c[begin:end],
+            )
+        return stream.finish(trace.meta, expected_events=len(trace))
+
+    def test_randomized_split_points(self):
+        """Arbitrary feed boundaries — empty batches, 1-event batches,
+        windows straddling splits — leave streamed-numpy == batch-numpy
+        == scalar, bit-identically."""
+        for seed in range(25):
+            trace, registry, sessions = build_random(seed)
+            rng = random.Random(1000 + seed)
+            n = len(trace)
+            splits = sorted(
+                rng.choice([rng.randint(0, n), 0, n, rng.randint(0, n)])
+                for _ in range(rng.randint(0, 8))
+            )
+            scalar = simulate_python(trace, registry, sessions, (4096, 16))
+            batch_np = simulate_sessions_numpy(
+                trace, registry, sessions, (4096, 16)
+            )
+            assert_identical(scalar, batch_np)
+            for stream_cls in (SimulationStream, VectorSimulationStream):
+                streamed = self._stream_at_splits(
+                    trace, registry, sessions, (4096, 16), splits, stream_cls
+                )
+                assert_identical(scalar, streamed)
+                assert_invariants(streamed)
+
+    def test_window_straddles_every_boundary(self):
+        """Sweep every split point of a trace whose protect windows,
+        overlap anomaly, and EOF-open window all straddle chunks."""
+        registry = ObjectRegistry()
+        for _ in range(3):
+            registry.heap("f", ("main", "f"), 16)
+        trace = EventTrace(TraceMeta(program="straddle"))
+        trace.append_install(0, 100, 116)
+        trace.append_write(104, 108)        # hit on obj 0
+        trace.append_write(200, 204)        # miss
+        trace.append_install(1, 108, 124)   # overlaps obj 0: anomaly
+        trace.append_write(112, 116)        # owner now obj 1
+        trace.append_write(100, 124)        # multi-word write, both pages
+        trace.append_remove(0, 100, 116)
+        trace.append_write(104, 108)
+        trace.append_install(2, 0, 16)
+        trace.append_write(4, 8)
+        trace.append_remove(1, 108, 124)
+        trace.append_write(112, 116)        # obj 2 still open at EOF
+        sessions = [
+            SessionDef(0, ONE_HEAP, "s0", (0,)),
+            SessionDef(1, ONE_HEAP, "s1", (1,)),
+            SessionDef(2, ALL_HEAP_IN_FUNC, "s2", (0, 1, 2)),
+        ]
+        page_sizes = (4096, 16)
+        scalar = simulate_python(trace, registry, sessions, page_sizes)
+        assert scalar.overlap_anomalies > 0
+        for split in range(len(trace) + 1):
+            for stream_cls in (SimulationStream, VectorSimulationStream):
+                streamed = self._stream_at_splits(
+                    trace, registry, sessions, page_sizes, [split],
+                    stream_cls,
+                )
+                assert_identical(scalar, streamed)
+
+    @pytest.mark.parametrize("stream_cls", [
+        SimulationStream, VectorSimulationStream,
+    ], ids=["python", "numpy"])
+    def test_empty_feeds_are_noops(self, stream_cls):
+        trace, registry, sessions = build_random(7)
+        batch = simulate_python(trace, registry, sessions, (4096,))
+        columns = trace.as_arrays()
+        stream = stream_cls(registry, sessions, (4096,))
+        stream.feed([], [], [], [])
+        mid = len(trace) // 2
+        stream.feed(columns.kinds[:mid], columns.col_a[:mid],
+                    columns.col_b[:mid], columns.col_c[:mid])
+        stream.feed([], [], [], [])
+        stream.feed(columns.kinds[mid:], columns.col_a[mid:],
+                    columns.col_b[mid:], columns.col_c[mid:])
+        stream.feed([], [], [], [])
+        streamed = stream.finish(trace.meta, expected_events=len(trace))
+        assert_identical(batch, streamed)
+
+    @pytest.mark.parametrize("stream_cls", [
+        SimulationStream, VectorSimulationStream,
+    ], ids=["python", "numpy"])
+    def test_mismatched_column_lengths_rejected(self, stream_cls):
+        """Regression: ragged feeds used to be accepted silently (the
+        scalar zip truncated; the vector stream deferred the mismatch)."""
+        trace, registry, sessions = build_random(7)
+        stream = stream_cls(registry, sessions, (4096,))
+        with pytest.raises(PipelineError, match="ragged feed"):
+            stream.feed([1, 1], [4, 8], [8, 12], [0])
+        stream = stream_cls(registry, sessions, (4096,))
+        with pytest.raises(PipelineError, match="ragged feed"):
+            stream.feed([1], [4, 8], [8], [0])
+
     def test_simulate_chunks_auto_engine_unknown_size(self):
         # With no size hint the dispatcher must still pick a valid
         # engine (numpy) and match the batch result.

@@ -6,15 +6,18 @@ events-per-second on a synthetic trace with a realistic event mix
 (~75% writes, ~25% install/remove) and overlapping multi-member
 sessions.
 
-Both backends run over the same trace, so the two benchmark rows are the
-speedup measurement: ``numpy`` vs the scalar ``python`` reference (which
-the differential suite keeps bit-identical).
+All backends run over the same trace, so the benchmark rows are the
+speedup measurement: ``numpy`` and the compiled ``native`` kernel vs
+the scalar ``python`` reference (which the differential suite keeps
+bit-identical).  The native row self-skips on boxes without a C
+toolchain.
 """
 
 import pytest
 
 from repro.sessions.types import SessionDef, ONE_HEAP, ALL_HEAP_IN_FUNC
 from repro.simulate import simulate_sessions
+from repro.simulate._native import native_available
 from repro.trace import EventTrace, ObjectRegistry
 
 N_OBJECTS = 40
@@ -69,7 +72,12 @@ def _build_trace():
     return trace, registry, sessions
 
 
-@pytest.mark.parametrize("engine", ["python", "numpy"])
+@pytest.mark.parametrize("engine", [
+    "python",
+    "numpy",
+    pytest.param("native", marks=pytest.mark.skipif(
+        not native_available(), reason="native kernel unavailable")),
+])
 def test_engine_throughput(benchmark, engine):
     trace, registry, sessions = _build_trace()
     result = benchmark(

@@ -30,7 +30,9 @@ from repro.experiments import pipeline as pipeline_module
 from repro.experiments.pipeline import ExperimentConfig, load_program_data
 from repro.faults import faultpoint
 from repro.simulate import engine as engine_module
+from repro.simulate import native_engine as native_engine_module
 from repro.simulate import vector_engine as vector_engine_module
+from repro.trace import shared as shared_module
 from repro.trace import tracefile as tracefile_module
 
 N_TIMING_ROUNDS = 5
@@ -52,10 +54,13 @@ def no_plan():
     faults.clear_plan()
 
 
-@pytest.mark.parametrize("module", [engine_module, vector_engine_module])
+@pytest.mark.parametrize("module", [
+    engine_module, vector_engine_module, native_engine_module, shared_module,
+])
 def test_engines_carry_no_faultpoints(module):
     """Faultpoints belong on recovery boundaries (cache, I/O, workers),
-    never inside the per-event simulation loop."""
+    never inside the per-event simulation loop — nor in the native
+    kernel's marshalling layer or the shm data plane."""
     assert "faultpoint" not in inspect.getsource(module)
 
 

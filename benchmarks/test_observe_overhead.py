@@ -27,8 +27,10 @@ import pytest
 from repro import observe
 from repro.observe import profile as observe_profile
 from repro.simulate import engine as engine_module
+from repro.simulate import native_engine as native_engine_module
 from repro.simulate import vector_engine as vector_engine_module
 from repro.simulate import simulate_sessions
+from repro.simulate._native import native_available
 
 from test_engine_throughput import _build_trace
 
@@ -39,7 +41,15 @@ MAX_DISABLED_OVERHEAD = 1.03
 _BACKEND_MODULES = {
     "python": engine_module,
     "numpy": vector_engine_module,
+    "native": native_engine_module,
 }
+
+ENGINES = [
+    "python",
+    "numpy",
+    pytest.param("native", marks=pytest.mark.skipif(
+        not native_available(), reason="native kernel unavailable")),
+]
 
 
 class _InertObserve:
@@ -62,7 +72,7 @@ def quiet_registry():
     observe.reset()
 
 
-@pytest.mark.parametrize("engine", ["python", "numpy"])
+@pytest.mark.parametrize("engine", ENGINES)
 def test_disabled_run_records_nothing(quiet_registry, engine):
     trace, registry, sessions = _build_trace()
     simulate_sessions(trace, registry, sessions, (4096, 8192), engine=engine)
@@ -72,7 +82,7 @@ def test_disabled_run_records_nothing(quiet_registry, engine):
     assert snapshot["spans"] == []
 
 
-@pytest.mark.parametrize("engine", ["python", "numpy"])
+@pytest.mark.parametrize("engine", ENGINES)
 def test_disabled_profiling_records_nothing(quiet_registry, engine):
     """The sampling profiler shares the disabled-path contract."""
     observe_profile.disable_profiling()
@@ -82,7 +92,7 @@ def test_disabled_profiling_records_nothing(quiet_registry, engine):
     assert observe_profile.get_profiler().engine_events == {}
 
 
-@pytest.mark.parametrize("engine", ["python", "numpy"])
+@pytest.mark.parametrize("engine", ENGINES)
 def test_enabled_profiling_samples_the_event_mix(quiet_registry, engine):
     trace, registry, sessions = _build_trace()
     observe_profile.enable_profiling(stride=100)
@@ -97,7 +107,7 @@ def test_enabled_profiling_samples_the_event_mix(quiet_registry, engine):
     assert sum(samples.values()) == len(trace.kinds[::100])
 
 
-@pytest.mark.parametrize("engine", ["python", "numpy"])
+@pytest.mark.parametrize("engine", ENGINES)
 def test_enabled_run_records_engine_counters(quiet_registry, engine):
     """Both backends report the same run-level counters — and the same
     ``engine.events_per_sec`` histogram — so manifests from either are
@@ -119,7 +129,7 @@ def test_enabled_run_records_engine_counters(quiet_registry, engine):
     assert quiet_registry.histogram("engine.events_per_sec").count == 1
 
 
-@pytest.mark.parametrize("engine", ["python", "numpy"])
+@pytest.mark.parametrize("engine", ENGINES)
 def test_disabled_events_record_nothing(quiet_registry, engine):
     """The flight recorder shares the disabled-path contract: with events
     off, ``emit`` is one flag check and the ring stays empty."""
@@ -133,7 +143,7 @@ def test_disabled_events_record_nothing(quiet_registry, engine):
     assert observe.events_summary() is None
 
 
-@pytest.mark.parametrize("engine", ["python", "numpy"])
+@pytest.mark.parametrize("engine", ENGINES)
 def test_enabled_events_stay_out_of_the_hot_loop(quiet_registry, engine):
     """Events mark pipeline boundaries, never per-event engine work: an
     engine run with the recorder armed must emit zero events."""
@@ -147,7 +157,7 @@ def test_enabled_events_stay_out_of_the_hot_loop(quiet_registry, engine):
         observe.disable_events()
 
 
-@pytest.mark.parametrize("engine", ["python", "numpy"])
+@pytest.mark.parametrize("engine", ENGINES)
 def test_disabled_path_overhead_under_3_percent(quiet_registry, monkeypatch,
                                                 engine):
     trace, registry, sessions = _build_trace()

@@ -37,6 +37,7 @@ import pytest
 from repro import observe
 from repro.sessions.types import SessionDef, ONE_HEAP, ALL_HEAP_IN_FUNC
 from repro.simulate import open_simulation_stream, simulate_sessions
+from repro.simulate._native import native_available
 from repro.trace import EventTrace, ObjectRegistry, load_trace
 from repro.trace.stream import ChunkChannel, peak_resident_chunks
 from repro.trace.tracefile import TraceStreamReader, save_trace_chunked
@@ -48,7 +49,12 @@ STRIDE = 256
 CHUNK_EVENTS = 4_096
 CHANNEL_CAPACITY = 4
 PAGE_SIZES = (4096, 8192)
-ENGINES = ("python", "numpy")
+ENGINES = (
+    "python",
+    "numpy",
+    pytest.param("native", marks=pytest.mark.skipif(
+        not native_available(), reason="native kernel unavailable")),
+)
 
 
 def _build_trace(n_events=N_EVENTS):

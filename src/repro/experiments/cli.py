@@ -343,8 +343,16 @@ def _diff_history(path: str) -> int:
     lines = [
         f"History diff — {path} "
         f"({before.manifest_digest} -> {after.manifest_digest})",
-        f"  {'metric':<34} {'before':>12} {'after':>12} {'change':>9}",
     ]
+    if before.env_digest != after.env_digest:
+        lines.append(
+            f"  note: environment changed ({before.env_digest} -> "
+            f"{after.env_digest}); changes below reflect the host as "
+            f"much as the code"
+        )
+    lines.append(
+        f"  {'metric':<34} {'before':>12} {'after':>12} {'change':>9}"
+    )
     flat_before = _flatten_headline(before.headline)
     flat_after = _flatten_headline(after.headline)
     for metric in sorted(set(flat_before) | set(flat_after)):

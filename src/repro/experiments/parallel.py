@@ -49,8 +49,10 @@ returned dict preserves the configured program order).
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Dict, List, Optional
@@ -67,7 +69,11 @@ from repro.experiments.pipeline import (
     load_program_data,
     load_programs_serial,
     retry_backoff_s,
+    sim_cache_path,
+    trace_cache_path,
 )
+from repro.trace import load_trace, publish_trace
+from repro.workloads import WORKLOADS
 
 __all__ = ["load_experiment_data_parallel"]
 from repro.observe.spans import SpanRecord
@@ -75,6 +81,131 @@ from repro.observe.spans import SpanRecord
 #: After this many pool recreations the pipeline stops trusting the pool
 #: and runs the remaining programs serially in the parent.
 MAX_POOL_RECREATIONS = 2
+
+#: How long a task waits (per scheduler pass) for its trace publication
+#: before being re-polled; dispatch is gated, never blocked.
+PUBLISH_POLL_S = 0.05
+
+
+class _TracePublisher:
+    """Parent-side shared-memory trace publication for the worker pool.
+
+    For every program whose simulation cache is cold but whose trace
+    cache is warm, the parent decompresses the ``.npz`` **once** (on a
+    small thread pool, overlapping with dispatch of other programs) and
+    publishes the columns into a shared-memory segment
+    (:func:`repro.trace.publish_trace`).  Workers receive the picklable
+    handle and attach zero-copy instead of each unpickling a private
+    trace — and a retried worker reattaches to the same segment for
+    free.
+
+    Publication is strictly best-effort: a missing trace entry, a
+    failed load, or an shm-less platform just means the task is
+    dispatched without a handle and the worker uses the disk path.
+    Segment lifetime is owned here — :meth:`release` per finished
+    program plus :meth:`close` from the scheduler's ``finally`` —
+    so injected worker crashes and watchdog kills cannot leak
+    ``/dev/shm`` segments (certified by ``tests/faults/``).
+    """
+
+    #: poll() states
+    NONE = "none"          #: nothing published and nothing in flight
+    PENDING = "pending"    #: publication still running: hold dispatch
+    READY = "ready"        #: handle available
+
+    def __init__(self, config: ExperimentConfig, names: List[str]) -> None:
+        self._lock = threading.Lock()
+        self._owners: Dict[str, object] = {}
+        self._futures: Dict[str, Future] = {}
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._closed = False
+        if not config.use_cache or config.stream:
+            # Stream mode never materializes whole traces; without the
+            # cache there is nothing on disk to publish from.
+            return
+        jobs = []
+        for name in names:
+            workload = WORKLOADS.get(name)
+            if workload is None:
+                continue
+            scale = config.scale_of(workload)
+            if sim_cache_path(workload, scale, config).exists():
+                continue  # worker will hit the sim cache; no trace needed
+            trace_path = trace_cache_path(workload, scale, config)
+            if not trace_path.exists():
+                continue  # phase 1 runs in the worker; nothing to share
+            jobs.append((name, trace_path))
+        if not jobs:
+            return
+        self._executor = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix="trace-publish"
+        )
+        for name, trace_path in jobs:
+            self._futures[name] = self._executor.submit(
+                self._publish_one, name, trace_path
+            )
+
+    def _publish_one(self, name: str, trace_path) -> Optional[object]:
+        try:
+            trace, registry = load_trace(trace_path)
+            owner = publish_trace(trace, registry)
+        except Exception as exc:
+            observe.inc("trace.shm.publish_failed")
+            observe.emit_event(
+                "trace.shm.publish_failed", "WARNING", program=name,
+                error=type(exc).__name__,
+            )
+            return None
+        observe.inc("trace.shm.published")
+        observe.inc("trace.shm.bytes", owner.nbytes)
+        observe.emit_event(
+            "trace.shm.publish", program=name, segment=owner.name,
+            events=owner.handle.n_events, bytes=owner.nbytes,
+        )
+        with self._lock:
+            if self._closed:
+                owner.close()
+                return None
+            self._owners[name] = owner
+        return owner
+
+    def poll(self, name: str):
+        """(state, handle) for ``name``; never blocks."""
+        future = self._futures.get(name)
+        if future is None:
+            return self.NONE, None
+        if not future.done():
+            return self.PENDING, None
+        owner = self._owners.get(name)
+        if owner is None:
+            return self.NONE, None
+        return self.READY, owner.handle
+
+    def release(self, name: str) -> None:
+        """Unlink ``name``'s segment (no-op when none was published)."""
+        with self._lock:
+            owner = self._owners.pop(name, None)
+        if owner is not None:
+            owner.close()
+            observe.inc("trace.shm.released")
+            observe.emit_event("trace.shm.release", program=name,
+                               segment=owner.name)
+
+    def close(self) -> None:
+        """Release everything; safe to call multiple times."""
+        with self._lock:
+            self._closed = True
+            owners = list(self._owners.items())
+            self._owners.clear()
+        for future in self._futures.values():
+            future.cancel()
+        for name, owner in owners:
+            owner.close()
+            observe.inc("trace.shm.released")
+            observe.emit_event("trace.shm.release", program=name,
+                               segment=owner.name)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
 
 
 def _run_worker(
@@ -87,6 +218,7 @@ def _run_worker(
     attempt: int,
     events_on: bool = False,
     run_id: str = "",
+    shared_trace=None,
 ):
     """Pool target: one program's phase 1 + phase 2 in a fresh process.
 
@@ -97,7 +229,10 @@ def _run_worker(
     clauses default to firing on attempt 1 only, so a retried worker
     recovers deterministically.  With ``events_on`` the worker records
     flight-recorder events under the parent's ``run_id`` (no sink of its
-    own); they ride home inside the snapshot.
+    own); they ride home inside the snapshot.  ``shared_trace`` is the
+    parent-published :class:`~repro.trace.SharedTraceHandle` for this
+    program (or ``None``); when present the worker attaches zero-copy
+    instead of unpickling the trace from the disk cache.
     """
     origin = time.perf_counter()
     # Start from a clean slate whatever the start method: a forked child
@@ -127,7 +262,7 @@ def _run_worker(
     # Workers run quiet: interleaved per-event progress from N processes
     # is noise; the parent reports dispatch/completion per program.
     faults.faultpoint("worker.start", program=name)
-    data = load_program_data(name, config)
+    data = load_program_data(name, config, shared_trace=shared_trace)
     faults.faultpoint("worker.mid", program=name)
     snapshot = observe.dump_snapshot() if (observing or events_on) else None
     return data, origin, snapshot
@@ -244,6 +379,7 @@ def load_experiment_data_parallel(
     fault_seed = plan.seed if plan is not None else 0
 
     max_attempts = max(1, retries + 1)
+    publisher = _TracePublisher(config, names)
     tasks = [_Task(name) for name in names]
     pending: List[_Task] = list(tasks)
     running: Dict[Future, _Task] = {}
@@ -286,6 +422,7 @@ def load_experiment_data_parallel(
             "program.failed", "ERROR", program=task.name, error=record.error,
             attempts=record.attempts, kept_going=keep_going,
         )
+        publisher.release(task.name)
         if keep_going:
             if failures is not None:
                 failures.append(record)
@@ -339,6 +476,9 @@ def load_experiment_data_parallel(
                     "pool.serial_fallback", "WARNING",
                     recreations=recreations, remaining=",".join(remaining),
                 )
+                # The serial path loads from disk in-process; free the
+                # shared segments before doubling trace memory.
+                publisher.close()
                 pending.clear()
                 data.update(load_programs_serial(
                     config, remaining, progress, retries=retries,
@@ -353,6 +493,14 @@ def load_experiment_data_parallel(
                 if task.not_before > now:
                     still_waiting.append(task)
                     continue
+                publish_state, shared_handle = publisher.poll(task.name)
+                if publish_state == _TracePublisher.PENDING:
+                    # The parent is still loading this program's trace
+                    # into shared memory; hold the task briefly rather
+                    # than dispatch a worker that would re-read the disk.
+                    task.not_before = now + PUBLISH_POLL_S
+                    still_waiting.append(task)
+                    continue
                 if pool is None:
                     pool = ProcessPoolExecutor(max_workers=jobs)
                 if not task.started:
@@ -361,6 +509,7 @@ def load_experiment_data_parallel(
                 future = pool.submit(
                     _run_worker, task.name, config, observing, profile_stride,
                     fault_spec, fault_seed, attempt, events_on, run_id,
+                    shared_handle,
                 )
                 running[future] = task
                 submit_s[future] = time.perf_counter()
@@ -413,6 +562,7 @@ def load_experiment_data_parallel(
                     continue
                 done_s = time.perf_counter()
                 data[task.name] = program_data
+                publisher.release(task.name)
                 if progress:
                     progress(
                         f"[{task.name}] worker finished in "
@@ -492,6 +642,9 @@ def load_experiment_data_parallel(
             _kill_pool(pool)
         elif pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
+        # Segment cleanup must survive every exit path — abort, watchdog
+        # kill, broken pool, chaos-injected crashes — or /dev/shm leaks.
+        publisher.close()
 
     # Completion order is nondeterministic; hand back configured order.
     return {name: data[name] for name in names if name in data}

@@ -198,6 +198,19 @@ def _workload_key(workload: Workload, scale: int) -> str:
     return f"{workload.name}-s{scale}-v{_CACHE_VERSION}-{digest}"
 
 
+def trace_cache_path(workload: Workload, scale: int,
+                     config: ExperimentConfig) -> Path:
+    """Where this (workload, scale) pair's trace cache entry lives."""
+    return config.cache_dir / f"{_workload_key(workload, scale)}.npz"
+
+
+def sim_cache_path(workload: Workload, scale: int,
+                   config: ExperimentConfig) -> Path:
+    """Where this pair's simulation cache entry lives (per page sizes)."""
+    sizes = "-".join(str(size) for size in config.page_sizes)
+    return config.cache_dir / f"{_workload_key(workload, scale)}-sim-{sizes}.pkl"
+
+
 def _discard_corrupt(
     kind: str, path: Path, exc: BaseException, name: str, progress: Progress
 ) -> None:
@@ -273,7 +286,7 @@ def _trace_for(
     config: ExperimentConfig,
     progress: Progress,
 ):
-    trace_path = config.cache_dir / f"{_workload_key(workload, scale)}.npz"
+    trace_path = trace_cache_path(workload, scale, config)
     if config.use_cache and trace_path.exists():
         if progress:
             progress(f"[{workload.name}] loading cached trace {trace_path.name}")
@@ -377,7 +390,7 @@ def _streamed_reader_for(
     by the cleanup callback) when it is off or unwritable.
     """
     name = workload.name
-    trace_path = config.cache_dir / f"{_workload_key(workload, scale)}.npz"
+    trace_path = trace_cache_path(workload, scale, config)
     if config.use_cache and trace_path.exists():
         if progress:
             progress(f"[{name}] opening cached trace {trace_path.name}")
@@ -465,6 +478,7 @@ def _simulate_streamed(
     stream = open_simulation_stream(
         reader.registry, sessions, config.page_sizes,
         engine=config.engine, expected_events=reader.n_events,
+        chunk_hint=config.chunk_events,
     )
     channel = ChunkChannel()
 
@@ -528,18 +542,60 @@ def _load_sim_payload(
     return payload
 
 
+def _attach_shared_trace(shared_trace, name: str, progress: Progress):
+    """Attach a parent-published shared-memory trace, or ``None``.
+
+    A vanished or malformed segment degrades to the disk-cache path —
+    the shared plane is an optimization, never a correctness dependency
+    — with the failure accounted under ``trace.shm.attach_failed``.
+    """
+    try:
+        attached = shared_trace.attach()
+    except Exception as exc:
+        observe.inc("trace.shm.attach_failed")
+        observe.emit_event(
+            "trace.shm.attach_failed", "WARNING", program=name,
+            segment=shared_trace.name, error=type(exc).__name__,
+        )
+        if progress:
+            progress(
+                f"[{name}] shared trace {shared_trace.name} unavailable "
+                f"({type(exc).__name__}); falling back to the disk cache"
+            )
+        return None
+    observe.inc("trace.shm.attached")
+    observe.note("trace.shm.used", shared_trace.name)
+    observe.emit_event("trace.shm.attach", program=name,
+                       segment=shared_trace.name,
+                       events=shared_trace.n_events)
+    if progress:
+        progress(
+            f"[{name}] attached shared trace {shared_trace.name} "
+            f"({shared_trace.n_events} events, zero-copy)"
+        )
+    return attached
+
+
 def load_program_data(
     name: str,
     config: ExperimentConfig = ExperimentConfig(),
     progress: Progress = None,
+    shared_trace=None,
 ) -> ProgramData:
-    """Phase 1 + phase 2 for one program (cached)."""
+    """Phase 1 + phase 2 for one program (cached).
+
+    ``shared_trace`` (a :class:`~repro.trace.shared.SharedTraceHandle`
+    published by the parallel scheduler's parent process) short-circuits
+    the batch path's trace load: the worker attaches to the shared
+    segment instead of decompressing its own copy from the ``.npz``
+    cache.  It is advisory — ignored in stream mode and on sim-cache
+    hits, and any attach failure falls back to the disk cache.
+    """
     workload = WORKLOADS.get(name)
     if workload is None:
         raise PipelineError(f"unknown program {name!r}; known: {sorted(WORKLOADS)}")
     scale = config.scale_of(workload)
-    sizes = "-".join(str(size) for size in config.page_sizes)
-    sim_path = config.cache_dir / f"{_workload_key(workload, scale)}-sim-{sizes}.pkl"
+    sim_path = sim_cache_path(workload, scale, config)
     observe.emit_event("program.start", program=name, scale=scale,
                        stream=config.stream)
     with observe.span(f"program:{name}"):
@@ -581,16 +637,32 @@ def load_program_data(
                 cleanup()
             payload = {"meta": meta, "registry": registry, "result": result}
         else:
-            trace, registry = _trace_for(workload, scale, config, progress)
-            sessions = discover_sessions(registry)
-            if progress:
-                progress(f"[{name}] simulating {len(sessions)} sessions over {len(trace)} events")
-            with observe.span("simulate", program=name):
-                result = simulate_sessions(
-                    trace, registry, sessions, config.page_sizes,
-                    engine=config.engine,
-                )
-            payload = {"meta": trace.meta, "registry": registry, "result": result}
+            attached = None
+            if shared_trace is not None:
+                attached = _attach_shared_trace(shared_trace, name, progress)
+            try:
+                if attached is not None:
+                    trace, registry = attached.trace, attached.registry
+                else:
+                    trace, registry = _trace_for(
+                        workload, scale, config, progress
+                    )
+                sessions = discover_sessions(registry)
+                if progress:
+                    progress(f"[{name}] simulating {len(sessions)} sessions over {len(trace)} events")
+                with observe.span("simulate", program=name):
+                    result = simulate_sessions(
+                        trace, registry, sessions, config.page_sizes,
+                        engine=config.engine,
+                    )
+                payload = {"meta": trace.meta, "registry": registry,
+                           "result": result}
+                # Drop the (possibly shared-memory-backed) column views
+                # before closing the attachment below.
+                del trace
+            finally:
+                if attached is not None:
+                    attached.close()
         if config.use_cache:
             try:
                 faultpoint("cache.write", program=name, kind="sim")

@@ -20,7 +20,10 @@ informational, never failing — because a big swing in e.g.
 ``engine.events`` usually means the two runs measured different
 workloads, which is the first thing a reader should know about a
 suspicious diff.  Environment fingerprint changes are surfaced the same
-way.
+way — and when the fingerprints differ at all, every perf regression is
+downgraded to a non-gating ``warning`` (a diff across two hosts or
+toolchains can't convict the code change; ``BENCH_history.json`` already
+mixes records from more than one box).
 
 :func:`render_diff_report` renders the human report;
 :meth:`ManifestDiff.to_dict` is the machine-readable verdict the CLI can
@@ -37,6 +40,9 @@ from repro.observe.manifest import RunManifest
 
 #: Diff entry statuses, in severity order.
 STATUS_REGRESSION = "regression"
+#: A would-be regression measured across two different environments:
+#: surfaced loudly but never failing, because the host changed too.
+STATUS_WARNING = "warning"
 STATUS_IMPROVEMENT = "improvement"
 STATUS_OK = "ok"
 STATUS_ADDED = "added"
@@ -118,10 +124,18 @@ class ManifestDiff:
     after_target: str
     thresholds: DiffThresholds
     entries: List[DiffEntry] = field(default_factory=list)
+    #: True when the two manifests carry different environment
+    #: fingerprints — their perf numbers were measured on different
+    #: hosts/toolchains, so regressions are downgraded to warnings.
+    cross_environment: bool = False
 
     @property
     def regressions(self) -> List[DiffEntry]:
         return [e for e in self.entries if e.status == STATUS_REGRESSION]
+
+    @property
+    def warnings(self) -> List[DiffEntry]:
+        return [e for e in self.entries if e.status == STATUS_WARNING]
 
     @property
     def improvements(self) -> List[DiffEntry]:
@@ -133,8 +147,14 @@ class ManifestDiff:
 
     @property
     def verdict(self) -> str:
-        """``"regression"`` if any family regressed, else ``"ok"``."""
-        return STATUS_REGRESSION if self.regressions else STATUS_OK
+        """``"regression"`` if any family regressed, ``"warning"`` when
+        apparent regressions were downgraded for crossing environments,
+        else ``"ok"``."""
+        if self.regressions:
+            return STATUS_REGRESSION
+        if self.warnings:
+            return STATUS_WARNING
+        return STATUS_OK
 
     def to_dict(self) -> Dict[str, object]:
         """The machine-readable verdict document."""
@@ -143,7 +163,9 @@ class ManifestDiff:
             "before_target": self.before_target,
             "after_target": self.after_target,
             "thresholds": self.thresholds.to_dict(),
+            "cross_environment": self.cross_environment,
             "n_regressions": len(self.regressions),
+            "n_warnings": len(self.warnings),
             "n_improvements": len(self.improvements),
             "entries": [entry.to_dict() for entry in self.entries],
         }
@@ -298,12 +320,24 @@ def diff_manifests(
         before_target=before.target,
         after_target=after.target,
         thresholds=t,
+        cross_environment=(
+            bool(before.environment or after.environment)
+            and before.environment != after.environment
+        ),
     )
     diff.entries.extend(_diff_stages(before, after, t))
     diff.entries.extend(_diff_engine(before, after, t))
     diff.entries.extend(_diff_cache(before, after, t))
     diff.entries.extend(_diff_counters(before, after, t))
     diff.entries.extend(_diff_environment(before, after))
+    if diff.cross_environment:
+        # Timings measured on different hosts/toolchains cannot convict
+        # the code change: keep the signal visible, drop the verdict.
+        for entry in diff.entries:
+            if entry.status == STATUS_REGRESSION:
+                entry.status = STATUS_WARNING
+                suffix = "cross-environment comparison; not gating"
+                entry.note = f"{entry.note} ({suffix})" if entry.note else suffix
     return diff
 
 
@@ -326,13 +360,21 @@ def render_diff_report(diff: ManifestDiff) -> str:
         f"{diff.after_target or '-'}",
         f"verdict: {diff.verdict.upper()} "
         f"({len(diff.regressions)} regression(s), "
+        f"{len(diff.warnings)} warning(s), "
         f"{len(diff.improvements)} improvement(s))",
     ]
+    if diff.cross_environment:
+        lines.append(
+            "  note: the two runs come from different environments — "
+            "apparent perf regressions are reported as warnings, not "
+            "gating regressions"
+        )
     ordered = sorted(
         diff.entries,
         key=lambda e: (
-            [STATUS_REGRESSION, STATUS_IMPROVEMENT, STATUS_ADDED,
-             STATUS_REMOVED, STATUS_DRIFT, STATUS_OK].index(e.status),
+            [STATUS_REGRESSION, STATUS_WARNING, STATUS_IMPROVEMENT,
+             STATUS_ADDED, STATUS_REMOVED, STATUS_DRIFT,
+             STATUS_OK].index(e.status),
             e.family,
             e.metric,
         ),
@@ -348,6 +390,7 @@ def render_diff_report(diff: ManifestDiff) -> str:
                 continue
         marker = {
             STATUS_REGRESSION: "!!",
+            STATUS_WARNING: "!?",
             STATUS_IMPROVEMENT: "++",
             STATUS_DRIFT: "~",
         }.get(entry.status, "·")

@@ -187,7 +187,11 @@ def render_trend(
 
     Each row shows the run's timestamp, target, digest, value, the
     change versus the previous run, and a bar scaled to the largest
-    value in the series.
+    value in the series.  A history file accumulates records from every
+    box it is carried to, so environment changes are annotated inline:
+    the boundary gets its own marker line and the first delta across it
+    is flagged with ``*`` — that movement measures the host change at
+    least as much as the code change.
     """
     lines = [f"Benchmark trend — {metric} ({len(records)} run(s))"]
     if not records:
@@ -197,7 +201,22 @@ def render_trend(
     known = [value for value in values if value is not None]
     peak = max(known) if known else 0.0
     previous: Optional[float] = None
+    previous_env: Optional[str] = None
+    env_changed_once = False
     for record, value in zip(records, values):
+        crossed_env = (
+            previous_env is not None
+            and record.env_digest
+            and record.env_digest != previous_env
+        )
+        if crossed_env:
+            env_changed_once = True
+            lines.append(
+                f"  -- environment changed "
+                f"({previous_env} -> {record.env_digest}) --"
+            )
+        if record.env_digest:
+            previous_env = record.env_digest
         if value is None:
             bar, shown, delta = "", "-", ""
         else:
@@ -207,12 +226,19 @@ def render_trend(
             if previous not in (None, 0):
                 change = 100.0 * (value - previous) / previous
                 delta = f"{change:+.1f}%"
+                if crossed_env:
+                    delta += "*"
             else:
                 delta = ""
             previous = value
         lines.append(
             f"  {record.timestamp:<25} {record.target:<10} "
-            f"{record.manifest_digest:<12} {shown:>12} {delta:>8}  {bar}"
+            f"{record.manifest_digest:<12} {shown:>12} {delta:>9}  {bar}"
+        )
+    if env_changed_once:
+        lines.append(
+            "  (* delta spans an environment change; it reflects the "
+            "host as much as the code)"
         )
     if len(records) == 1:
         lines.append(

@@ -32,6 +32,12 @@ from repro.trace.tracefile import (
     save_trace,
     save_trace_chunked,
 )
+from repro.trace.shared import (
+    AttachedTrace,
+    SharedTraceHandle,
+    SharedTraceOwner,
+    publish_trace,
+)
 
 __all__ = [
     "ObjectDesc",
@@ -53,4 +59,8 @@ __all__ = [
     "save_trace",
     "save_trace_chunked",
     "load_trace",
+    "AttachedTrace",
+    "SharedTraceHandle",
+    "SharedTraceOwner",
+    "publish_trace",
 ]

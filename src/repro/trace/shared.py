@@ -1,0 +1,228 @@
+"""Zero-copy trace sharing across worker processes.
+
+The parallel pipeline (:mod:`repro.experiments.parallel`) fans one task
+per program out to a process pool.  Without this module every worker
+re-reads its program's trace from the ``.npz`` cache — a full
+decompress-and-copy per attempt, repeated on every retry.  Here the
+parent instead *publishes* the trace once into a
+:mod:`multiprocessing.shared_memory` segment and ships workers a tiny
+picklable :class:`SharedTraceHandle`; attaching maps the same physical
+pages into the worker and wraps them in a replay-only
+:class:`~repro.trace.events.EventTrace` via zero-copy NumPy views — no
+per-worker trace pickling, no per-retry decompression.
+
+Segment layout (one segment per trace)::
+
+    [0 : n)                  kinds,  int8
+    [align8(n) : +8n)        col_a,  int64
+    [.. : +8n)               col_b,  int64
+    [.. : +8n)               col_c,  int64
+
+Lifecycle discipline — the part that actually matters:
+
+* The **parent owns the segment**.  :class:`SharedTraceOwner.close` both
+  closes the mapping and unlinks the name, is idempotent, and is called
+  from ``finally`` paths in the scheduler, so segments are reclaimed
+  even when workers crash, hang, or the run aborts (certified by the
+  chaos suite in ``tests/faults/``).
+* **Workers never unlink.**  Attaching re-registers the segment with
+  the resource tracker as a side effect (CPython registers on every
+  open, bpo-39959), but pool workers share the parent's tracker
+  process, whose cache is a name *set* — the duplicate registration
+  collapses, and only the parent's ``unlink`` unregisters.  Workers
+  must not call ``resource_tracker.unregister`` themselves: that would
+  strip the parent's registration out of the shared tracker, so a
+  parent crash before ``unlink`` would leak the segment for good.
+* A vanished segment (parent released it early, or the platform lacks
+  POSIX shm) surfaces as an exception from :meth:`attach`; callers fall
+  back to the disk cache — sharing is an optimization, never a
+  correctness dependency.
+
+Segment names carry the ``repro-trace-`` prefix plus the parent pid and
+random suffix, so tests (and humans) can audit ``/dev/shm`` for leaks.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.trace.events import EventTrace, TraceMeta
+from repro.trace.objects import ObjectRegistry
+
+_ALIGN = 8
+
+
+def _align8(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+def _layout(n_events: int) -> Tuple[int, int, int, int, int]:
+    """(kinds_off, a_off, b_off, c_off, total_bytes) for ``n_events``."""
+    kinds_off = 0
+    a_off = _align8(kinds_off + n_events)
+    b_off = a_off + 8 * n_events
+    c_off = b_off + 8 * n_events
+    total = c_off + 8 * n_events
+    return kinds_off, a_off, b_off, c_off, total
+
+
+@dataclass(frozen=True)
+class SharedTraceHandle:
+    """Everything a worker needs to attach: small and picklable.
+
+    ``meta`` and ``registry`` ride along in the handle (they are a few
+    hundred bytes — object records and counters), so an attached worker
+    reconstructs the exact ``(trace, registry)`` pair the parent loaded;
+    only the multi-megabyte event columns live in shared memory.
+    """
+
+    name: str
+    n_events: int
+    meta: TraceMeta
+    registry: ObjectRegistry
+
+    def attach(self) -> "AttachedTrace":
+        """Map the segment and wrap it as a replay-only trace.
+
+        Raises (``FileNotFoundError`` and friends) when the segment is
+        gone; callers treat that as "fall back to the disk cache".
+        """
+        from multiprocessing import shared_memory
+
+        import numpy as np
+
+        shm = shared_memory.SharedMemory(name=self.name, create=False)
+        kinds_off, a_off, b_off, c_off, total = _layout(self.n_events)
+        if shm.size < total:
+            shm.close()
+            raise ValueError(
+                f"shared trace segment {self.name} is {shm.size} bytes; "
+                f"need {total} for {self.n_events} events"
+            )
+        buf = shm.buf
+        n = self.n_events
+        trace = EventTrace.from_arrays(
+            np.frombuffer(buf, dtype=np.int8, count=n, offset=kinds_off),
+            np.frombuffer(buf, dtype=np.int64, count=n, offset=a_off),
+            np.frombuffer(buf, dtype=np.int64, count=n, offset=b_off),
+            np.frombuffer(buf, dtype=np.int64, count=n, offset=c_off),
+            self.meta,
+        )
+        return AttachedTrace(trace=trace, registry=self.registry, _shm=shm)
+
+
+@dataclass
+class AttachedTrace:
+    """A worker's zero-copy view of a published trace.
+
+    ``trace`` is replay-only and aliases the shared pages; call
+    :meth:`close` when simulation is done (and drop ``trace`` first —
+    live NumPy views pin the mapping).
+    """
+
+    trace: EventTrace
+    registry: ObjectRegistry
+    _shm: object
+
+    def close(self) -> None:
+        """Unmap this process's view (never unlinks the segment)."""
+        self.trace = None
+        try:
+            self._shm.close()
+        except BufferError:
+            # A NumPy view of the buffer is still alive somewhere; the
+            # mapping is reclaimed when the process exits instead.
+            pass
+        except Exception:
+            pass
+
+
+class SharedTraceOwner:
+    """Parent-side ownership of one published trace segment."""
+
+    def __init__(self, shm, handle: SharedTraceHandle, nbytes: int) -> None:
+        self._shm = shm
+        self.handle = handle
+        self.nbytes = nbytes
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        return self.handle.name
+
+    def close(self) -> None:
+        """Unlink and unmap the segment.  Idempotent; never raises."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.unlink()
+        except Exception:
+            pass
+        try:
+            self._shm.close()
+        except Exception:
+            pass
+
+    def __del__(self) -> None:  # last-ditch leak guard
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
+
+
+def publish_trace(
+    trace: EventTrace,
+    registry: ObjectRegistry,
+    meta: Optional[TraceMeta] = None,
+) -> SharedTraceOwner:
+    """Copy ``trace``'s columns into a fresh shared-memory segment.
+
+    Returns the owning wrapper; pass ``owner.handle`` to workers and
+    call ``owner.close()`` (from a ``finally``) when the last consumer
+    is done.  Raises ``OSError`` when shared memory is unavailable —
+    callers degrade to per-worker disk loads.
+    """
+    from multiprocessing import shared_memory
+
+    import numpy as np
+
+    if meta is None:
+        meta = trace.meta
+    columns = trace.as_arrays()
+    n = len(trace)
+    kinds_off, a_off, b_off, c_off, total = _layout(n)
+    name = f"repro-trace-{os.getpid()}-{secrets.token_hex(4)}"
+    shm = shared_memory.SharedMemory(name=name, create=True, size=max(total, 1))
+    try:
+        buf = shm.buf
+        np.frombuffer(buf, dtype=np.int8, count=n, offset=kinds_off)[:] = \
+            columns.kinds
+        np.frombuffer(buf, dtype=np.int64, count=n, offset=a_off)[:] = \
+            columns.col_a
+        np.frombuffer(buf, dtype=np.int64, count=n, offset=b_off)[:] = \
+            columns.col_b
+        np.frombuffer(buf, dtype=np.int64, count=n, offset=c_off)[:] = \
+            columns.col_c
+    except BaseException:
+        try:
+            shm.unlink()
+        except Exception:
+            pass
+        shm.close()
+        raise
+    handle = SharedTraceHandle(
+        name=name, n_events=n, meta=meta, registry=registry
+    )
+    return SharedTraceOwner(shm, handle, total)
+
+
+__all__ = [
+    "AttachedTrace",
+    "SharedTraceHandle",
+    "SharedTraceOwner",
+    "publish_trace",
+]

@@ -383,6 +383,12 @@ class TraceStreamReader:
             return -(-self.n_events // self._chunk_events)
         return len(self._index)
 
+    @property
+    def chunk_events(self) -> int:
+        """Nominal events per chunk — the dispatcher's streaming size
+        hint (:func:`repro.simulate.simulate_chunks` forwards it)."""
+        return self._chunk_events
+
     def chunks(self) -> Iterator[TraceChunk]:
         """Yield verified chunks in sequence order."""
         if self._whole is not None:

@@ -151,6 +151,93 @@ class TestMergedObservation:
         assert main_tids.isdisjoint(tids)
 
 
+class TestSharedTracePlane:
+    """Workers attach to parent-published trace segments (zero-copy)."""
+
+    @pytest.fixture()
+    def observing(self):
+        was_enabled = observe.is_enabled()
+        observe.reset()
+        observe.enable()
+        yield observe.get_registry()
+        if not was_enabled:
+            observe.disable()
+        observe.reset()
+
+    @staticmethod
+    def _warm_trace_cold_sim(config):
+        """Fill the trace cache, then drop the sim cache entries."""
+        from repro.experiments.pipeline import sim_cache_path
+        from repro.workloads import WORKLOADS
+
+        warm = ExperimentConfig(
+            programs=config.programs, scale=config.scale,
+            cache_dir=config.cache_dir, jobs=1,
+        )
+        data = load_experiment_data(warm)
+        for name in config.programs:
+            workload = WORKLOADS[name]
+            sim_cache_path(workload, warm.scale_of(workload), warm).unlink()
+        return data
+
+    def test_workers_attach_instead_of_unpickling(self, observing, tmp_path):
+        import glob
+
+        programs = ("qcd", "gcc")
+        config = ExperimentConfig(
+            programs=programs, scale="smoke", cache_dir=tmp_path, jobs=2,
+        )
+        serial = self._warm_trace_cold_sim(config)
+        observe.reset()  # drop warm-up counters
+        observe.enable()
+        parallel = load_experiment_data(config)
+        counters = observing.snapshot()["counters"]
+        # Every program's trace came over shared memory, not the disk
+        # cache: zero trace unpickles in the workers.
+        assert counters["trace.shm.published"] == len(programs)
+        assert counters["trace.shm.attached"] == len(programs)
+        assert counters["trace.shm.released"] == len(programs)
+        assert counters.get("cache.trace.hits", 0) == 0
+        assert counters.get("trace.shm.attach_failed", 0) == 0
+        # Shared plane is invisible to results: bit-identical to serial.
+        for name in programs:
+            assert serial[name].result.counts == parallel[name].result.counts
+            assert (serial[name].result.total_writes
+                    == parallel[name].result.total_writes)
+        # And the parent reclaimed every segment.
+        assert not glob.glob("/dev/shm/repro-trace-*")
+
+    def test_cold_trace_cache_skips_publication(self, observing, tmp_path):
+        # Nothing on disk to publish from: workers trace for themselves
+        # and the run still completes (sharing is an optimization).
+        config = ExperimentConfig(
+            programs=("qcd",), scale="smoke", cache_dir=tmp_path, jobs=2,
+        )
+        data = load_experiment_data_parallel(config, jobs=2)
+        counters = observing.snapshot()["counters"]
+        assert counters.get("trace.shm.published", 0) == 0
+        assert counters.get("trace.shm.attached", 0) == 0
+        assert "qcd" in data
+
+    def test_warm_sim_cache_skips_publication(self, observing, tmp_path):
+        # Sim cache hit means the worker never needs the trace; the
+        # parent must not waste memory publishing one.
+        programs = ("qcd", "gcc")
+        warm = ExperimentConfig(
+            programs=programs, scale="smoke", cache_dir=tmp_path, jobs=1,
+        )
+        load_experiment_data(warm)
+        observe.reset()
+        observe.enable()
+        config = ExperimentConfig(
+            programs=programs, scale="smoke", cache_dir=tmp_path, jobs=2,
+        )
+        load_experiment_data(config)
+        counters = observing.snapshot()["counters"]
+        assert counters.get("trace.shm.published", 0) == 0
+        assert counters["cache.sim.hits"] == len(programs)
+
+
 class TestCli:
     def test_jobs_flag_smoke(self, capsys, tmp_path):
         code = cli_main([

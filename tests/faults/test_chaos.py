@@ -123,6 +123,79 @@ class TestRecoveredFaults:
         assert serial == parallel == clean_report
 
 
+class TestSharedMemoryCleanup:
+    """The shm trace plane must not leak segments on any exit path.
+
+    Segments carry the auditable ``repro-trace-`` prefix, so leak
+    checks are a ``/dev/shm`` glob.  Each scenario warms the trace
+    cache and drops the sim cache first — that is the configuration in
+    which the parent publishes segments for the workers to attach to.
+    """
+
+    @staticmethod
+    def _drop_sim_cache(tmp_path, label):
+        dropped = 0
+        for entry in (tmp_path / f"{label}-cache").glob("*-sim-*.pkl"):
+            entry.unlink()
+            dropped += 1
+        assert dropped, "warm-up did not populate the sim cache"
+
+    @staticmethod
+    def _leaked_segments():
+        import glob
+
+        return glob.glob("/dev/shm/repro-trace-*")
+
+    def test_worker_crash_leaks_no_segments(self, tmp_path, clean_report):
+        # The crashed worker dies attached; the parent must still
+        # reclaim its segment (release on retry completion + the
+        # scheduler's finally) and the retry must reproduce every
+        # number while reattaching to the same published trace.
+        label = "shmcrash"
+        code, _ = _run_cli(tmp_path, label)  # warm both caches
+        assert code == 0
+        self._drop_sim_cache(tmp_path, label)
+        code, text = _run_cli(
+            tmp_path, label, "--jobs", "2",
+            "--inject-faults", "worker:crash@gcc", "--fault-seed", "7",
+        )
+        assert code == 0
+        assert text == clean_report
+        assert not self._leaked_segments()
+
+    def test_hung_worker_kill_leaks_no_segments(
+        self, tmp_path, clean_report, monkeypatch
+    ):
+        # Watchdog SIGKILL is the harshest detach: no worker-side
+        # cleanup runs at all.
+        monkeypatch.setenv("REPRO_FAULT_HANG_S", "30")
+        label = "shmhang"
+        code, _ = _run_cli(tmp_path, label)
+        assert code == 0
+        self._drop_sim_cache(tmp_path, label)
+        code, text = _run_cli(
+            tmp_path, label, "--jobs", "2", "--worker-timeout", "3",
+            "--inject-faults", "worker:hang@gcc",
+        )
+        assert code == 0
+        assert text == clean_report
+        assert not self._leaked_segments()
+
+    def test_aborting_run_leaks_no_segments(self, tmp_path):
+        # Fatal failure aborts the scheduler mid-flight; the finally
+        # path must still unlink every published segment.
+        label = "shmabort"
+        code, _ = _run_cli(tmp_path, label)
+        assert code == 0
+        self._drop_sim_cache(tmp_path, label)
+        code, _ = _run_cli(
+            tmp_path, label, "--jobs", "2",
+            "--inject-faults", "worker:fatal@gcc*inf",
+        )
+        assert code == EXIT_PIPELINE
+        assert not self._leaked_segments()
+
+
 class TestClassifiedFailures:
     """Faults that must surface as classified exits, never tracebacks."""
 

@@ -11,6 +11,7 @@ from repro.observe.diff import (
     STATUS_OK,
     STATUS_REGRESSION,
     STATUS_REMOVED,
+    STATUS_WARNING,
     diff_manifests,
     render_diff_report,
 )
@@ -147,6 +148,50 @@ class TestDriftAndEnvironment:
         diff = diff_manifests(a, b)
         drift = [e for e in diff.drift if e.family == "environment"]
         assert drift and "3.9.0" in drift[0].note
+
+
+class TestCrossEnvironment:
+    """A diff across two hosts must warn, not convict (satellite)."""
+
+    def test_regression_downgraded_to_warning_across_envs(self):
+        a = make_manifest(stages={"gcc": {"simulate": 1.0}},
+                          environment={"hostname": "box-a"})
+        b = make_manifest(stages={"gcc": {"simulate": 2.0}},
+                          environment={"hostname": "box-b"})
+        diff = diff_manifests(a, b)
+        assert diff.cross_environment
+        assert not diff.regressions
+        (entry,) = diff.warnings
+        assert entry.metric == "stages/gcc/simulate"
+        assert "cross-environment" in entry.note
+        assert diff.verdict == STATUS_WARNING
+
+    def test_same_env_regression_still_gates(self):
+        env = {"hostname": "box-a"}
+        a = make_manifest(stages={"gcc": {"simulate": 1.0}}, environment=env)
+        b = make_manifest(stages={"gcc": {"simulate": 2.0}}, environment=env)
+        diff = diff_manifests(a, b)
+        assert not diff.cross_environment
+        assert diff.verdict == STATUS_REGRESSION
+
+    def test_improvements_survive_cross_env_untouched(self):
+        a = make_manifest(eps_mean=1000.0, environment={"hostname": "box-a"})
+        b = make_manifest(eps_mean=5000.0, environment={"hostname": "box-b"})
+        diff = diff_manifests(a, b)
+        assert diff.improvements and not diff.warnings
+
+    def test_report_and_verdict_document_note_the_env_change(self):
+        a = make_manifest(stages={"gcc": {"simulate": 1.0}},
+                          environment={"hostname": "box-a"})
+        b = make_manifest(stages={"gcc": {"simulate": 2.0}},
+                          environment={"hostname": "box-b"})
+        diff = diff_manifests(a, b)
+        report = render_diff_report(diff)
+        assert "different environments" in report
+        assert "!?" in report
+        doc = diff.to_dict()
+        assert doc["cross_environment"] is True
+        assert doc["n_warnings"] == 1 and doc["n_regressions"] == 0
 
 
 class TestRenderAndVerdict:

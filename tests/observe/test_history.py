@@ -127,3 +127,30 @@ class TestTrendRenderer:
         append_record(path, make_manifest(), timestamp=1.0)
         text = render_trend(load_history(path), metric="stage_seconds.simulate")
         assert "stage_seconds.simulate" in text
+
+    def test_env_change_is_annotated(self, tmp_path):
+        # A history file carried across hosts must not let a host swap
+        # masquerade as a code regression (satellite): the boundary is
+        # marked and the delta across it flagged.
+        path = tmp_path / "h.json"
+        a = make_manifest(simulate_s=1.0)
+        b = make_manifest(simulate_s=2.0)
+        b.environment = {"python": "3.x", "machine": "other-box"}
+        append_record(path, a, timestamp=1.0)
+        append_record(path, b, timestamp=2.0)
+        records = load_history(path)
+        assert records[0].env_digest != records[1].env_digest
+        text = render_trend(records)
+        assert "environment changed" in text
+        assert records[0].env_digest in text
+        assert records[1].env_digest in text
+        assert "%*" in text  # the cross-boundary delta is starred
+        assert "reflects the host" in text
+
+    def test_same_env_trend_has_no_annotation(self, tmp_path):
+        path = tmp_path / "h.json"
+        append_record(path, make_manifest(simulate_s=1.0), timestamp=1.0)
+        append_record(path, make_manifest(simulate_s=2.0), timestamp=2.0)
+        text = render_trend(load_history(path))
+        assert "environment changed" not in text
+        assert "*" not in text

@@ -38,6 +38,15 @@ from repro.simulate.vector_engine import (
     VectorSimulationStream,
     simulate_sessions_numpy,
 )
+from repro.simulate._native import native_available
+from repro.simulate.native_engine import (
+    NativeSimulationStream,
+    simulate_sessions_native,
+)
+
+needs_native = pytest.mark.skipif(
+    not native_available(), reason="native kernel unavailable (no C compiler)"
+)
 from repro.trace import EventTrace, ObjectRegistry
 from repro.trace.events import TraceMeta
 from repro.trace.stream import ChunkChannel, TraceChunk, iter_chunks
@@ -148,6 +157,19 @@ class TestDifferential:
             assert_invariants(result_py)
             assert_invariants(result_np)
 
+    @needs_native
+    @pytest.mark.parametrize("page_sizes", PAGE_SIZE_CONFIGS,
+                             ids=lambda sizes: "x".join(map(str, sizes)))
+    def test_randomized_sweep_native(self, page_sizes):
+        for seed in range(60):
+            trace, registry, sessions = build_random(seed)
+            result_py = simulate_python(trace, registry, sessions, page_sizes)
+            result_nat = simulate_sessions_native(
+                trace, registry, sessions, page_sizes
+            )
+            assert_identical(result_py, result_nat)
+            assert_invariants(result_nat)
+
     def test_empty_trace(self):
         registry = ObjectRegistry()
         registry.heap("f", ("main", "f"), 16)
@@ -202,7 +224,10 @@ class TestStreamingDifferential:
     both engines.
     """
 
-    @pytest.mark.parametrize("engine", ["python", "numpy"])
+    @pytest.mark.parametrize("engine", [
+        "python", "numpy",
+        pytest.param("native", marks=needs_native),
+    ])
     def test_randomized_chunked_sweep(self, engine):
         for seed in range(30):
             trace, registry, sessions = build_random(seed)
@@ -220,7 +245,9 @@ class TestStreamingDifferential:
     @pytest.mark.parametrize("stream_cls,batch_fn", [
         (SimulationStream, simulate_python),
         (VectorSimulationStream, simulate_sessions_numpy),
-    ], ids=["python", "numpy"])
+        pytest.param(NativeSimulationStream, simulate_sessions_native,
+                     marks=needs_native),
+    ], ids=["python", "numpy", "native"])
     def test_feed_chunk_incremental(self, stream_cls, batch_fn):
         trace, registry, sessions = build_random(11)
         batch = batch_fn(trace, registry, sessions, (4096,))
@@ -258,7 +285,8 @@ class TestStreamingDifferential:
 
     @pytest.mark.parametrize("stream_cls", [
         SimulationStream, VectorSimulationStream,
-    ], ids=["python", "numpy"])
+        pytest.param(NativeSimulationStream, marks=needs_native),
+    ], ids=["python", "numpy", "native"])
     def test_truncated_stream_fails_loudly(self, stream_cls):
         trace, registry, sessions = build_random(5)
         chunks = list(iter_chunks(trace, 25))
@@ -269,7 +297,8 @@ class TestStreamingDifferential:
 
     @pytest.mark.parametrize("stream_cls", [
         SimulationStream, VectorSimulationStream,
-    ], ids=["python", "numpy"])
+        pytest.param(NativeSimulationStream, marks=needs_native),
+    ], ids=["python", "numpy", "native"])
     def test_reordered_chunks_rejected(self, stream_cls):
         trace, registry, sessions = build_random(5)
         chunks = list(iter_chunks(trace, 25))
@@ -322,7 +351,10 @@ class TestStreamingDifferential:
                 trace, registry, sessions, (4096, 16)
             )
             assert_identical(scalar, batch_np)
-            for stream_cls in (SimulationStream, VectorSimulationStream):
+            stream_classes = [SimulationStream, VectorSimulationStream]
+            if native_available():
+                stream_classes.append(NativeSimulationStream)
+            for stream_cls in stream_classes:
                 streamed = self._stream_at_splits(
                     trace, registry, sessions, (4096, 16), splits, stream_cls
                 )
@@ -356,8 +388,11 @@ class TestStreamingDifferential:
         page_sizes = (4096, 16)
         scalar = simulate_python(trace, registry, sessions, page_sizes)
         assert scalar.overlap_anomalies > 0
+        stream_classes = [SimulationStream, VectorSimulationStream]
+        if native_available():
+            stream_classes.append(NativeSimulationStream)
         for split in range(len(trace) + 1):
-            for stream_cls in (SimulationStream, VectorSimulationStream):
+            for stream_cls in stream_classes:
                 streamed = self._stream_at_splits(
                     trace, registry, sessions, page_sizes, [split],
                     stream_cls,
@@ -366,7 +401,8 @@ class TestStreamingDifferential:
 
     @pytest.mark.parametrize("stream_cls", [
         SimulationStream, VectorSimulationStream,
-    ], ids=["python", "numpy"])
+        pytest.param(NativeSimulationStream, marks=needs_native),
+    ], ids=["python", "numpy", "native"])
     def test_empty_feeds_are_noops(self, stream_cls):
         trace, registry, sessions = build_random(7)
         batch = simulate_python(trace, registry, sessions, (4096,))
@@ -385,7 +421,8 @@ class TestStreamingDifferential:
 
     @pytest.mark.parametrize("stream_cls", [
         SimulationStream, VectorSimulationStream,
-    ], ids=["python", "numpy"])
+        pytest.param(NativeSimulationStream, marks=needs_native),
+    ], ids=["python", "numpy", "native"])
     def test_mismatched_column_lengths_rejected(self, stream_cls):
         """Regression: ragged feeds used to be accepted silently (the
         scalar zip truncated; the vector stream deferred the mismatch)."""
@@ -424,8 +461,11 @@ class TestDispatcher:
     def test_auto_small_trace_stays_scalar(self):
         assert resolve_engine("auto", AUTO_NUMPY_MIN_EVENTS - 1) == "python"
 
-    def test_auto_large_trace_goes_numpy(self):
-        assert resolve_engine("auto", AUTO_NUMPY_MIN_EVENTS) == "numpy"
+    def test_auto_large_trace_goes_compiled(self):
+        # auto prefers native when the kernel loads, numpy otherwise
+        # (the full availability matrix lives in test_engine_dispatch.py).
+        expected = "native" if native_available() else "numpy"
+        assert resolve_engine("auto", AUTO_NUMPY_MIN_EVENTS) == expected
 
     def test_simulate_sessions_engine_arg(self):
         trace, registry, sessions = build_random(7)

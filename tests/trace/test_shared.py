@@ -1,0 +1,164 @@
+"""Shared-memory trace plane: publish/attach round-trip and lifecycle.
+
+The zero-copy data plane must be byte-exact (workers simulate the very
+same columns the parent loaded), picklable in the small (the handle
+crosses the pool boundary, the megabytes do not), and leak-proof (the
+owner's ``close`` is idempotent and reclaims the segment on every
+path).  Cross-process behaviour under crashes is certified separately
+by the chaos suite in ``tests/faults/``.
+"""
+
+from __future__ import annotations
+
+import glob
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.trace import EventTrace, ObjectRegistry, publish_trace
+from repro.trace.shared import _layout
+
+
+def build_trace(n_writes: int = 500):
+    registry = ObjectRegistry()
+    registry.heap("f", ("main", "f"), 16)
+    trace = EventTrace("shared-test")
+    trace.append_install(0, 0x1000, 0x1010)
+    for i in range(n_writes):
+        trace.append_write(0x1000 + 4 * (i % 8), 0x1004 + 4 * (i % 8))
+    trace.append_remove(0, 0x1000, 0x1010)
+    return trace, registry
+
+
+def segments():
+    return glob.glob("/dev/shm/repro-trace-*")
+
+
+class TestLayout:
+    def test_column_offsets_are_8_aligned(self):
+        for n in (0, 1, 7, 8, 9, 1000, 4097):
+            kinds_off, a_off, b_off, c_off, total = _layout(n)
+            assert kinds_off == 0
+            assert a_off % 8 == 0 and b_off % 8 == 0 and c_off % 8 == 0
+            assert a_off >= n
+            assert total == c_off + 8 * n
+
+    def test_total_covers_all_columns(self):
+        _, a, b, c, total = _layout(100)
+        assert b - a == 800 and c - b == 800 and total - c == 800
+
+
+class TestRoundTrip:
+    def test_attached_columns_bit_identical(self):
+        trace, registry = build_trace()
+        owner = publish_trace(trace, registry)
+        try:
+            attached = owner.handle.attach()
+            want, got = trace.as_arrays(), attached.trace.as_arrays()
+            assert np.array_equal(want.kinds, got.kinds)
+            assert np.array_equal(want.col_a, got.col_a)
+            assert np.array_equal(want.col_b, got.col_b)
+            assert np.array_equal(want.col_c, got.col_c)
+            assert len(attached.trace) == len(trace)
+            assert attached.trace.meta.program == "shared-test"
+            assert (attached.registry.get(0).qualified_name
+                    == registry.get(0).qualified_name)
+            del want, got
+            attached.close()
+        finally:
+            owner.close()
+
+    def test_handle_is_small_and_picklable(self):
+        # The whole point: the handle crosses the pool pickled, the
+        # event columns do not.  A serialized handle must stay tiny
+        # regardless of trace size.
+        trace, registry = build_trace(n_writes=20_000)
+        owner = publish_trace(trace, registry)
+        try:
+            blob = pickle.dumps(owner.handle)
+            assert len(blob) < 8192, len(blob)
+            handle = pickle.loads(blob)
+            attached = handle.attach()
+            assert np.array_equal(
+                trace.as_arrays().col_a, attached.trace.as_arrays().col_a
+            )
+            attached.close()
+        finally:
+            owner.close()
+
+    def test_segment_name_is_auditable(self):
+        trace, registry = build_trace()
+        owner = publish_trace(trace, registry)
+        try:
+            assert owner.name.startswith("repro-trace-")
+            assert any(owner.name in s for s in segments())
+        finally:
+            owner.close()
+        assert not any(owner.name in s for s in segments())
+
+
+class TestLifecycle:
+    def test_owner_close_is_idempotent(self):
+        trace, registry = build_trace()
+        owner = publish_trace(trace, registry)
+        owner.close()
+        owner.close()  # must not raise
+
+    def test_attach_after_release_raises(self):
+        # A worker landing after the parent released the segment gets a
+        # clean exception and falls back to the disk cache.
+        trace, registry = build_trace()
+        owner = publish_trace(trace, registry)
+        handle = owner.handle
+        owner.close()
+        with pytest.raises(FileNotFoundError):
+            handle.attach()
+
+    def test_attached_close_tolerates_live_views(self):
+        # A worker that (wrongly) keeps a NumPy view alive must not
+        # crash on close; the mapping is reclaimed at process exit.
+        trace, registry = build_trace()
+        owner = publish_trace(trace, registry)
+        try:
+            attached = owner.handle.attach()
+            view = attached.trace.as_arrays().col_a
+            attached.close()  # BufferError swallowed
+            assert view[0] != -1  # view still readable
+            del view
+            attached._shm.close()  # now unpinned; release the mapping
+        finally:
+            owner.close()
+
+    def test_size_mismatch_rejected(self):
+        # A handle lying about n_events (stale pickle, truncated
+        # segment) must fail loudly, not read out of bounds.
+        trace, registry = build_trace()
+        owner = publish_trace(trace, registry)
+        try:
+            import dataclasses
+
+            bad = dataclasses.replace(owner.handle,
+                                      n_events=owner.handle.n_events * 100)
+            with pytest.raises(ValueError, match="bytes"):
+                bad.attach()
+        finally:
+            owner.close()
+
+    def test_publish_failure_leaves_no_segment(self, monkeypatch):
+        # Force a failure *after* segment creation (mismatched column
+        # lengths make the copy raise): the half-built segment must be
+        # unlinked before the exception propagates.
+        import types
+
+        trace, registry = build_trace()
+        good = trace.as_arrays()
+        bad = types.SimpleNamespace(
+            kinds=good.kinds[:-1], col_a=good.col_a,
+            col_b=good.col_b, col_c=good.col_c,
+        )
+        monkeypatch.setattr(type(trace), "as_arrays", lambda self: bad)
+        before = set(segments())
+        with pytest.raises(ValueError):
+            publish_trace(trace, registry)
+        assert set(segments()) == before

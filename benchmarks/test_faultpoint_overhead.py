@@ -27,6 +27,7 @@ import pytest
 
 from repro import faults, observe
 from repro.experiments import pipeline as pipeline_module
+from repro.experiments import store as store_module
 from repro.experiments.pipeline import ExperimentConfig, load_program_data
 from repro.faults import faultpoint
 from repro.simulate import engine as engine_module
@@ -40,7 +41,7 @@ MAX_DISABLED_OVERHEAD = 1.03
 PROGRAM = "qcd"
 
 #: every module that calls faultpoint() on the pipeline's hot-ish paths.
-_HOOKED_MODULES = (pipeline_module, tracefile_module)
+_HOOKED_MODULES = (pipeline_module, tracefile_module, store_module)
 
 
 def _inert_faultpoint(name, program=None, **ctx):

@@ -159,8 +159,52 @@ class WorkerTimeoutError(PipelineError):
     """
 
 
+class JournalError(PipelineError):
+    """A run journal was missing, unreadable, or semantically invalid.
+
+    Raised when ``--resume`` points at a run whose journal cannot be
+    replayed (no such run, empty journal, config digest mismatch).  A
+    *torn final line* is not an error — it is the expected artifact of a
+    crash mid-append and simply marks the end of the replay.
+    """
+
+
+class StoreCorruptError(PipelineError):
+    """A result-store entry failed its embedded content-digest check.
+
+    The store treats this exactly like a missing entry (the blob is
+    discarded and recomputed); the distinct type exists so ``store
+    verify`` and tests can tell torn blobs apart from format drift.
+    """
+
+
 class FaultSpecError(ReproError):
     """A ``--inject-faults`` / ``REPRO_FAULTS`` plan spec was malformed."""
+
+
+class ShutdownRequested(BaseException):
+    """A SIGINT/SIGTERM arrived and a graceful shutdown is in progress.
+
+    Deliberately a :class:`BaseException` (like :class:`KeyboardInterrupt`)
+    so the pipeline's ``except Exception`` retry/keep-going machinery
+    never swallows it: the signal must unwind through the scheduler's
+    cleanup (pool shutdown, shared-memory release) to the CLI, which
+    seals the run journal, dumps the flight-recorder black box, and
+    exits ``128 + signum``.
+    """
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(signum)
+        self.signum = signum
+
+    def __str__(self) -> str:
+        import signal as _signal
+
+        try:
+            name = _signal.Signals(self.signum).name
+        except ValueError:
+            name = f"signal {self.signum}"
+        return f"shutdown requested by {name}"
 
 
 # ---------------------------------------------------------------------------

@@ -57,9 +57,11 @@ from typing import List, Optional
 from repro import faults, observe
 from repro.errors import (
     FaultSpecError,
+    JournalError,
     ManifestFormatError,
     PipelineError,
     ReproError,
+    ShutdownRequested,
 )
 from repro.experiments.pipeline import DEFAULT_RETRIES, FailureRecord
 from repro.faults import InjectedFault
@@ -84,21 +86,24 @@ _TARGETS = (
 )
 
 #: Harness subcommands with their own argument shapes.
-_HARNESS_TARGETS = ("diff", "trend", "events")
+_HARNESS_TARGETS = ("diff", "trend", "events", "store")
 
 #: Stable exit codes (documented in --help and docs/RESILIENCE.md).
 EXIT_OK = 0
-EXIT_USAGE = 2          # bad flags, bad config, bad fault spec
+EXIT_USAGE = 2          # bad flags, bad config, bad fault spec, bad resume
 EXIT_PARTIAL = 3        # --keep-going finished but some programs failed
 EXIT_PIPELINE = 4       # fatal pipeline/session error (incl. worker timeout)
 EXIT_REPRO = 5          # any other classified repro error
 EXIT_TRANSIENT = 6      # worker/I-O failure that survived all retries
+# 128 + signum          # graceful shutdown: 130 on SIGINT, 143 on SIGTERM
 
 _EXIT_CODE_DOC = (
     "Exit codes: 0 success; 2 usage/configuration error; "
     "3 partial success (--keep-going with failed programs, see the "
     "manifest's 'failures' section); 4 fatal pipeline error; "
-    "5 other classified error; 6 worker or I/O failure after retries."
+    "5 other classified error; 6 worker or I/O failure after retries; "
+    "128+signum (130 SIGINT, 143 SIGTERM) after a graceful shutdown — "
+    "the run journal is sealed and the black box dumped before exit."
 )
 
 
@@ -247,6 +252,25 @@ def _parse_args(argv):
         "one run_id correlates parent and worker events.  On any "
         "non-zero exit the recorder's tail is dumped as a black box "
         "next to the manifest (see docs/OBSERVABILITY.md)",
+    )
+    parser.add_argument(
+        "--run-id", default=None, metavar="NAME",
+        help="journal this run under NAME: a write-ahead, checksummed "
+        "JSONL record of per-program intent/completion is appended to "
+        "<runs-dir>/NAME.journal.jsonl, making the run resumable after "
+        "a crash with '--resume NAME' (see docs/RESILIENCE.md)",
+    )
+    parser.add_argument(
+        "--resume", default=None, metavar="NAME",
+        help="resume the journaled run NAME: replay its journal, skip "
+        "programs whose completion is recorded AND whose cache entries "
+        "still pass their integrity check, re-execute the rest, and "
+        "keep journaling under the same NAME; output is bit-identical "
+        "to an uninterrupted run",
+    )
+    parser.add_argument(
+        "--runs-dir", default=None, metavar="DIR",
+        help="where run journals live (default: <cache-dir>/runs)",
     )
     return parser.parse_args(argv)
 
@@ -487,7 +511,12 @@ def _events_main(argv) -> int:
         print("error: --tail must be >= 1", file=sys.stderr)
         return 2
     try:
-        events = observe.load_event_log(args.log)
+        # A torn final line (writer killed mid-append) is the expected
+        # artifact of a crash; warn and show the rest of the log.
+        events = observe.load_event_log(
+            args.log,
+            on_warning=lambda msg: print(f"warning: {msg}", file=sys.stderr),
+        )
     except OSError as exc:
         print(f"error: cannot read event log {args.log}: {exc}",
               file=sys.stderr)
@@ -540,6 +569,75 @@ def _events_main(argv) -> int:
     return 0
 
 
+def _parse_store_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments store",
+        description="Maintain the content-addressed result store "
+        "(.repro_cache).  'verify' audits every entry against its "
+        "embedded content digest (or container checksums) and exits 1 "
+        "if any entry is corrupt; 'gc' removes orphaned temp files and "
+        "corrupt entries.  Run journals under runs/ are left alone.",
+    )
+    parser.add_argument("action", choices=("verify", "gc"),
+                        help="what to do")
+    parser.add_argument(
+        "--cache-dir", default=".repro_cache",
+        help="store root to audit (default %(default)s)",
+    )
+    parser.add_argument(
+        "--dry-run", action="store_true",
+        help="(gc) report what would be removed without removing it",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable report instead of text",
+    )
+    return parser.parse_args(argv)
+
+
+def _store_main(argv) -> int:
+    args = _parse_store_args(argv)
+    from repro.experiments.store import (
+        STATUS_CORRUPT,
+        STATUS_LEGACY,
+        STATUS_NPZ,
+        STATUS_OTHER,
+        STATUS_TMP,
+        STATUS_V3,
+        ResultStore,
+    )
+
+    store = ResultStore(Path(args.cache_dir))
+    if args.action == "verify":
+        report = store.verify()
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(
+                f"store verify: {len(report.entries)} entr(ies) under "
+                f"{args.cache_dir} — "
+                f"{report.count(STATUS_V3)} enveloped, "
+                f"{report.count(STATUS_LEGACY)} legacy, "
+                f"{report.count(STATUS_NPZ)} trace, "
+                f"{report.count(STATUS_TMP)} temp, "
+                f"{report.count(STATUS_OTHER)} other, "
+                f"{report.count(STATUS_CORRUPT)} corrupt"
+            )
+            for entry in report.corrupt:
+                print(f"  corrupt: {entry.name} ({entry.detail})")
+        return 1 if report.corrupt else 0
+    result = store.gc(dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        print(f"store gc: {verb} {len(result['removed'])} entr(ies) "
+              f"under {args.cache_dir}")
+        for name in result["removed"]:
+            print(f"  {name}")
+    return 0
+
+
 def _render_failures(failures: List[FailureRecord]) -> str:
     """The explicit-gap section appended to a ``--keep-going`` report."""
     lines = [
@@ -558,6 +656,42 @@ def _render_failures(failures: List[FailureRecord]) -> str:
     return "\n".join(lines)
 
 
+def _install_signal_handlers():
+    """Route SIGINT/SIGTERM into :class:`ShutdownRequested`.
+
+    Only possible (and only meaningful) in the main thread of the main
+    interpreter; elsewhere — or on platforms without these signals —
+    this is a no-op and the default dispositions stay.  Returns the
+    previous handlers for :func:`_restore_signal_handlers`.
+    """
+    import signal
+    import threading
+
+    if threading.current_thread() is not threading.main_thread():
+        return None
+
+    def handler(signum, frame):
+        raise ShutdownRequested(signum)
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, handler)
+        except (ValueError, OSError):  # pragma: no cover - odd platform
+            pass
+    return previous
+
+
+def _restore_signal_handlers(previous) -> None:
+    import signal
+
+    for signum, old in (previous or {}).items():
+        try:
+            signal.signal(signum, old)
+        except (ValueError, OSError):  # pragma: no cover - odd platform
+            pass
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code (see ``--help``)."""
     argv = list(argv if argv is not None else sys.argv[1:])
@@ -567,10 +701,16 @@ def main(argv=None) -> int:
         return _trend_main(argv[1:])
     if argv and argv[0] == "events":
         return _events_main(argv[1:])
+    if argv and argv[0] == "store":
+        return _store_main(argv[1:])
     args = _parse_args(argv)
     scale = args.scale
     if scale not in ("full", "smoke"):
         scale = int(scale)
+    if args.resume and args.run_id:
+        print("error: --resume already names the run; drop --run-id",
+              file=sys.stderr)
+        return EXIT_USAGE
     try:
         config = ExperimentConfig(
             programs=tuple(args.programs),
@@ -607,9 +747,21 @@ def main(argv=None) -> int:
         }
         os.environ["REPRO_FAULTS"] = args.inject_faults
         os.environ["REPRO_FAULT_SEED"] = str(args.fault_seed)
+    previous_handlers = _install_signal_handlers()
     try:
         try:
             code = _run(args, config)
+        except ShutdownRequested as exc:
+            # Graceful shutdown: _run's finally already sealed the
+            # journal and the scheduler's finally released the pool and
+            # shared memory on the way out; dump the black box and exit
+            # with the conventional 128+signum code.
+            code = 128 + exc.signum
+            observe.emit_event("run.interrupted", "WARNING",
+                               signal=exc.signum, code=code)
+            _dump_blackbox(args)
+            print(f"interrupted: {exc}; exiting {code}", file=sys.stderr)
+            return code
         except BaseException as exc:
             # Even an unclassified crash leaves the recorder's tail on
             # disk before the traceback propagates.
@@ -623,6 +775,7 @@ def main(argv=None) -> int:
             _dump_blackbox(args)
         return code
     finally:
+        _restore_signal_handlers(previous_handlers)
         if env_before is not None:
             faults.clear_plan()
             for key, value in env_before.items():
@@ -660,8 +813,71 @@ def _dump_blackbox(args) -> None:
           file=sys.stderr)
 
 
+def _open_journal(args, config: ExperimentConfig, progress):
+    """Open the run journal for ``--run-id``/``--resume``, else ``None``.
+
+    For ``--resume`` the prior journal is replayed first and the skip/
+    re-execute split planned: a task is skipped only when its completion
+    is journaled for the *current* task digest and every store entry the
+    record references still passes its integrity check.  The split lands
+    in the ``resume.tasks_skipped``/``resume.tasks_replayed`` gauges (and
+    thus the manifest).  Raises :class:`JournalError` when the journal
+    cannot be replayed or opened.
+    """
+    run_name = args.resume or args.run_id
+    if not run_name:
+        return None
+    from repro.experiments.journal import (
+        RunJournal,
+        journal_path,
+        plan_resume,
+        replay_journal,
+    )
+    from repro.experiments.store import ResultStore
+
+    override = Path(args.runs_dir) if args.runs_dir else None
+    path = journal_path(run_name, config, override)
+    if args.resume:
+        replay = replay_journal(path)
+        plan = plan_resume(replay, config, ResultStore(config.cache_dir))
+        observe.set_gauge("resume.tasks_skipped", len(plan.skipped))
+        observe.set_gauge("resume.tasks_replayed", len(plan.replayed))
+        observe.emit_event(
+            "journal.resume", run=run_name,
+            prior_status=replay.status or "unsealed",
+            skipped=len(plan.skipped), replayed=len(plan.replayed),
+            torn=replay.torn,
+        )
+        if progress:
+            progress(
+                f"resuming run {run_name!r} ({replay.records} journal "
+                f"record(s), prior status "
+                f"{replay.status or 'unsealed'}): skipping "
+                f"{len(plan.skipped)} verified task(s) "
+                f"[{', '.join(plan.skipped) or '-'}], re-executing "
+                f"{len(plan.replayed)} [{', '.join(plan.replayed) or '-'}]"
+            )
+            if plan.config_changed:
+                progress(
+                    "note: configuration differs from the journaled run; "
+                    "tasks whose digests changed re-execute"
+                )
+    journal = RunJournal(path, run_id=run_name)
+    journal.begin(config, resumed_from=args.resume)
+    if progress and not args.resume:
+        progress(f"journaling run {run_name!r} to {path}")
+    return journal
+
+
 def _run(args, config: ExperimentConfig) -> int:
-    """Execute one experiment target; classified errors exit cleanly."""
+    """Execute one experiment target; classified errors exit cleanly.
+
+    Owns the journal lifecycle: opened (and for ``--resume`` replayed)
+    before the pipeline, sealed in ``finally`` with the run's terminal
+    status — ``complete``, ``partial``, ``failed``, or ``interrupted``
+    when a SIGINT/SIGTERM unwinds through as
+    :class:`ShutdownRequested`.
+    """
     progress = None if args.quiet else lambda msg: print(f"  .. {msg}", file=sys.stderr)
     observing = bool(
         args.manifest or args.metrics or args.history
@@ -686,6 +902,37 @@ def _run(args, config: ExperimentConfig) -> int:
     if args.profile:
         observe.enable_profiling(args.profile_stride)
 
+    try:
+        journal = _open_journal(args, config, progress)
+    except JournalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if journal is None:
+        return _execute(args, config, progress, journal=None)
+    status = "failed"
+    code: Optional[int] = None
+    try:
+        code = _execute(args, config, progress, journal=journal)
+        status = "complete" if code == EXIT_OK else (
+            "partial" if code == EXIT_PARTIAL else "failed"
+        )
+        return code
+    except ShutdownRequested as exc:
+        status, code = "interrupted", 128 + exc.signum
+        raise
+    finally:
+        try:
+            journal.seal(status, exit_code=code)
+        except Exception as exc:
+            # Sealing is best-effort on the way out: an unsealed journal
+            # replays as in-flight, which only means extra re-execution.
+            print(f"warning: could not seal journal {journal.path}: {exc}",
+                  file=sys.stderr)
+        journal.close()
+
+
+def _execute(args, config: ExperimentConfig, progress, journal) -> int:
+    """The pipeline + report + manifest body of one run."""
     needs_data = args.target not in ("table2", "expansion")
     failures: List[FailureRecord] = []
     data = None
@@ -699,6 +946,7 @@ def _run(args, config: ExperimentConfig) -> int:
                     worker_timeout=args.worker_timeout,
                     keep_going=args.keep_going,
                     failures=failures,
+                    journal=journal,
                 )
         except Exception as exc:
             # Classified failures exit with a stable code and one line on
@@ -761,6 +1009,8 @@ def _run(args, config: ExperimentConfig) -> int:
                 "keep_going": args.keep_going,
                 "inject_faults": args.inject_faults,
                 "fault_seed": args.fault_seed,
+                "run_id": args.resume or args.run_id,
+                "resume": bool(args.resume),
             },
             failures=[record.to_dict() for record in failures],
         )

@@ -73,6 +73,7 @@ from repro.experiments.pipeline import (
     trace_cache_path,
 )
 from repro.trace import load_trace, publish_trace
+from repro.trace.shared import reap_stale_segments
 from repro.workloads import WORKLOADS
 
 __all__ = ["load_experiment_data_parallel"]
@@ -349,6 +350,7 @@ def load_experiment_data_parallel(
     keep_going: bool = False,
     failures: Optional[List[FailureRecord]] = None,
     retry_base_s: float = RETRY_BASE_S,
+    journal=None,
 ) -> Dict[str, ProgramData]:
     """Phase 1 + phase 2 for every configured program, fanned out.
 
@@ -356,6 +358,12 @@ def load_experiment_data_parallel(
     programs (extra workers would sit idle).  With one job or one
     program this degrades to the (equally resilient) serial path.
     See the module docstring for the retry/timeout/keep-going policy.
+
+    ``journal`` (a :class:`~repro.experiments.journal.RunJournal`) is
+    written parent-side only: intent at dispatch, completion after the
+    worker's results (already atomically published to the cache by the
+    worker) come home, failure when retries are exhausted.  Workers
+    never touch the journal — one writer, no interleaving.
     """
     jobs = config.jobs if jobs is None else jobs
     names = list(config.programs)
@@ -363,8 +371,13 @@ def load_experiment_data_parallel(
     if jobs == 1 or len(names) <= 1:
         return load_programs_serial(
             config, names, progress, retries=retries, keep_going=keep_going,
-            failures=failures, retry_base_s=retry_base_s,
+            failures=failures, retry_base_s=retry_base_s, journal=journal,
         )
+
+    # A previous run SIGKILLed before its `finally` unlink may have left
+    # orphaned /dev/shm segments behind; sweep them before publishing
+    # new ones.
+    reap_stale_segments()
 
     observing = observe.is_enabled()
     events_on = observe.events_enabled()
@@ -422,6 +435,9 @@ def load_experiment_data_parallel(
             "program.failed", "ERROR", program=task.name, error=record.error,
             attempts=record.attempts, kept_going=keep_going,
         )
+        if journal is not None:
+            journal.failed_for(task.name, config, record.error,
+                               attempts=record.attempts)
         publisher.release(task.name)
         if keep_going:
             if failures is not None:
@@ -483,7 +499,7 @@ def load_experiment_data_parallel(
                 data.update(load_programs_serial(
                     config, remaining, progress, retries=retries,
                     keep_going=keep_going, failures=failures,
-                    retry_base_s=retry_base_s,
+                    retry_base_s=retry_base_s, journal=journal,
                 ))
                 break
 
@@ -506,6 +522,10 @@ def load_experiment_data_parallel(
                 if not task.started:
                     task.started = now
                 attempt = task.attempts + 1
+                if journal is not None:
+                    # Write-ahead: the intent is durable before the
+                    # worker process ever sees the task.
+                    journal.intent_for(task.name, config, attempt=attempt)
                 future = pool.submit(
                     _run_worker, task.name, config, observing, profile_stride,
                     fault_spec, fault_seed, attempt, events_on, run_id,
@@ -562,6 +582,8 @@ def load_experiment_data_parallel(
                     continue
                 done_s = time.perf_counter()
                 data[task.name] = program_data
+                if journal is not None:
+                    journal.done_for(task.name, config)
                 publisher.release(task.name)
                 if progress:
                     progress(

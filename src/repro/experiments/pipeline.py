@@ -36,7 +36,6 @@ from __future__ import annotations
 
 import hashlib
 import os
-import pickle
 import tempfile
 import threading
 import time
@@ -46,6 +45,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro import faults, observe
 from repro.errors import PipelineError, ReproError
+from repro.experiments.store import ResultStore
 from repro.faults import faultpoint
 from repro.sessions import discover_sessions
 from repro.simulate import (
@@ -193,9 +193,23 @@ class ProgramData:
         return self.meta.base_time_ms
 
 
+_WORKLOAD_KEY_CACHE: Dict[Tuple[str, int], str] = {}
+
+
 def _workload_key(workload: Workload, scale: int) -> str:
-    digest = hashlib.sha256(workload.source(scale).encode("utf-8")).hexdigest()[:12]
-    return f"{workload.name}-s{scale}-v{_CACHE_VERSION}-{digest}"
+    # Memoized: generating a workload's source costs tens of ms, and
+    # the key is needed on every cache probe *and* journal append.
+    # Source generation is deterministic per (workload, scale) and the
+    # registry is static, so the key never changes within a process.
+    cache_key = (workload.name, scale)
+    key = _WORKLOAD_KEY_CACHE.get(cache_key)
+    if key is None:
+        digest = hashlib.sha256(
+            workload.source(scale).encode("utf-8")
+        ).hexdigest()[:12]
+        key = f"{workload.name}-s{scale}-v{_CACHE_VERSION}-{digest}"
+        _WORKLOAD_KEY_CACHE[cache_key] = key
+    return key
 
 
 def trace_cache_path(workload: Workload, scale: int,
@@ -255,29 +269,16 @@ def _note_readonly(
     )
 
 
-def _atomic_pickle_dump(payload: object, path: Path) -> None:
-    """Pickle ``payload`` to ``path`` via write-to-temp + ``os.replace``.
+def _publish_sim_payload(payload: object, path: Path, name: str) -> None:
+    """Publish a simulation payload through the result store.
 
-    The temp file lives in the destination directory so the rename is
-    atomic (same filesystem); racing writers each publish a complete
-    file and the last rename wins, which is fine because both computed
-    the same payload for the same cache key.
+    The store wraps the payload in a digest-carrying envelope and writes
+    it atomically (temp file + ``os.replace`` in the destination
+    directory); racing writers each publish a complete file and the last
+    rename wins, which is fine because both computed the same payload
+    for the same cache key.
     """
-    faultpoint("io.write", kind="sim")
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp_name = tempfile.mkstemp(
-        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            pickle.dump(payload, handle)
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
+    ResultStore(path.parent).publish_payload(path, payload, program=name)
 
 
 def _trace_for(
@@ -526,15 +527,17 @@ def _load_sim_payload(
     with observe.span("cache_load", program=name, kind="sim"):
         try:
             faultpoint("cache.read", program=name, kind="sim")
-            with open(sim_path, "rb") as handle:
-                payload = pickle.load(handle)
+            payload = ResultStore(sim_path.parent).load_payload(
+                sim_path, program=name
+            )
             if not isinstance(payload, dict) or set(payload) != _SIM_PAYLOAD_KEYS:
                 raise PipelineError(
                     f"sim cache payload has wrong shape: "
                     f"{sorted(payload) if isinstance(payload, dict) else type(payload).__name__}"
                 )
         except Exception as exc:
-            # Truncated pickle (EOFError), torn file, stale class layout
+            # Failed content digest (StoreCorruptError), truncated
+            # pickle (EOFError), torn file, stale class layout
             # (AttributeError/ImportError), wrong shape: all recover as
             # a cache miss instead of aborting the whole run.
             _discard_corrupt("sim", sim_path, exc, name, progress)
@@ -666,7 +669,7 @@ def load_program_data(
         if config.use_cache:
             try:
                 faultpoint("cache.write", program=name, kind="sim")
-                _atomic_pickle_dump(payload, sim_path)
+                _publish_sim_payload(payload, sim_path, name)
             except OSError as exc:
                 _note_readonly("sim", sim_path, exc, name, progress)
             else:
@@ -719,6 +722,7 @@ def load_programs_serial(
     keep_going: bool = False,
     failures: Optional[List[FailureRecord]] = None,
     retry_base_s: float = RETRY_BASE_S,
+    journal=None,
 ) -> Dict[str, ProgramData]:
     """Run ``names`` in-process, with the shared retry/failure policy.
 
@@ -727,6 +731,13 @@ def load_programs_serial(
     fatal ones are not.  A program that still fails either aborts the
     run (default) or, under ``keep_going``, is recorded in ``failures``
     and skipped so the surviving programs still produce tables.
+
+    ``journal`` (a :class:`repro.experiments.journal.RunJournal`) makes
+    the loop write-ahead: every attempt records its intent before work
+    starts and its completion only after the results were published, so
+    a crash at any instant leaves a replayable record.  Journal appends
+    sit inside the per-attempt ``try`` — a transiently failing journal
+    write retries with the task.
     """
     max_attempts = max(1, retries + 1)
     data: Dict[str, ProgramData] = {}
@@ -735,12 +746,21 @@ def load_programs_serial(
         attempts = 0
         while True:
             try:
+                if journal is not None:
+                    journal.intent_for(name, config, attempt=attempts + 1)
                 data[name] = load_program_data(name, config, progress)
+                if journal is not None:
+                    journal.done_for(name, config)
                 break
             except Exception as exc:
                 attempts += 1
                 transient = faults.classify_failure(exc) == "transient"
                 if not transient or attempts >= max_attempts:
+                    if journal is not None:
+                        journal.failed_for(
+                            name, config, type(exc).__name__,
+                            attempts=attempts,
+                        )
                     _record_failure(
                         name, exc, attempts, time.monotonic() - started,
                         keep_going, failures, progress,
@@ -772,6 +792,7 @@ def load_experiment_data(
     worker_timeout: Optional[float] = None,
     keep_going: bool = False,
     failures: Optional[List[FailureRecord]] = None,
+    journal=None,
 ) -> Dict[str, ProgramData]:
     """Phase 1 + phase 2 for every configured program.
 
@@ -783,16 +804,19 @@ def load_experiment_data(
     Both paths share one failure policy: transient errors retry with
     capped exponential backoff, fatal ones abort (or are recorded into
     ``failures`` under ``keep_going``); ``worker_timeout`` additionally
-    bounds each parallel worker's wall clock.
+    bounds each parallel worker's wall clock.  ``journal`` threads a
+    write-ahead :class:`~repro.experiments.journal.RunJournal` through
+    whichever path runs (the parent journals for its workers).
     """
     if config.jobs > 1 and len(config.programs) > 1:
         from repro.experiments.parallel import load_experiment_data_parallel
 
         return load_experiment_data_parallel(
             config, progress, retries=retries, worker_timeout=worker_timeout,
-            keep_going=keep_going, failures=failures,
+            keep_going=keep_going, failures=failures, journal=journal,
         )
     return load_programs_serial(
         config, list(config.programs), progress,
         retries=retries, keep_going=keep_going, failures=failures,
+        journal=journal,
     )

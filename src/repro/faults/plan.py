@@ -10,6 +10,7 @@ site::
                  equals the site or extends it at a '.' boundary
                  ("worker" matches "worker.start" and "worker.mid")
     action    := corrupt | oserror | crash | hang | fatal
+               | sigint | sigterm
     qualifier := INT    fire on exactly the Nth matching hit (1-based,
                         counted per installed plan)
                | FLOAT  fire on each matching hit with probability p,
@@ -46,7 +47,8 @@ from typing import List, Optional, Tuple
 from repro.errors import FaultSpecError
 
 #: The injectable behaviours; see :mod:`repro.faults` for what each does.
-ACTIONS = ("corrupt", "oserror", "crash", "hang", "fatal")
+ACTIONS = ("corrupt", "oserror", "crash", "hang", "fatal",
+           "sigint", "sigterm")
 
 _SITE_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$")
 _NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_-]*$")

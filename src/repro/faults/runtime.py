@@ -23,7 +23,11 @@ clause fires, one of five behaviours triggers:
     ``BrokenProcessPool`` and retries on a recreated pool;
 ``hang``
     sleep for ``REPRO_FAULT_HANG_S`` seconds (default 3600) — only the
-    parent's ``--worker-timeout`` watchdog gets the worker unstuck.
+    parent's ``--worker-timeout`` watchdog gets the worker unstuck;
+``sigint`` / ``sigterm``
+    deliver the real signal to the current process — exercising the
+    CLI's graceful-shutdown path (seal the journal, dump the black box,
+    exit ``128 + signum``) at a deterministic instant.
 
 :func:`classify_failure` is the single source of truth for the retry
 policy: transient failures (worker death, I/O errors, injected faults,
@@ -179,6 +183,14 @@ def _trigger(
     if clause.action == "crash":
         os.kill(os.getpid(), signal.SIGKILL)
         return  # pragma: no cover - unreachable
+    if clause.action == "sigint":
+        # Delivered synchronously: the handler (or default KeyboardInterrupt
+        # machinery) runs before this faultpoint returns.
+        os.kill(os.getpid(), signal.SIGINT)
+        return
+    if clause.action == "sigterm":
+        os.kill(os.getpid(), signal.SIGTERM)
+        return
     if clause.action == "hang":  # pragma: no branch
         seconds = float(
             os.environ.get("REPRO_FAULT_HANG_S", "") or DEFAULT_HANG_SECONDS

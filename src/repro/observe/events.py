@@ -47,7 +47,7 @@ import uuid
 from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Callable, Dict, Iterable, List, Optional, Union
 
 from repro.observe import metrics as _metrics
 
@@ -525,14 +525,18 @@ def validate_event_dict(data: object, where: str = "event") -> Dict[str, object]
 
 
 def validate_event_log_lines(
-    lines: Iterable[str], name: str = "event log", allow_multiple_runs: bool = False
+    lines: Iterable[str], name: str = "event log",
+    allow_multiple_runs: bool = False,
+    on_warning: Optional[Callable[[str], None]] = None,
 ) -> List[Dict[str, object]]:
     """Validate a whole JSONL log; returns the parsed events.
 
     Enforces per-line schema validity, strictly increasing ``seq``, and
     (unless ``allow_multiple_runs``) a single ``run_id`` across the file.
-    A torn final line (crashed writer) is skipped, mirroring the history
-    loader.
+    A torn final line — the expected artifact of a writer killed
+    mid-append — is skipped, mirroring the history loader; pass
+    ``on_warning`` to be told about it (the lint tool and the ``events``
+    subcommand surface it to the user).
     """
     lines = list(lines)
     events: List[Dict[str, object]] = []
@@ -547,7 +551,13 @@ def validate_event_log_lines(
             data = json.loads(line)
         except json.JSONDecodeError:
             if index == len(lines) - 1:
-                continue  # torn final line from an interrupted writer
+                # Torn final line from an interrupted writer.
+                if on_warning is not None:
+                    on_warning(
+                        f"{where}: skipping torn final line "
+                        f"(writer was interrupted mid-append)"
+                    )
+                continue
             raise ValueError(f"{where}: not valid JSON")
         validate_event_dict(data, where)
         if data["seq"] <= last_seq:
@@ -567,7 +577,8 @@ def validate_event_log_lines(
 
 
 def load_event_log(
-    path: Union[str, Path], allow_multiple_runs: bool = True
+    path: Union[str, Path], allow_multiple_runs: bool = True,
+    on_warning: Optional[Callable[[str], None]] = None,
 ) -> List[Dict[str, object]]:
     """Read and validate a JSONL event log from disk."""
     path = Path(path)
@@ -575,4 +586,5 @@ def load_event_log(
         path.read_text(encoding="utf-8").splitlines(),
         name=str(path),
         allow_multiple_runs=allow_multiple_runs,
+        on_warning=on_warning,
     )

@@ -47,12 +47,21 @@ from __future__ import annotations
 import os
 import secrets
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Optional, Tuple
 
+from repro import observe
 from repro.trace.events import EventTrace, TraceMeta
 from repro.trace.objects import ObjectRegistry
 
 _ALIGN = 8
+
+#: Every published segment is named ``repro-trace-<pid>-<hex>``; the
+#: prefix keys both leak audits and the stale-segment reaper.
+SEGMENT_PREFIX = "repro-trace-"
+
+#: Where POSIX shm segments appear as files on Linux.
+SHM_DIR = Path("/dev/shm")
 
 
 def _align8(offset: int) -> int:
@@ -195,7 +204,7 @@ def publish_trace(
     columns = trace.as_arrays()
     n = len(trace)
     kinds_off, a_off, b_off, c_off, total = _layout(n)
-    name = f"repro-trace-{os.getpid()}-{secrets.token_hex(4)}"
+    name = f"{SEGMENT_PREFIX}{os.getpid()}-{secrets.token_hex(4)}"
     shm = shared_memory.SharedMemory(name=name, create=True, size=max(total, 1))
     try:
         buf = shm.buf
@@ -220,9 +229,75 @@ def publish_trace(
     return SharedTraceOwner(shm, handle, total)
 
 
+def _segment_pid(name: str, prefix: str) -> Optional[int]:
+    """The owning pid encoded in a segment name, or ``None``."""
+    if not name.startswith(prefix):
+        return None
+    pid_part = name[len(prefix):].split("-", 1)[0]
+    try:
+        pid = int(pid_part)
+    except ValueError:
+        return None
+    return pid if pid > 0 else None
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else — not ours to touch
+    except OSError:
+        return True  # unknown: err on the side of keeping the segment
+    return True
+
+
+def reap_stale_segments(
+    prefix: str = SEGMENT_PREFIX, shm_dir: Path = SHM_DIR
+) -> int:
+    """Best-effort sweep of orphaned trace segments; returns the count.
+
+    A run SIGKILLed between ``publish_trace`` and the scheduler's
+    ``finally`` unlink leaks its ``/dev/shm`` segments for good (the
+    owning process never runs cleanup, and the resource tracker dies
+    with it).  Each segment name embeds its publisher's pid, so the
+    next scheduler start reclaims exactly the segments whose owners are
+    gone: name matches the prefix, pid parses, and the pid is dead.
+    Our own and other live processes' segments are never touched.
+
+    Unlinks go through the filesystem (not ``SharedMemory.unlink``)
+    deliberately — attaching first would re-register the segment with
+    *this* process's resource tracker and spew warnings for a segment
+    we never owned.  Everything here is advisory: an unreadable shm
+    dir (non-Linux, sandbox) or a racing unlink is silently skipped.
+    """
+    try:
+        names = os.listdir(shm_dir)
+    except OSError:
+        return 0
+    own_pid = os.getpid()
+    reaped = 0
+    for name in names:
+        pid = _segment_pid(name, prefix)
+        if pid is None or pid == own_pid or _pid_alive(pid):
+            continue
+        try:
+            os.unlink(Path(shm_dir) / name)
+        except OSError:
+            continue
+        reaped += 1
+        observe.inc("trace.shm.reaped")
+        observe.note("trace.shm.reaped", name)
+        observe.emit_event("trace.shm.reap", "WARNING",
+                           segment=name, pid=pid)
+    return reaped
+
+
 __all__ = [
     "AttachedTrace",
     "SharedTraceHandle",
     "SharedTraceOwner",
     "publish_trace",
+    "reap_stale_segments",
 ]

@@ -231,3 +231,66 @@ def test_sink_survives_oserror_by_detaching(tmp_path, recording):
     assert recorder.sink_path is None
     assert recorder._sink is None
     assert [e.category for e in recorder.entries()] == ["a", "b"]
+
+
+def test_torn_final_line_warns_through_callback(tmp_path):
+    # Regression: the torn tail is tolerated *with a warning*, so the
+    # CLI and the lint tool can tell the user the writer was killed
+    # mid-append rather than silently shortening the log.
+    log = tmp_path / "torn.jsonl"
+    observe.enable_events(sink_path=log)
+    try:
+        observe.emit_event("run.start")
+    finally:
+        observe.disable_events()
+    with open(log, "a", encoding="utf-8") as handle:
+        handle.write('{"v": 1, "seq": 1, "t_wall"')
+    warnings = []
+    events = observe.load_event_log(log, on_warning=warnings.append)
+    assert len(events) == 1
+    assert len(warnings) == 1
+    assert "torn final line" in warnings[0]
+
+
+def test_lint_tool_warns_not_errors_on_torn_tail(tmp_path, capsys):
+    import importlib.util
+    from pathlib import Path
+
+    spec = importlib.util.spec_from_file_location(
+        "lint_event_log",
+        Path(__file__).resolve().parents[2] / "tools" / "lint_event_log.py",
+    )
+    tool = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(tool)
+
+    log = tmp_path / "torn.jsonl"
+    observe.enable_events(sink_path=log)
+    try:
+        observe.emit_event("run.start")
+        observe.emit_event("cache.hit")
+    finally:
+        observe.disable_events()
+    with open(log, "a", encoding="utf-8") as handle:
+        handle.write('{"v": 1, "seq": 2')
+    assert tool.main([str(log)]) == 0
+    captured = capsys.readouterr()
+    assert "warning:" in captured.err
+    assert "torn final line" in captured.err
+    assert "OK — 2 event(s)" in captured.out
+
+
+def test_events_subcommand_warns_on_torn_tail(tmp_path, capsys):
+    from repro.experiments.cli import main as cli_main
+
+    log = tmp_path / "torn.jsonl"
+    observe.enable_events(sink_path=log)
+    try:
+        observe.emit_event("run.start")
+    finally:
+        observe.disable_events()
+    with open(log, "a", encoding="utf-8") as handle:
+        handle.write('{"v": 1, "seq": 1, "t_w')
+    assert cli_main(["events", str(log)]) == 0
+    captured = capsys.readouterr()
+    assert "torn final line" in captured.err
+    assert "1 of 1 event(s)" in captured.out

@@ -11,13 +11,22 @@ by the chaos suite in ``tests/faults/``.
 from __future__ import annotations
 
 import glob
+import os
 import pickle
+import subprocess
+import sys
 
 import numpy as np
 import pytest
 
 from repro.trace import EventTrace, ObjectRegistry, publish_trace
-from repro.trace.shared import _layout
+from repro.trace.shared import (
+    SEGMENT_PREFIX,
+    _layout,
+    _pid_alive,
+    _segment_pid,
+    reap_stale_segments,
+)
 
 
 def build_trace(n_writes: int = 500):
@@ -162,3 +171,72 @@ class TestLifecycle:
         with pytest.raises(ValueError):
             publish_trace(trace, registry)
         assert set(segments()) == before
+
+
+def dead_pid() -> int:
+    """A pid guaranteed to belong to no live process (just reaped)."""
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    return proc.pid
+
+
+class TestOrphanReaper:
+    """Startup sweep for segments leaked by SIGKILLed runs.
+
+    A publisher killed between ``publish_trace`` and its ``finally``
+    leaks the segment forever — no process remains to unlink it.  The
+    reaper runs at scheduler start and reclaims exactly the segments
+    whose embedded owner pid is dead.
+    """
+
+    def test_segment_pid_parsing(self):
+        assert _segment_pid("repro-trace-1234-abcd", "repro-trace-") == 1234
+        assert _segment_pid("repro-trace-77", "repro-trace-") == 77
+        assert _segment_pid("psm_4fe2b", "repro-trace-") is None
+        assert _segment_pid("repro-trace-xyz-1", "repro-trace-") is None
+        assert _segment_pid("repro-trace--5-a", "repro-trace-") is None
+
+    def test_pid_liveness(self):
+        assert _pid_alive(os.getpid())
+        assert _pid_alive(1)  # init: alive, not ours (EPERM as non-root)
+        assert not _pid_alive(dead_pid())
+
+    def test_reaps_only_dead_owners(self, tmp_path):
+        gone = dead_pid()
+        orphan = tmp_path / f"{SEGMENT_PREFIX}{gone}-deadbeef"
+        orphan.write_bytes(b"x" * 64)
+        own = tmp_path / f"{SEGMENT_PREFIX}{os.getpid()}-cafecafe"
+        own.write_bytes(b"x" * 64)
+        live = tmp_path / f"{SEGMENT_PREFIX}1-00000001"
+        live.write_bytes(b"x" * 64)
+        unrelated = tmp_path / "psm_something"
+        unrelated.write_bytes(b"x" * 64)
+        unparsable = tmp_path / f"{SEGMENT_PREFIX}notapid-ffff"
+        unparsable.write_bytes(b"x" * 64)
+
+        assert reap_stale_segments(shm_dir=tmp_path) == 1
+        assert not orphan.exists()
+        assert own.exists() and live.exists()
+        assert unrelated.exists() and unparsable.exists()
+        # Second sweep: nothing left to reap (idempotent).
+        assert reap_stale_segments(shm_dir=tmp_path) == 0
+
+    def test_missing_shm_dir_is_harmless(self, tmp_path):
+        assert reap_stale_segments(shm_dir=tmp_path / "no-such-dir") == 0
+
+    def test_live_publisher_survives_a_sweep(self, tmp_path):
+        # End to end against the real /dev/shm layout: a segment we own
+        # (live pid) must survive, a copy attributed to a dead pid must
+        # not.
+        trace, registry = build_trace()
+        owner = publish_trace(trace, registry)
+        try:
+            fake = tmp_path / owner.name.replace(
+                str(os.getpid()), str(dead_pid()), 1
+            )
+            fake.write_bytes(b"x" * 64)
+            reaped = reap_stale_segments(shm_dir=tmp_path)
+            assert reaped == (1 if fake.name != owner.name else 0)
+            assert any(owner.name in s for s in segments())
+        finally:
+            owner.close()

@@ -76,10 +76,17 @@ def write_docs(text: str) -> str:
 
 
 def validate_log(path: str, allow_multiple_runs: bool) -> int:
-    """Validate one JSONL event log; returns the number of events."""
+    """Validate one JSONL event log; returns the number of events.
+
+    A torn final line (a writer killed mid-append — the expected
+    artifact of a crash) is reported as a warning, not an error.
+    """
     from repro.observe.events import load_event_log
 
-    events = load_event_log(path, allow_multiple_runs=allow_multiple_runs)
+    events = load_event_log(
+        path, allow_multiple_runs=allow_multiple_runs,
+        on_warning=lambda msg: print(f"warning: {msg}", file=sys.stderr),
+    )
     run_ids = sorted({str(event["run_id"]) for event in events})
     workers = sorted({str(event["worker"]) for event in events})
     shown = ", ".join(repr(w) if w == "" else w for w in workers) or "-"
